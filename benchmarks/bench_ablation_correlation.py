@@ -1,0 +1,36 @@
+"""ABL-2 — spatial-correlation sweep on the hierarchical design.
+
+Fig. 7's message is that inter-module correlation from local variation
+strongly affects the delay distribution.  This ablation sweeps the
+neighbouring-grid correlation and records how much of the resulting sigma
+the global-only baseline misses.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import run_correlation_sweep
+
+
+def test_correlation_sweep(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_correlation_sweep,
+        kwargs={
+            "bits": 8 if bench_config.monte_carlo_samples >= 10000 else 4,
+            "neighbor_correlations": (0.5, 0.7, 0.92),
+            "config": bench_config,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for point in result.points:
+        benchmark.extra_info["rho=%.2f" % point.neighbor_correlation] = (
+            "sigma=%.1f global_only=%.1f gap=%.1f%%"
+            % (point.proposed_std, point.global_only_std, 100 * point.std_gap)
+        )
+
+    sigmas = [point.proposed_std for point in result.points]
+    # Stronger spatial correlation widens the design-level distribution.
+    assert sigmas[0] <= sigmas[-1] * 1.05
+    # The global-only baseline always underestimates the spread.
+    for point in result.points:
+        assert point.global_only_std <= point.proposed_std + 1e-9

@@ -1,0 +1,38 @@
+"""ABL-1 — criticality-threshold sweep (model size vs accuracy trade-off).
+
+The paper fixes the threshold at 0.05; this ablation quantifies how the
+compression ratio and the input/output delay accuracy move as the threshold
+grows, justifying that choice.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import run_threshold_sweep
+
+
+def test_threshold_sweep(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_threshold_sweep,
+        kwargs={
+            "circuit": "c880",
+            "thresholds": (0.0, 0.01, 0.05, 0.1, 0.2, 0.4),
+            "config": bench_config,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for point in result.points:
+        benchmark.extra_info["delta=%.2f" % point.threshold] = (
+            "Em=%d merr=%.2f%%" % (point.model_edges, 100 * point.mean_error)
+        )
+
+    edges = [point.model_edges for point in result.points]
+    errors = [point.mean_error for point in result.points]
+    # Monotone trade-off: larger thresholds give smaller models ...
+    assert all(a >= b for a, b in zip(edges, edges[1:]))
+    # ... and the paper's 0.05 keeps the mean error small.
+    paper_point = result.points[2]
+    assert paper_point.threshold == 0.05
+    assert paper_point.mean_error < 0.03
+    # Aggressive thresholds eventually pay in accuracy.
+    assert errors[-1] >= errors[0]

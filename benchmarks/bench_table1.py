@@ -1,0 +1,70 @@
+"""Table I — timing-model extraction on the ISCAS85 surrogate suite.
+
+Each benchmark regenerates one row of Table I: it characterizes the circuit,
+extracts the gray-box timing model at threshold 0.05, validates the model's
+input/output delays against the configured reference and records the row
+(Eo, Vo, Em, Vm, pe, pv, merr, verr) in ``extra_info``.
+
+The benchmarked quantity is the model extraction itself (all-pairs analysis,
+criticality computation, edge removal and merges), matching the ``T`` column
+of the paper's table.  Set ``REPRO_FULL=1`` to run all ten circuits with
+10 000-sample Monte Carlo validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import table1_circuits
+from repro.experiments.table1 import run_table1
+
+
+@pytest.mark.parametrize("circuit", table1_circuits())
+def test_table1_row(benchmark, bench_config, circuit):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"circuits": [circuit], "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    row = result.rows[0]
+
+    benchmark.extra_info.update(
+        {
+            "Eo": row.original_edges,
+            "Vo": row.original_vertices,
+            "Em": row.model_edges,
+            "Vm": row.model_vertices,
+            "pe": "%.0f%%" % (100 * row.edge_ratio),
+            "pv": "%.0f%%" % (100 * row.vertex_ratio),
+            "merr": "%.2f%%" % (100 * row.mean_error),
+            "verr": "%.2f%%" % (100 * row.std_error),
+            "reference": row.reference,
+        }
+    )
+
+    # Shape of the paper's Table I: strong compression, small errors.
+    assert row.edge_ratio < 0.55
+    assert row.vertex_ratio < 0.60
+    assert row.mean_error < 0.05
+    assert row.std_error < 0.12
+
+
+def test_table1_average(benchmark, bench_config):
+    """Aggregate row: the paper reports ~20 %/19 % average compression."""
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"circuits": list(table1_circuits()), "config": bench_config,
+                "validate_accuracy": False},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "average_pe": "%.0f%%" % (100 * result.average_edge_ratio),
+            "average_pv": "%.0f%%" % (100 * result.average_vertex_ratio),
+            "circuits": len(result.rows),
+        }
+    )
+    assert result.average_edge_ratio < 0.45
+    assert result.average_vertex_ratio < 0.45

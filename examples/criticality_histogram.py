@@ -1,0 +1,30 @@
+"""Edge-criticality histogram of an ISCAS85 surrogate (the paper's Fig. 6).
+
+Run with ``python examples/criticality_histogram.py [circuit] [bins]``.
+The default circuit is c7552, as in the paper; pass a smaller circuit
+(e.g. ``c880``) for a faster run.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_figure6
+from repro.experiments.config import DEFAULT_CONFIG
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "c7552"
+    bins = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+
+    print("computing edge criticalities of %s ..." % circuit)
+    result = run_figure6(circuit, bins=bins, config=DEFAULT_CONFIG)
+    print(result.render())
+    print()
+    print("%d of %d edges would be removed at the paper's threshold of %.2f"
+          % (int(result.fraction_below_threshold * result.num_edges),
+             result.num_edges, result.threshold))
+
+
+if __name__ == "__main__":
+    main()

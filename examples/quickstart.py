@@ -1,0 +1,60 @@
+"""Quickstart: statistical timing analysis of a small combinational circuit.
+
+This example walks through the basic flow of the library:
+
+1. build (or load) a gate-level netlist;
+2. place it and attach a process-variation model;
+3. build the statistical timing graph and propagate arrival times;
+4. compare the SSTA delay distribution against corner STA and Monte Carlo.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro.liberty import standard_library
+from repro.montecarlo import simulate_graph_delay
+from repro.netlist import ripple_carry_adder
+from repro.placement import place_netlist
+from repro.timing import build_timing_graph, circuit_delay, corner_sta
+from repro.timing.builder import default_variation_for
+
+
+def main() -> None:
+    # 1. A 16-bit ripple-carry adder as the example circuit.
+    netlist = ripple_carry_adder(16)
+    print("circuit: %s  (%d gates, %d connections, depth %d)"
+          % (netlist.name, netlist.num_gates, netlist.num_connections, netlist.logic_depth()))
+
+    # 2. Library, placement and the paper-default variation model
+    #    (Nassif sigmas, 0.92 neighbouring-grid correlation, <100 cells/grid).
+    library = standard_library()
+    placement = place_netlist(netlist, library)
+    variation = default_variation_for(netlist, placement)
+    print("die: %.1f x %.1f sites, %d correlation grids"
+          % (placement.die.width, placement.die.height, variation.num_grids))
+
+    # 3. Statistical timing graph and block-based SSTA.
+    graph = build_timing_graph(netlist, library, placement, variation)
+    delay = circuit_delay(graph)
+    print("\nSSTA circuit delay: mean = %.1f ps, sigma = %.1f ps" % (delay.mean, delay.std))
+    print("  99.9%% yield point : %.1f ps" % delay.quantile(0.999))
+
+    # 4a. Corner STA baseline (the pessimism SSTA removes).
+    corners = corner_sta(graph, sigma_corner=3.0)
+    print("\ncorner STA          : nominal %.1f ps, worst(+3 sigma) %.1f ps"
+          % (corners.nominal, corners.worst))
+    print("  corner pessimism vs SSTA 3-sigma point: %.1f ps"
+          % (corners.worst - (delay.mean + 3.0 * delay.std)))
+
+    # 4b. Monte Carlo validation of the analytical distribution.
+    monte_carlo = simulate_graph_delay(graph, num_samples=5000, seed=1)
+    print("\nMonte Carlo (5000 samples): mean = %.1f ps, sigma = %.1f ps"
+          % (monte_carlo.mean, monte_carlo.std))
+    print("  SSTA error: mean %.2f %%, sigma %.2f %%"
+          % (100.0 * abs(delay.mean - monte_carlo.mean) / monte_carlo.mean,
+             100.0 * abs(delay.std - monte_carlo.std) / monte_carlo.std))
+
+
+if __name__ == "__main__":
+    main()

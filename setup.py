@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml declares all metadata; this shim exists so the package
+can be installed in editable mode on minimal offline environments where the
+``wheel`` package (needed by the PEP 660 editable build hooks of older
+setuptools releases) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — hierarchical statistical static timing analysis.
+
+A from-scratch Python reproduction of *"On Hierarchical Statistical Static
+Timing Analysis"* (Li, Chen, Schmidt, Schneider, Schlichtmann — DATE 2009).
+
+The package is organized in layers:
+
+* :mod:`repro.core` — the canonical linear delay form and the statistical
+  operators (sum, Clark max, tightness probability) every other layer uses.
+* :mod:`repro.variation` — process parameters, die grids, spatial
+  correlation, and PCA decomposition of correlated local variations.
+* :mod:`repro.liberty` — a synthetic standard-cell library with statistical
+  delay arcs.
+* :mod:`repro.netlist` — gate-level netlists, the ISCAS85 ``.bench`` format,
+  and circuit generators (including a structural 16x16 array multiplier).
+* :mod:`repro.placement` — cell placement and module floorplanning.
+* :mod:`repro.timing` — statistical timing graphs, block-based arrival-time
+  propagation, all-pairs input/output delays and a corner-STA baseline.
+* :mod:`repro.model` — the paper's gray-box statistical timing-model
+  extraction (criticality, non-critical edge removal, graph reduction).
+* :mod:`repro.hier` — hierarchical design-level analysis with heterogeneous
+  grids and independent-random-variable replacement.
+* :mod:`repro.montecarlo` — correlated Monte Carlo timing simulation used as
+  the accuracy reference.
+* :mod:`repro.analysis` — distribution utilities, comparison metrics and
+  plain-text table/figure reporting.
+* :mod:`repro.experiments` — drivers that regenerate Table I, Fig. 6 and
+  Fig. 7 of the paper.
+"""
+
+from repro.core.canonical import CanonicalForm
+from repro.core.ops import statistical_max, statistical_sum, tightness_probability
+from repro.variation.model import VariationModel
+from repro.variation.parameters import ProcessParameter, ParameterSet
+from repro.liberty.library import Library, standard_library
+from repro.netlist.netlist import Netlist, Gate
+from repro.timing.graph import TimingGraph
+from repro.timing.builder import build_timing_graph
+from repro.timing.propagation import propagate_arrival_times
+from repro.model.extraction import extract_timing_model
+from repro.model.timing_model import TimingModel
+from repro.hier.design import HierarchicalDesign, ModuleInstance
+from repro.hier.analysis import analyze_hierarchical_design
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CanonicalForm",
+    "statistical_sum",
+    "statistical_max",
+    "tightness_probability",
+    "VariationModel",
+    "ProcessParameter",
+    "ParameterSet",
+    "Library",
+    "standard_library",
+    "Netlist",
+    "Gate",
+    "TimingGraph",
+    "build_timing_graph",
+    "propagate_arrival_times",
+    "extract_timing_model",
+    "TimingModel",
+    "HierarchicalDesign",
+    "ModuleInstance",
+    "analyze_hierarchical_design",
+    "__version__",
+]

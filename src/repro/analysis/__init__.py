@@ -1,0 +1,36 @@
+"""Distribution utilities, comparison metrics and plain-text reporting."""
+
+from repro.analysis.distributions import EmpiricalDistribution, gaussian_cdf
+from repro.analysis.metrics import (
+    relative_error,
+    mean_error,
+    std_error,
+    ks_statistic_against_gaussian,
+    max_cdf_gap,
+    quantile_errors,
+)
+from repro.analysis.reporting import format_table, ascii_cdf_plot, format_percent
+from repro.analysis.yield_analysis import (
+    YieldCurve,
+    required_period_for_yield,
+    timing_yield,
+    yield_curve,
+)
+
+__all__ = [
+    "EmpiricalDistribution",
+    "gaussian_cdf",
+    "relative_error",
+    "mean_error",
+    "std_error",
+    "ks_statistic_against_gaussian",
+    "max_cdf_gap",
+    "quantile_errors",
+    "format_table",
+    "ascii_cdf_plot",
+    "format_percent",
+    "YieldCurve",
+    "timing_yield",
+    "required_period_for_yield",
+    "yield_curve",
+]

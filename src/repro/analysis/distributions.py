@@ -1,0 +1,80 @@
+"""Empirical and Gaussian distribution helpers."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+from scipy.special import ndtr
+
+__all__ = ["EmpiricalDistribution", "gaussian_cdf"]
+
+
+def gaussian_cdf(values: np.ndarray, mean: float, std: float) -> np.ndarray:
+    """CDF of a Gaussian with the given moments, safe for ``std == 0``."""
+    values = np.asarray(values, dtype=float)
+    if std <= 0.0:
+        return (values >= mean).astype(float)
+    return ndtr((values - mean) / std)
+
+
+class EmpiricalDistribution:
+    """An empirical distribution built from Monte Carlo samples."""
+
+    def __init__(self, samples: np.ndarray) -> None:
+        samples = np.asarray(samples, dtype=float).reshape(-1)
+        if samples.size == 0:
+            raise ValueError("an empirical distribution needs at least one sample")
+        self._sorted = np.sort(samples)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples."""
+        return int(self._sorted.shape[0])
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted samples."""
+        return self._sorted
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(np.mean(self._sorted))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1)."""
+        if self.num_samples < 2:
+            return 0.0
+        return float(np.std(self._sorted, ddof=1))
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return float(self._sorted[-1])
+
+    def cdf(self, values: Union[float, np.ndarray]) -> np.ndarray:
+        """Empirical CDF evaluated at ``values``."""
+        ranks = np.searchsorted(self._sorted, np.asarray(values, dtype=float), side="right")
+        return ranks / float(self.num_samples)
+
+    def quantile(self, q: Union[float, np.ndarray]) -> np.ndarray:
+        """Empirical quantile(s)."""
+        return np.quantile(self._sorted, q)
+
+    def histogram(self, bins: int = 50) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram ``(counts, bin_edges)`` of the samples."""
+        return np.histogram(self._sorted, bins=bins)
+
+    def normalized(self) -> "EmpiricalDistribution":
+        """Samples rescaled to the [0, 1] range (as in the paper's Fig. 7)."""
+        span = self.max - self.min
+        if span <= 0.0:
+            return EmpiricalDistribution(np.zeros_like(self._sorted))
+        return EmpiricalDistribution((self._sorted - self.min) / span)

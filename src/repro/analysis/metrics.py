@@ -1,0 +1,94 @@
+"""Comparison metrics between analytical and Monte Carlo timing results."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.distributions import EmpiricalDistribution, gaussian_cdf
+
+__all__ = [
+    "relative_error",
+    "mean_error",
+    "std_error",
+    "max_relative_matrix_error",
+    "ks_statistic_against_gaussian",
+    "max_cdf_gap",
+    "quantile_errors",
+]
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """``|estimate - reference| / |reference|`` (0 when both are 0)."""
+    if reference == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - reference) / abs(reference)
+
+
+def mean_error(estimate_mean: float, reference_mean: float) -> float:
+    """Relative error of a mean estimate."""
+    return relative_error(estimate_mean, reference_mean)
+
+
+def std_error(estimate_std: float, reference_std: float) -> float:
+    """Relative error of a standard-deviation estimate."""
+    return relative_error(estimate_std, reference_std)
+
+
+def max_relative_matrix_error(
+    estimate: np.ndarray, reference: np.ndarray
+) -> float:
+    """Maximum relative error between two matrices, ignoring NaN entries.
+
+    This is how the paper's ``merr``/``verr`` columns are defined: the
+    maximum over all input/output pairs of the relative deviation of the
+    model statistic from the Monte Carlo statistic.
+    """
+    estimate = np.asarray(estimate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    mask = np.isfinite(estimate) & np.isfinite(reference) & (np.abs(reference) > 0.0)
+    if not mask.any():
+        return 0.0
+    errors = np.abs(estimate[mask] - reference[mask]) / np.abs(reference[mask])
+    return float(errors.max())
+
+
+def ks_statistic_against_gaussian(
+    distribution: EmpiricalDistribution, mean: float, std: float
+) -> float:
+    """Kolmogorov-Smirnov distance between samples and a Gaussian."""
+    samples = distribution.samples
+    n = distribution.num_samples
+    gaussian = gaussian_cdf(samples, mean, std)
+    upper = np.arange(1, n + 1) / n
+    lower = np.arange(0, n) / n
+    return float(np.max(np.maximum(np.abs(upper - gaussian), np.abs(gaussian - lower))))
+
+
+def max_cdf_gap(
+    distribution: EmpiricalDistribution,
+    mean: float,
+    std: float,
+    grid_points: int = 512,
+) -> float:
+    """Maximum pointwise CDF difference on a regular grid spanning the samples."""
+    grid = np.linspace(distribution.min, distribution.max, grid_points)
+    return float(np.max(np.abs(distribution.cdf(grid) - gaussian_cdf(grid, mean, std))))
+
+
+def quantile_errors(
+    distribution: EmpiricalDistribution,
+    mean: float,
+    std: float,
+    quantiles: Sequence[float] = (0.01, 0.05, 0.5, 0.95, 0.99),
+) -> Dict[float, float]:
+    """Relative error of Gaussian quantiles against the empirical ones."""
+    from scipy.stats import norm
+
+    errors: Dict[float, float] = {}
+    for q in quantiles:
+        empirical = float(distribution.quantile(q))
+        gaussian = float(norm.ppf(q, loc=mean, scale=max(std, 1e-300)))
+        errors[q] = relative_error(gaussian, empirical)
+    return errors

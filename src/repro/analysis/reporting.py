@@ -1,0 +1,111 @@
+"""Plain-text rendering of tables and figures.
+
+The paper's artifacts are a table (Table I), a histogram (Fig. 6) and a CDF
+comparison (Fig. 7).  These helpers render all three as monospace text so
+the benchmark harness can print them without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["format_table", "format_percent", "ascii_histogram", "ascii_cdf_plot"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (``0.203 -> "20.3%"``)."""
+    return "%.*f%%" % (digits, 100.0 * value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    text_rows: List[List[str]] = [[str(header) for header in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row %r does not match %d columns" % (row, columns))
+        text_rows.append([_format_cell(cell) for cell in row])
+    widths = [max(len(text_rows[r][c]) for r in range(len(text_rows))) for c in range(columns)]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(text.ljust(width) for text, width in zip(text_rows[0], widths)))
+    lines.append(separator)
+    for text_row in text_rows[1:]:
+        lines.append(" | ".join(text.rjust(width) for text, width in zip(text_row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.4g" % cell
+    return str(cell)
+
+
+def ascii_histogram(
+    counts: np.ndarray,
+    bin_edges: np.ndarray,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a histogram as horizontal bars."""
+    counts = np.asarray(counts, dtype=float)
+    peak = counts.max() if counts.size else 0.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        bar = "#" * (int(round(width * count / peak)) if peak > 0 else 0)
+        lines.append(
+            "[%.2f, %.2f) %6d %s"
+            % (bin_edges[index], bin_edges[index + 1], int(count), bar)
+        )
+    return "\n".join(lines)
+
+
+def ascii_cdf_plot(
+    grid: np.ndarray,
+    curves: Dict[str, np.ndarray],
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render several CDF curves on one character canvas.
+
+    Each curve gets a distinct marker; the x axis spans ``grid`` and the y
+    axis spans [0, 1].
+    """
+    markers = "*o+x.~"
+    grid = np.asarray(grid, dtype=float)
+    canvas = [[" "] * width for _unused in range(height)]
+    xmin, xmax = float(grid.min()), float(grid.max())
+    span = max(xmax - xmin, 1e-12)
+
+    legend: List[str] = []
+    for curve_index, (label, values) in enumerate(curves.items()):
+        marker = markers[curve_index % len(markers)]
+        legend.append("%s %s" % (marker, label))
+        values = np.asarray(values, dtype=float)
+        for x, y in zip(grid, values):
+            column = int(round((x - xmin) / span * (width - 1)))
+            row = height - 1 - int(round(min(max(y, 0.0), 1.0) * (height - 1)))
+            canvas[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        y_value = 1.0 - row_index / (height - 1)
+        lines.append("%4.2f |%s" % (y_value, "".join(row)))
+    lines.append("     +" + "-" * width)
+    lines.append("      %-*.4g%*.4g" % (width // 2, xmin, width - width // 2, xmax))
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)

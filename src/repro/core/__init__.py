@@ -1,0 +1,32 @@
+"""Canonical delay forms and statistical operators for SSTA.
+
+This subpackage implements Section II of the paper: the general linear form
+
+    d = a0 + ag * xg + sum_i(ai * xi) + ar * xr
+
+(eq. 3) together with the statistical ``sum`` and ``max`` operators of
+Visweswariah et al. / Clark that the rest of the system builds upon.
+"""
+
+from repro.core.canonical import CanonicalForm
+from repro.core.gaussian import normal_cdf, normal_pdf, clark_moments
+from repro.core.ops import (
+    statistical_sum,
+    statistical_max,
+    statistical_max_many,
+    tightness_probability,
+)
+from repro.core.correlation import covariance, correlation
+
+__all__ = [
+    "CanonicalForm",
+    "normal_cdf",
+    "normal_pdf",
+    "clark_moments",
+    "statistical_sum",
+    "statistical_max",
+    "statistical_max_many",
+    "tightness_probability",
+    "covariance",
+    "correlation",
+]

@@ -1,0 +1,49 @@
+"""Covariance and correlation helpers for canonical forms."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm
+
+__all__ = ["covariance", "correlation", "covariance_matrix", "correlation_matrix"]
+
+
+def covariance(a: CanonicalForm, b: CanonicalForm) -> float:
+    """Covariance between two canonical forms (shared variables only)."""
+    return a.covariance(b)
+
+
+def correlation(a: CanonicalForm, b: CanonicalForm) -> float:
+    """Pearson correlation between two canonical forms."""
+    return a.correlation(b)
+
+
+def covariance_matrix(forms: Sequence[CanonicalForm]) -> np.ndarray:
+    """Full covariance matrix of a sequence of canonical forms.
+
+    Diagonal entries are the total variances (including each form's private
+    random part); off-diagonal entries only include shared variables.
+    """
+    size = len(forms)
+    matrix = np.zeros((size, size), dtype=float)
+    for i, form_i in enumerate(forms):
+        matrix[i, i] = form_i.variance
+        for j in range(i + 1, size):
+            cov = form_i.covariance(forms[j])
+            matrix[i, j] = cov
+            matrix[j, i] = cov
+    return matrix
+
+
+def correlation_matrix(forms: Sequence[CanonicalForm]) -> np.ndarray:
+    """Correlation matrix of a sequence of canonical forms."""
+    cov = covariance_matrix(forms)
+    std = np.sqrt(np.diag(cov))
+    denom = np.outer(std, std)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = np.where(denom > 0.0, cov / denom, 0.0)
+    np.fill_diagonal(corr, 1.0)
+    return corr

@@ -1,0 +1,83 @@
+"""Standard Gaussian helpers and Clark's moments of the maximum.
+
+The closed-form expressions implemented here are eqs. (6)-(8) of the paper,
+originally due to Clark (1961): the tightness probability, mean and variance
+of ``max{A, B}`` for two jointly Gaussian random variables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = ["normal_pdf", "normal_cdf", "clark_theta", "clark_moments"]
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+# Below this the difference of the two operands is treated as deterministic:
+# the max degenerates to whichever operand has the larger mean.
+DEGENERATE_THETA = 1e-12
+
+
+def normal_pdf(x: float) -> float:
+    """Probability density of the standard normal distribution at ``x``."""
+    return _INV_SQRT_2PI * math.exp(-0.5 * x * x)
+
+
+def normal_cdf(x: float) -> float:
+    """Cumulative distribution of the standard normal distribution at ``x``."""
+    return 0.5 * math.erfc(-x / _SQRT2)
+
+
+def clark_theta(var_a: float, var_b: float, cov_ab: float) -> float:
+    """Return ``theta = sqrt(var(A) + var(B) - 2 cov(A, B))``.
+
+    ``theta`` is the standard deviation of ``A - B``.  Numerical noise can
+    push the radicand slightly negative when A and B are (nearly) perfectly
+    correlated; it is clamped at zero.
+    """
+    radicand = var_a + var_b - 2.0 * cov_ab
+    if radicand < 0.0:
+        radicand = 0.0
+    return math.sqrt(radicand)
+
+
+def clark_moments(
+    mean_a: float,
+    var_a: float,
+    mean_b: float,
+    var_b: float,
+    cov_ab: float,
+) -> Tuple[float, float, float]:
+    """Moments of ``max{A, B}`` for jointly Gaussian ``A`` and ``B``.
+
+    Returns ``(tightness_probability, mean, variance)`` following
+    eqs. (6)-(8) of the paper.  The tightness probability is
+    ``Prob{A >= B}``.
+
+    When ``theta`` (the standard deviation of ``A - B``) is numerically
+    zero the maximum degenerates: the operand with the larger mean wins
+    with probability one and its moments are returned unchanged.
+    """
+    theta = clark_theta(var_a, var_b, cov_ab)
+    if theta <= DEGENERATE_THETA:
+        if mean_a >= mean_b:
+            return 1.0, mean_a, var_a
+        return 0.0, mean_b, var_b
+
+    alpha = (mean_a - mean_b) / theta
+    tp = normal_cdf(alpha)
+    phi = normal_pdf(alpha)
+
+    mean = tp * mean_a + (1.0 - tp) * mean_b + theta * phi
+    second_moment = (
+        tp * (var_a + mean_a * mean_a)
+        + (1.0 - tp) * (var_b + mean_b * mean_b)
+        + (mean_a + mean_b) * theta * phi
+    )
+    variance = second_moment - mean * mean
+    if variance < 0.0:
+        # Guard against round-off for nearly degenerate configurations.
+        variance = 0.0
+    return tp, mean, variance

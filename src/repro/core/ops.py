@@ -1,0 +1,121 @@
+"""Statistical ``sum`` and ``max`` operators on canonical forms.
+
+These implement Section II of the paper: the sum adds corresponding
+coefficients and merges the private random parts by variance matching, the
+maximum follows Clark's formulas (eqs. 6-9) with the result re-expressed in
+the same canonical form through tightness-probability weighting and variance
+matching of the residual random coefficient.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm
+from repro.core.gaussian import clark_moments, clark_theta, normal_cdf
+
+__all__ = [
+    "statistical_sum",
+    "statistical_max",
+    "statistical_max_many",
+    "statistical_min",
+    "tightness_probability",
+    "exceedance_probability",
+]
+
+
+def statistical_sum(a: CanonicalForm, b: CanonicalForm) -> CanonicalForm:
+    """Statistical sum of two canonical forms (Section II)."""
+    return a.add(b)
+
+
+def tightness_probability(a: CanonicalForm, b: CanonicalForm) -> float:
+    """``Prob{A >= B}`` for two canonical forms (eq. 6)."""
+    if not a.is_finite and not b.is_finite:
+        return 0.5
+    if not a.is_finite:
+        return 0.0 if a.nominal < b.nominal else 1.0
+    if not b.is_finite:
+        return 1.0 if b.nominal < a.nominal else 0.0
+    theta = clark_theta(a.variance, b.variance, a.covariance(b))
+    if theta <= 1e-12:
+        return 1.0 if a.nominal >= b.nominal else 0.0
+    return normal_cdf((a.nominal - b.nominal) / theta)
+
+
+def exceedance_probability(a: CanonicalForm, threshold: float) -> float:
+    """``Prob{A >= threshold}`` for a canonical form against a constant."""
+    std = a.std
+    if std <= 1e-300:
+        return 1.0 if a.nominal >= threshold else 0.0
+    return normal_cdf((a.nominal - threshold) / std)
+
+
+def statistical_max(a: CanonicalForm, b: CanonicalForm) -> CanonicalForm:
+    """Clark maximum of two canonical forms re-expressed canonically (eq. 9).
+
+    The mean of the result equals Clark's exact mean; the global and local
+    coefficients are the tightness-probability-weighted combinations of the
+    operands' coefficients; the private random coefficient is chosen so the
+    total variance matches Clark's exact variance (clamped at zero when the
+    linear part already over-covers it, which can happen because the linear
+    approximation is not exact).
+    """
+    # Identity elements: max with -inf returns the other operand untouched.
+    if not a.is_finite and a.nominal < 0:
+        return b
+    if not b.is_finite and b.nominal < 0:
+        return a
+
+    cov = a.covariance(b)
+    tp, mean, variance = clark_moments(a.nominal, a.variance, b.nominal, b.variance, cov)
+
+    if tp >= 1.0:
+        return a
+    if tp <= 0.0:
+        return b
+
+    n = max(a.num_locals, b.num_locals)
+    a_locals = _pad(a.local_coeffs, n)
+    b_locals = _pad(b.local_coeffs, n)
+
+    global_coeff = tp * a.global_coeff + (1.0 - tp) * b.global_coeff
+    local_coeffs = tp * a_locals + (1.0 - tp) * b_locals
+
+    linear_variance = global_coeff * global_coeff + float(np.dot(local_coeffs, local_coeffs))
+    residual = variance - linear_variance
+    random_coeff = math.sqrt(residual) if residual > 0.0 else 0.0
+
+    return CanonicalForm(mean, global_coeff, local_coeffs, random_coeff)
+
+
+def statistical_min(a: CanonicalForm, b: CanonicalForm) -> CanonicalForm:
+    """Statistical minimum, via ``min(A, B) = -max(-A, -B)``."""
+    return statistical_max(a.negate(), b.negate()).negate()
+
+
+def statistical_max_many(forms: Iterable[CanonicalForm]) -> CanonicalForm:
+    """Iterated pairwise Clark maximum over a sequence of canonical forms.
+
+    The forms are combined in the given order; an empty iterable raises
+    ``ValueError`` because the maximum of nothing is undefined.
+    """
+    iterator = iter(forms)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("statistical_max_many() requires at least one form") from None
+    for form in iterator:
+        result = statistical_max(result, form)
+    return result
+
+
+def _pad(values: np.ndarray, n: int) -> np.ndarray:
+    if values.shape[0] == n:
+        return values
+    padded = np.zeros(n, dtype=float)
+    padded[: values.shape[0]] = values
+    return padded

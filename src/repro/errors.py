@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "BenchFormatError",
+    "LibraryError",
+    "TimingGraphError",
+    "ModelExtractionError",
+    "HierarchyError",
+    "PlacementError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid (dangling nets, cycles, ...)."""
+
+
+class BenchFormatError(NetlistError):
+    """An ISCAS85 ``.bench`` description could not be parsed."""
+
+
+class LibraryError(ReproError):
+    """A cell or arc was requested that the library does not provide."""
+
+
+class TimingGraphError(ReproError):
+    """A timing graph is malformed or an operation on it is impossible."""
+
+
+class ModelExtractionError(ReproError):
+    """Timing-model extraction failed (e.g. disconnected input/output pair)."""
+
+
+class HierarchyError(ReproError):
+    """A hierarchical design is inconsistent (overlapping modules, ...)."""
+
+
+class PlacementError(ReproError):
+    """A placement request cannot be satisfied."""

@@ -1,0 +1,42 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+* :mod:`repro.experiments.table1` — Table I: timing-model extraction results
+  on the ISCAS85 suite (sizes, compression ratios, accuracy vs Monte Carlo,
+  runtime).
+* :mod:`repro.experiments.figure6` — Fig. 6: edge-criticality histogram of
+  c7552.
+* :mod:`repro.experiments.figure7` — Fig. 7: delay CDF of the hierarchical
+  four-multiplier design (Monte Carlo vs proposed vs global-only), plus the
+  speed-up claim of Section VI.B.
+* :mod:`repro.experiments.ablation` — threshold and correlation sweeps for
+  the design choices called out in DESIGN.md.
+"""
+
+from repro.experiments.config import ExperimentConfig, DEFAULT_CONFIG
+from repro.experiments.table1 import Table1Row, Table1Result, run_table1, characterize_circuit
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7, build_multiplier_design
+from repro.experiments.ablation import (
+    ThresholdSweepResult,
+    run_threshold_sweep,
+    CorrelationSweepResult,
+    run_correlation_sweep,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "characterize_circuit",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Result",
+    "run_figure7",
+    "build_multiplier_design",
+    "ThresholdSweepResult",
+    "run_threshold_sweep",
+    "CorrelationSweepResult",
+    "run_correlation_sweep",
+]

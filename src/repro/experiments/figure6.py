@@ -1,0 +1,90 @@
+"""Fig. 6 — histogram of the edge criticalities of c7552.
+
+The paper observes that edge criticalities concentrate near 0 and 1, which
+is what makes a small threshold (0.05) remove most edges without hurting
+accuracy.  The driver reproduces the histogram for any ISCAS85 surrogate
+(c7552 by default, matching the paper) and reports the fractions of edges
+below the threshold and above 0.95.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_histogram
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.table1 import CharacterizedCircuit, characterize_circuit
+from repro.liberty.library import Library
+from repro.model.criticality import CriticalityResult, compute_edge_criticalities
+from repro.timing.allpairs import AllPairsTiming
+
+__all__ = ["Figure6Result", "run_figure6"]
+
+
+@dataclass
+class Figure6Result:
+    """The criticality histogram of one circuit."""
+
+    circuit: str
+    criticalities: np.ndarray
+    counts: np.ndarray
+    bin_edges: np.ndarray
+    threshold: float
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the circuit's timing graph."""
+        return int(self.criticalities.shape[0])
+
+    @property
+    def fraction_below_threshold(self) -> float:
+        """Fraction of edges whose maximum criticality is below the threshold."""
+        return float(np.mean(self.criticalities < self.threshold))
+
+    @property
+    def fraction_near_one(self) -> float:
+        """Fraction of edges with maximum criticality above 0.95."""
+        return float(np.mean(self.criticalities > 0.95))
+
+    def render(self, width: int = 50) -> str:
+        """Monospace rendering of the histogram (the paper's Fig. 6)."""
+        title = "Fig. 6 - edge criticalities in %s (%d edges)" % (self.circuit, self.num_edges)
+        body = ascii_histogram(self.counts, self.bin_edges, width=width, title=title)
+        summary = (
+            "below threshold %.2f: %.1f%%   above 0.95: %.1f%%"
+            % (self.threshold, 100 * self.fraction_below_threshold, 100 * self.fraction_near_one)
+        )
+        return body + "\n" + summary
+
+
+def run_figure6(
+    circuit: str = "c7552",
+    bins: int = 20,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    library: Optional[Library] = None,
+    characterized: Optional[CharacterizedCircuit] = None,
+    criticalities: Optional[CriticalityResult] = None,
+) -> Figure6Result:
+    """Regenerate the criticality histogram of Fig. 6.
+
+    ``characterized`` and ``criticalities`` allow reusing the expensive
+    intermediate results when the same circuit is also being processed for
+    Table I.
+    """
+    if characterized is None:
+        characterized = characterize_circuit(circuit, config, library)
+    if criticalities is None:
+        analysis = AllPairsTiming.analyze(characterized.graph)
+        criticalities = compute_edge_criticalities(characterized.graph, analysis)
+    values = criticalities.values()
+    counts, bin_edges = np.histogram(values, bins=bins, range=(0.0, 1.0))
+    return Figure6Result(
+        circuit=circuit,
+        criticalities=values,
+        counts=counts,
+        bin_edges=bin_edges,
+        threshold=config.criticality_threshold,
+    )

@@ -1,0 +1,41 @@
+"""Hierarchical statistical timing analysis at design level (Section V).
+
+A hierarchical design instantiates pre-characterized timing models at fixed
+die locations and connects their ports.  The analysis proceeds in the four
+steps of Fig. 5:
+
+1. partition the design die with *heterogeneous grids* (module-covered
+   areas keep the module's own grids, the rest uses the default grid size);
+2. decompose the design-level correlated grid variables with PCA;
+3. replace the independent random variables of every instantiated model
+   (eq. 19) so spatial correlation between modules is restored;
+4. propagate arrival times from the design's primary inputs to its primary
+   outputs through the instantiated model graphs.
+"""
+
+from repro.hier.design import HierarchicalDesign, ModuleInstance, Connection
+from repro.hier.grids import DesignGrids, build_design_grids
+from repro.hier.replacement import (
+    replacement_matrix,
+    remap_model_graph,
+    design_pca,
+)
+from repro.hier.analysis import (
+    HierarchicalResult,
+    analyze_hierarchical_design,
+    CorrelationMode,
+)
+
+__all__ = [
+    "HierarchicalDesign",
+    "ModuleInstance",
+    "Connection",
+    "DesignGrids",
+    "build_design_grids",
+    "replacement_matrix",
+    "remap_model_graph",
+    "design_pca",
+    "HierarchicalResult",
+    "analyze_hierarchical_design",
+    "CorrelationMode",
+]

@@ -1,0 +1,193 @@
+"""Design-level hierarchical statistical timing analysis (Fig. 5).
+
+``analyze_hierarchical_design`` assembles a design-level timing graph from
+the instantiated (and variable-replaced) module models plus the design
+connections, then propagates arrival times from the design's primary inputs
+to its primary outputs with the block-based SSTA engine.
+
+Two correlation modes are provided:
+
+* ``CorrelationMode.REPLACEMENT`` — the paper's proposed method: local
+  variables of every module are rewritten in the shared design-level basis
+  (eq. 19), so correlation from both global and local variation is
+  captured;
+* ``CorrelationMode.GLOBAL_ONLY`` — the comparison baseline of Fig. 7:
+  modules only share the global variable, their local variables are treated
+  as independent between modules.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm
+from repro.core.ops import statistical_max
+from repro.errors import HierarchyError
+from repro.hier.design import HierarchicalDesign
+from repro.hier.grids import DesignGrids, build_design_grids
+from repro.hier.replacement import (
+    block_diagonal_graph,
+    design_pca,
+    remap_model_graph,
+    replacement_matrix,
+)
+from repro.timing.graph import TimingGraph
+from repro.timing.propagation import propagate_arrival_times
+from repro.variation.pca import PCADecomposition
+from repro.variation.spatial import SpatialCorrelation
+
+__all__ = ["CorrelationMode", "HierarchicalResult", "analyze_hierarchical_design", "build_design_graph"]
+
+
+class CorrelationMode(enum.Enum):
+    """How inter-module correlation is handled at design level."""
+
+    REPLACEMENT = "replacement"
+    GLOBAL_ONLY = "global_only"
+
+
+@dataclass
+class HierarchicalResult:
+    """Result of one design-level analysis run."""
+
+    design_name: str
+    mode: CorrelationMode
+    graph: TimingGraph
+    output_arrivals: Dict[str, CanonicalForm]
+    circuit_delay: CanonicalForm
+    grids: Optional[DesignGrids]
+    pca: Optional[PCADecomposition]
+    analysis_seconds: float
+
+    @property
+    def mean(self) -> float:
+        """Mean of the design delay distribution."""
+        return self.circuit_delay.mean
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the design delay distribution."""
+        return self.circuit_delay.std
+
+    def quantile(self, q: float) -> float:
+        """Gaussian quantile of the design delay."""
+        return self.circuit_delay.quantile(q)
+
+    def cdf(self, values: np.ndarray) -> np.ndarray:
+        """Gaussian CDF of the design delay evaluated at ``values``."""
+        return np.asarray(self.circuit_delay.cdf(values))
+
+
+def _correlation_profile(design: HierarchicalDesign) -> SpatialCorrelation:
+    """The (shared) spatial correlation profile of the design's modules."""
+    instances = design.instances
+    if not instances:
+        raise HierarchyError("design %r has no instances" % design.name)
+    profile = instances[0].model.correlation
+    for instance in instances[1:]:
+        other = instance.model.correlation
+        if (
+            abs(other.neighbor_correlation - profile.neighbor_correlation) > 1e-9
+            or abs(other.floor_correlation - profile.floor_correlation) > 1e-9
+            or abs(other.cutoff_distance - profile.cutoff_distance) > 1e-9
+        ):
+            raise HierarchyError(
+                "instance %r uses a different spatial correlation profile" % instance.name
+            )
+    return profile
+
+
+def build_design_graph(
+    design: HierarchicalDesign,
+    mode: CorrelationMode = CorrelationMode.REPLACEMENT,
+    grids: Optional[DesignGrids] = None,
+    pca: Optional[PCADecomposition] = None,
+) -> Tuple[TimingGraph, Optional[DesignGrids], Optional[PCADecomposition]]:
+    """Assemble the design-level timing graph for the requested mode.
+
+    Returns ``(graph, grids, pca)``; the latter two are ``None`` in
+    ``GLOBAL_ONLY`` mode (no design-level decomposition is needed there).
+    """
+    design.validate()
+
+    if mode is CorrelationMode.REPLACEMENT:
+        correlation = _correlation_profile(design)
+        if grids is None:
+            grids = build_design_grids(design)
+        if pca is None:
+            pca = design_pca(grids, correlation)
+        num_locals = pca.num_components
+        instance_graphs = []
+        for instance in design.instances:
+            replacement = replacement_matrix(instance, grids, pca)
+            instance_graphs.append(remap_model_graph(instance, replacement, num_locals))
+    elif mode is CorrelationMode.GLOBAL_ONLY:
+        grids = None
+        pca = None
+        num_locals = sum(instance.model.num_locals for instance in design.instances)
+        instance_graphs = []
+        offset = 0
+        for instance in design.instances:
+            instance_graphs.append(block_diagonal_graph(instance, offset, num_locals))
+            offset += instance.model.num_locals
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError("unknown correlation mode %r" % mode)
+
+    graph = TimingGraph(design.name, num_locals)
+    for pi in design.primary_inputs:
+        graph.mark_input(pi)
+    for po in design.primary_outputs:
+        graph.mark_output(po)
+
+    for instance_graph in instance_graphs:
+        for vertex in instance_graph.vertices:
+            graph.add_vertex(vertex)
+        for edge in instance_graph.edges:
+            graph.add_edge(edge.source, edge.sink, edge.delay)
+
+    for connection in design.connections:
+        delay = CanonicalForm.constant(connection.delay, num_locals)
+        graph.add_edge(connection.source, connection.sink, delay)
+
+    graph.validate()
+    return graph, grids, pca
+
+
+def analyze_hierarchical_design(
+    design: HierarchicalDesign,
+    mode: CorrelationMode = CorrelationMode.REPLACEMENT,
+) -> HierarchicalResult:
+    """Run the full hierarchical analysis of Fig. 5 on ``design``."""
+    start = time.perf_counter()
+    graph, grids, pca = build_design_graph(design, mode)
+    arrivals = propagate_arrival_times(graph)
+
+    output_arrivals: Dict[str, CanonicalForm] = {}
+    delay: Optional[CanonicalForm] = None
+    for output in design.primary_outputs:
+        arrival = arrivals.get(output)
+        if arrival is None:
+            continue
+        output_arrivals[output] = arrival
+        delay = arrival if delay is None else statistical_max(delay, arrival)
+    if delay is None:
+        raise HierarchyError(
+            "no primary output of %r is reachable from a primary input" % design.name
+        )
+    elapsed = time.perf_counter() - start
+
+    return HierarchicalResult(
+        design_name=design.name,
+        mode=mode,
+        graph=graph,
+        output_arrivals=output_arrivals,
+        circuit_delay=delay,
+        grids=grids,
+        pca=pca,
+        analysis_seconds=elapsed,
+    )

@@ -1,0 +1,139 @@
+"""Heterogeneous design-level grid partitioning (Section V, Fig. 4).
+
+The design die is partitioned in two steps: first, the areas covered by
+module instances keep the instances' own characterization grids (translated
+to the instance origin); second, the remaining area is covered with the
+default grid size.  The partition records, for every instance, which design
+grid indices correspond to the module's own grid indices (in the same
+order) — this mapping is what the independent-variable replacement needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import HierarchyError
+from repro.hier.design import HierarchicalDesign
+from repro.variation.grid import Die, GridCell, GridPartition
+
+__all__ = ["DesignGrids", "build_design_grids"]
+
+
+@dataclass
+class DesignGrids:
+    """The heterogeneous design-level grid partition.
+
+    Attributes
+    ----------
+    partition:
+        A :class:`GridPartition` over the design die whose cells are, in
+        order, every instance's translated module grids followed by the
+        filler grids of the uncovered area.
+    instance_grid_indices:
+        ``instance name -> design grid indices``; entry ``k`` of the list is
+        the design-level index of the instance's module grid ``k``.
+    default_grid_size:
+        The grid edge length used for the filler grids (and, by
+        construction, for every module's own grids).
+    """
+
+    partition: GridPartition
+    instance_grid_indices: Dict[str, List[int]]
+    default_grid_size: float
+
+    @property
+    def num_grids(self) -> int:
+        """Total number of design-level grid variables."""
+        return self.partition.num_grids
+
+    def indices_for(self, instance_name: str) -> List[int]:
+        """Design grid indices of one instance's module grids."""
+        try:
+            return list(self.instance_grid_indices[instance_name])
+        except KeyError:
+            raise HierarchyError("no grids recorded for instance %r" % instance_name) from None
+
+
+def build_design_grids(
+    design: HierarchicalDesign,
+    default_grid_size: float = 0.0,
+    grid_size_tolerance: float = 0.05,
+) -> DesignGrids:
+    """Partition the design die with heterogeneous grids.
+
+    Parameters
+    ----------
+    design:
+        The hierarchical design; every instance's model provides its own
+        characterization grid partition.
+    default_grid_size:
+        Grid size of the filler area; defaults to the first instance's
+        characterization grid size.  The replacement algebra assumes all
+        modules were characterized with (approximately) this grid size —
+        a mismatch larger than ``grid_size_tolerance`` (relative) raises.
+    """
+    instances = design.instances
+    if not instances:
+        raise HierarchyError("design %r has no instances" % design.name)
+
+    if default_grid_size <= 0.0:
+        default_grid_size = instances[0].model.partition.grid_size
+    for instance in instances:
+        module_size = instance.model.partition.grid_size
+        relative = abs(module_size - default_grid_size) / default_grid_size
+        if relative > grid_size_tolerance:
+            raise HierarchyError(
+                "instance %r was characterized with grid size %.3f which differs "
+                "from the design default %.3f by more than %.0f%%"
+                % (instance.name, module_size, default_grid_size, 100 * grid_size_tolerance)
+            )
+
+    cells: List[GridCell] = []
+    instance_grid_indices: Dict[str, List[int]] = {}
+    index = 0
+
+    # Step 1: module-covered areas keep the module grids (translated).
+    for instance in instances:
+        indices: List[int] = []
+        for cell in instance.model.partition.cells:
+            cells.append(
+                GridCell(
+                    index,
+                    cell.xmin + instance.origin_x,
+                    cell.ymin + instance.origin_y,
+                    cell.xmax + instance.origin_x,
+                    cell.ymax + instance.origin_y,
+                    tag=instance.name,
+                )
+            )
+            indices.append(index)
+            index += 1
+        instance_grid_indices[instance.name] = indices
+
+    # Step 2: cover the remaining area with default-size grids.  A candidate
+    # filler grid is kept when its centre is not covered by any instance.
+    die = design.die
+    bounds = [instance.bounds for instance in instances]
+    nx = max(1, int(np.ceil(die.width / default_grid_size)))
+    ny = max(1, int(np.ceil(die.height / default_grid_size)))
+    for iy in range(ny):
+        for ix in range(nx):
+            xmin = die.origin_x + ix * default_grid_size
+            ymin = die.origin_y + iy * default_grid_size
+            xmax = min(xmin + default_grid_size, die.origin_x + die.width)
+            ymax = min(ymin + default_grid_size, die.origin_y + die.height)
+            cx = 0.5 * (xmin + xmax)
+            cy = 0.5 * (ymin + ymax)
+            covered = any(
+                bx0 <= cx < bx1 and by0 <= cy < by1 for bx0, by0, bx1, by1 in bounds
+            )
+            if covered:
+                continue
+            cells.append(GridCell(index, xmin, ymin, xmax, ymax, tag="top"))
+            index += 1
+
+    partition = GridPartition(die, cells, default_grid_size)
+    return DesignGrids(partition, instance_grid_indices, default_grid_size)

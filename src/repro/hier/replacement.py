@@ -1,0 +1,159 @@
+"""Independent-random-variable replacement (Section V, eq. 19).
+
+The timing model of a module expresses its edge delays in terms of the
+module's own independent variables ``x`` (the PCA components of its grid
+variables ``pl = A x``).  At design level the same physical grid variables
+are a subset ``p^t_{l,n}`` of the design grid vector ``p^t_l = B x^t``.
+Because both share the covariance matrix ``C``, the module variables can be
+rewritten in the design basis:
+
+    x = A^{-1} p_l = A^{-1} B_n x^t
+
+where ``B_n`` holds the rows of ``B`` corresponding to the module's grids.
+Applying this substitution to every edge delay of every instantiated model
+makes all instances share the design-level independent set ``x^t``, which
+restores the spatial correlation *between* modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import HierarchyError
+from repro.hier.design import ModuleInstance
+from repro.hier.grids import DesignGrids
+from repro.model.timing_model import TimingModel
+from repro.timing.graph import TimingGraph
+from repro.variation.pca import PCADecomposition, decompose_covariance
+from repro.variation.spatial import SpatialCorrelation
+
+__all__ = [
+    "design_pca",
+    "replacement_matrix",
+    "remap_model_graph",
+    "subblock_consistency_error",
+]
+
+
+def design_pca(
+    grids: DesignGrids, correlation: SpatialCorrelation
+) -> PCADecomposition:
+    """PCA decomposition of the design-level grid correlation matrix.
+
+    Distances between design grids are measured centre-to-centre and
+    normalized by the default grid size, exactly as during module
+    characterization, so the sub-block covering one module equals the
+    module's own correlation matrix.
+    """
+    distances = grids.partition.distance_matrix()
+    matrix = correlation.local_matrix_from_distances(distances)
+    return decompose_covariance(matrix)
+
+
+def subblock_consistency_error(
+    instance: ModuleInstance,
+    grids: DesignGrids,
+    correlation: SpatialCorrelation,
+) -> float:
+    """Maximum absolute difference between the design covariance sub-block
+    covering ``instance`` and the module's own correlation matrix.
+
+    Equation (18) of the paper relies on these two matrices being equal; a
+    large value indicates an inconsistent grid size or correlation profile.
+    """
+    indices = grids.indices_for(instance.name)
+    distances = grids.partition.distance_matrix()[np.ix_(indices, indices)]
+    design_block = correlation.local_matrix_from_distances(distances)
+    module_block = instance.model.variation.local_correlation_matrix
+    if design_block.shape != module_block.shape:
+        raise HierarchyError(
+            "instance %r covers %d design grids but was characterized with %d"
+            % (instance.name, design_block.shape[0], module_block.shape[0])
+        )
+    return float(np.max(np.abs(design_block - module_block)))
+
+
+def replacement_matrix(
+    instance: ModuleInstance,
+    grids: DesignGrids,
+    pca: PCADecomposition,
+) -> np.ndarray:
+    """The matrix mapping module-local variables onto design variables.
+
+    Returns ``R`` with shape ``(k_module, k_design)`` such that
+    ``x_module = R @ x_design`` (eq. 19: ``R = A^{-1} B_n``).  A module edge
+    with local coefficient row vector ``a`` becomes ``a @ R`` in the design
+    basis.
+    """
+    indices = grids.indices_for(instance.name)
+    module_pca = instance.model.pca
+    if len(indices) != module_pca.num_variables:
+        raise HierarchyError(
+            "instance %r maps %d design grids onto %d module grids"
+            % (instance.name, len(indices), module_pca.num_variables)
+        )
+    b_n = pca.transform[indices, :]
+    return module_pca.inverse_transform @ b_n
+
+
+def remap_model_graph(
+    instance: ModuleInstance,
+    replacement: np.ndarray,
+    num_design_locals: int,
+) -> TimingGraph:
+    """Instantiate a model graph with its local variables replaced.
+
+    The returned graph's vertices carry the instance prefix
+    (``"instance/port"``) and every edge delay is re-expressed in the
+    design-level independent variable basis via ``replacement``.
+    """
+    model = instance.model
+    prefix = instance.prefix
+    graph = TimingGraph(instance.name, num_design_locals)
+    for vertex in model.graph.vertices:
+        graph.add_vertex(prefix + vertex)
+    for vertex in model.graph.inputs:
+        graph.mark_input(prefix + vertex)
+    for vertex in model.graph.outputs:
+        graph.mark_output(prefix + vertex)
+    for edge in model.graph.edges:
+        delay = edge.delay
+        remapped = delay.remap_locals(replacement[: delay.num_locals, :])
+        graph.add_edge(prefix + edge.source, prefix + edge.sink, remapped)
+    return graph
+
+
+def block_diagonal_graph(
+    instance: ModuleInstance,
+    local_offset: int,
+    num_total_locals: int,
+) -> TimingGraph:
+    """Instantiate a model graph without variable replacement.
+
+    Used by the "only correlation from global variation" baseline: each
+    instance keeps its own private copy of its local variables, placed in a
+    disjoint block ``[local_offset, local_offset + k_module)`` of a combined
+    independent space, so no local correlation exists between instances
+    while the shared global variable is kept.
+    """
+    model = instance.model
+    prefix = instance.prefix
+    graph = TimingGraph(instance.name, num_total_locals)
+    for vertex in model.graph.vertices:
+        graph.add_vertex(prefix + vertex)
+    for vertex in model.graph.inputs:
+        graph.mark_input(prefix + vertex)
+    for vertex in model.graph.outputs:
+        graph.mark_output(prefix + vertex)
+    for edge in model.graph.edges:
+        delay = edge.delay
+        locals_ = np.zeros(num_total_locals, dtype=float)
+        locals_[local_offset : local_offset + delay.num_locals] = delay.local_coeffs
+        graph.add_edge(
+            prefix + edge.source,
+            prefix + edge.sink,
+            delay.with_local_coeffs(locals_),
+        )
+    return graph

@@ -1,0 +1,23 @@
+"""Synthetic standard-cell library with statistical delay arcs.
+
+The paper maps the ISCAS85 benchmarks onto a proprietary industrial 90 nm
+library.  This subpackage provides the substitute: a self-contained library
+whose cells carry nominal pin-to-pin delays (intrinsic delay plus a
+load-dependent term) and per-arc variability scaling.  Absolute picosecond
+values are synthetic, but the *relative* spread (driven by the paper's
+quoted parameter sigmas) is what the reproduced experiments depend on.
+"""
+
+from repro.liberty.delay_model import DelayArc, LinearDelayModel
+from repro.liberty.cells import CellType, Pin, PinDirection
+from repro.liberty.library import Library, standard_library
+
+__all__ = [
+    "DelayArc",
+    "LinearDelayModel",
+    "CellType",
+    "Pin",
+    "PinDirection",
+    "Library",
+    "standard_library",
+]

@@ -1,0 +1,143 @@
+"""Cell (gate) type definitions of the synthetic library."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LibraryError
+from repro.liberty.delay_model import DelayArc, LinearDelayModel
+
+__all__ = ["PinDirection", "Pin", "CellType"]
+
+
+class PinDirection(enum.Enum):
+    """Direction of a cell pin."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One pin of a cell type."""
+
+    name: str
+    direction: PinDirection
+
+
+class CellType:
+    """A combinational standard-cell type.
+
+    A cell type has named input pins, a single output pin, a logic function
+    label (``"NAND"``, ``"XOR"``, ...) used when building netlists from
+    ``.bench`` descriptions, and one timing arc per input pin.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function: str,
+        input_pins: Sequence[str],
+        output_pin: str,
+        arcs: Sequence[DelayArc],
+        area: float = 1.0,
+    ) -> None:
+        if not input_pins:
+            raise LibraryError("cell %r must have at least one input pin" % name)
+        if area <= 0.0:
+            raise LibraryError("cell %r must have positive area" % name)
+        self._name = name
+        self._function = function.upper()
+        self._input_pins = tuple(input_pins)
+        self._output_pin = output_pin
+        self._area = float(area)
+        self._arcs: Dict[str, DelayArc] = {}
+        for arc in arcs:
+            if arc.output_pin != output_pin:
+                raise LibraryError(
+                    "arc %s->%s of cell %r does not end at the output pin %r"
+                    % (arc.input_pin, arc.output_pin, name, output_pin)
+                )
+            if arc.input_pin not in self._input_pins:
+                raise LibraryError(
+                    "arc from unknown input pin %r on cell %r" % (arc.input_pin, name)
+                )
+            if arc.input_pin in self._arcs:
+                raise LibraryError(
+                    "duplicate arc from pin %r on cell %r" % (arc.input_pin, name)
+                )
+            self._arcs[arc.input_pin] = arc
+        missing = set(self._input_pins) - set(self._arcs)
+        if missing:
+            raise LibraryError(
+                "cell %r is missing timing arcs for pins %s" % (name, sorted(missing))
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Library cell name, e.g. ``"NAND2_X1"``."""
+        return self._name
+
+    @property
+    def function(self) -> str:
+        """Logic function label (``"AND"``, ``"NAND"``, ``"XOR"``, ...)."""
+        return self._function
+
+    @property
+    def input_pins(self) -> Tuple[str, ...]:
+        """Names of the input pins, in declaration order."""
+        return self._input_pins
+
+    @property
+    def output_pin(self) -> str:
+        """Name of the (single) output pin."""
+        return self._output_pin
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input pins."""
+        return len(self._input_pins)
+
+    @property
+    def area(self) -> float:
+        """Cell area in placement site units."""
+        return self._area
+
+    @property
+    def pins(self) -> Tuple[Pin, ...]:
+        """All pins (inputs first, then the output)."""
+        pins = [Pin(name, PinDirection.INPUT) for name in self._input_pins]
+        pins.append(Pin(self._output_pin, PinDirection.OUTPUT))
+        return tuple(pins)
+
+    def arc(self, input_pin: str) -> DelayArc:
+        """Timing arc from ``input_pin`` to the output pin."""
+        try:
+            return self._arcs[input_pin]
+        except KeyError:
+            raise LibraryError(
+                "cell %r has no arc from pin %r" % (self._name, input_pin)
+            ) from None
+
+    @property
+    def arcs(self) -> Tuple[DelayArc, ...]:
+        """All timing arcs in input-pin order."""
+        return tuple(self._arcs[pin] for pin in self._input_pins)
+
+    def nominal_delay(self, input_pin: str, fanout: int = 1) -> float:
+        """Nominal delay of the arc from ``input_pin`` for a given fanout."""
+        return self.arc(input_pin).nominal_delay(fanout)
+
+    def max_nominal_delay(self, fanout: int = 1) -> float:
+        """Largest nominal arc delay of the cell for a given fanout."""
+        return max(arc.nominal_delay(fanout) for arc in self.arcs)
+
+    def __repr__(self) -> str:
+        return "CellType(%r, function=%r, inputs=%d)" % (
+            self._name,
+            self._function,
+            self.num_inputs,
+        )

@@ -1,0 +1,65 @@
+"""Per-arc delay models of the synthetic cell library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinearDelayModel", "DelayArc"]
+
+
+@dataclass(frozen=True)
+class LinearDelayModel:
+    """Nominal pin-to-pin delay as a linear function of fanout load.
+
+    ``delay(fanout) = intrinsic + load_slope * fanout`` — a deliberately
+    simple load model (one unit of load per driven input pin) that is
+    sufficient for the paper's experiments, where only the statistical
+    spread around the nominal delay matters.
+
+    All delays are expressed in picoseconds.
+    """
+
+    intrinsic: float
+    load_slope: float
+
+    def __post_init__(self) -> None:
+        if self.intrinsic < 0.0:
+            raise ValueError("intrinsic delay must be non-negative")
+        if self.load_slope < 0.0:
+            raise ValueError("load slope must be non-negative")
+
+    def delay(self, fanout: int = 1) -> float:
+        """Nominal delay in picoseconds for the given fanout count."""
+        if fanout < 0:
+            raise ValueError("fanout must be non-negative")
+        return self.intrinsic + self.load_slope * fanout
+
+
+@dataclass(frozen=True)
+class DelayArc:
+    """A timing arc from an input pin to an output pin of a cell.
+
+    Attributes
+    ----------
+    input_pin, output_pin:
+        Pin names on the owning :class:`~repro.liberty.cells.CellType`.
+    model:
+        Nominal delay model of the arc.
+    sigma_scale:
+        Multiplier on the library-wide delay sigma fraction for this arc;
+        complex cells are slightly more sensitive to process variation than
+        a minimum-size inverter.
+    """
+
+    input_pin: str
+    output_pin: str
+    model: LinearDelayModel
+    sigma_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_scale <= 0.0:
+            raise ValueError("sigma_scale must be positive")
+
+    def nominal_delay(self, fanout: int = 1) -> float:
+        """Nominal delay of the arc for the given fanout."""
+        return self.model.delay(fanout)

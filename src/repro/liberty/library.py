@@ -1,0 +1,162 @@
+"""The cell library container and the synthetic 90 nm-style library."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import LibraryError
+from repro.liberty.cells import CellType
+from repro.liberty.delay_model import DelayArc, LinearDelayModel
+
+__all__ = ["Library", "standard_library"]
+
+
+class Library:
+    """A named collection of :class:`CellType`.
+
+    Besides direct name lookup, the library can resolve a *logic function*
+    plus an input count to a concrete cell (used when elaborating ``.bench``
+    netlists, whose gates are functional rather than library-mapped).
+    """
+
+    def __init__(self, name: str, cells: Optional[Sequence[CellType]] = None) -> None:
+        self._name = name
+        self._cells: Dict[str, CellType] = {}
+        self._by_function: Dict[Tuple[str, int], CellType] = {}
+        for cell in cells or []:
+            self.add(cell)
+
+    @property
+    def name(self) -> str:
+        """Library name."""
+        return self._name
+
+    def add(self, cell: CellType) -> None:
+        """Register a cell type; its name must be unique."""
+        if cell.name in self._cells:
+            raise LibraryError("duplicate cell %r in library %r" % (cell.name, self._name))
+        self._cells[cell.name] = cell
+        key = (cell.function, cell.num_inputs)
+        # First registration wins so explicitly added low-drive variants are
+        # preferred for function lookup.
+        self._by_function.setdefault(key, cell)
+
+    def cell(self, name: str) -> CellType:
+        """Look a cell type up by name."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LibraryError("library %r has no cell %r" % (self._name, name)) from None
+
+    def __getitem__(self, name: str) -> CellType:
+        return self.cell(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[CellType]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cell_names(self) -> Tuple[str, ...]:
+        """All cell names in registration order."""
+        return tuple(self._cells)
+
+    def cell_for_function(self, function: str, num_inputs: int) -> CellType:
+        """Resolve a logic function and input count to a cell type.
+
+        Functions with more inputs than any library cell provides are not
+        decomposed here; the netlist generators only emit supported widths.
+        """
+        function = function.upper()
+        if function in ("NOT", "INV"):
+            function = "INV"
+        try:
+            return self._by_function[(function, num_inputs)]
+        except KeyError:
+            raise LibraryError(
+                "library %r has no %d-input %s cell" % (self._name, num_inputs, function)
+            ) from None
+
+    def supports_function(self, function: str, num_inputs: int) -> bool:
+        """Whether :meth:`cell_for_function` would succeed."""
+        function = function.upper()
+        if function in ("NOT", "INV"):
+            function = "INV"
+        return (function, num_inputs) in self._by_function
+
+
+def _cell(
+    name: str,
+    function: str,
+    num_inputs: int,
+    intrinsic: float,
+    load_slope: float,
+    sigma_scale: float = 1.0,
+    per_pin_skew: float = 0.0,
+    area: float = 1.0,
+) -> CellType:
+    """Build a symmetric n-input cell with one arc per input.
+
+    ``per_pin_skew`` adds a small deterministic increment per later pin so
+    the arcs of a multi-input gate are not exactly identical (as in a real
+    library, where the pin closest to the output rail is fastest).
+    """
+    if function.upper() in ("INV", "BUF", "NOT") or num_inputs == 1:
+        pins = ["A"]
+    else:
+        pins = [chr(ord("A") + i) for i in range(num_inputs)]
+    arcs = [
+        DelayArc(
+            pin,
+            "Y",
+            LinearDelayModel(intrinsic + per_pin_skew * i, load_slope),
+            sigma_scale,
+        )
+        for i, pin in enumerate(pins)
+    ]
+    return CellType(name, function, pins, "Y", arcs, area)
+
+
+def standard_library(name: str = "repro90", drive_scale: float = 1.0) -> Library:
+    """The synthetic 90 nm-style library used throughout the reproduction.
+
+    Nominal delays are in picoseconds and sit in the range a 90 nm process
+    would produce (simple gates 20-40 ps, XOR-class gates 45-60 ps at fanout
+    one).  ``drive_scale`` scales every delay uniformly, which is convenient
+    for what-if experiments; it does not change any reproduced ratio.
+    """
+    s = float(drive_scale)
+    cells: List[CellType] = [
+        _cell("INV_X1", "INV", 1, 12.0 * s, 6.0 * s, 1.00, 0.0, 1.0),
+        _cell("BUF_X1", "BUF", 1, 22.0 * s, 5.0 * s, 1.00, 0.0, 1.5),
+        _cell("NAND2_X1", "NAND", 2, 18.0 * s, 7.0 * s, 1.00, 1.5, 1.5),
+        _cell("NAND3_X1", "NAND", 3, 24.0 * s, 8.0 * s, 1.05, 1.5, 2.0),
+        _cell("NAND4_X1", "NAND", 4, 30.0 * s, 9.0 * s, 1.05, 1.5, 2.5),
+        _cell("NAND5_X1", "NAND", 5, 36.0 * s, 9.5 * s, 1.10, 1.5, 3.0),
+        _cell("NAND8_X1", "NAND", 8, 48.0 * s, 10.0 * s, 1.10, 1.0, 4.0),
+        _cell("NAND9_X1", "NAND", 9, 52.0 * s, 10.0 * s, 1.10, 1.0, 4.5),
+        _cell("NOR2_X1", "NOR", 2, 20.0 * s, 8.0 * s, 1.00, 1.5, 1.5),
+        _cell("NOR3_X1", "NOR", 3, 27.0 * s, 9.0 * s, 1.05, 1.5, 2.0),
+        _cell("NOR4_X1", "NOR", 4, 34.0 * s, 10.0 * s, 1.05, 1.5, 2.5),
+        _cell("AND2_X1", "AND", 2, 26.0 * s, 6.5 * s, 1.00, 1.5, 2.0),
+        _cell("AND3_X1", "AND", 3, 31.0 * s, 7.0 * s, 1.05, 1.5, 2.5),
+        _cell("AND4_X1", "AND", 4, 36.0 * s, 7.5 * s, 1.05, 1.5, 3.0),
+        _cell("AND5_X1", "AND", 5, 41.0 * s, 8.0 * s, 1.05, 1.5, 3.5),
+        _cell("AND8_X1", "AND", 8, 52.0 * s, 9.0 * s, 1.10, 1.0, 4.5),
+        _cell("AND9_X1", "AND", 9, 56.0 * s, 9.0 * s, 1.10, 1.0, 5.0),
+        _cell("OR2_X1", "OR", 2, 28.0 * s, 7.0 * s, 1.00, 1.5, 2.0),
+        _cell("OR3_X1", "OR", 3, 33.0 * s, 7.5 * s, 1.05, 1.5, 2.5),
+        _cell("OR4_X1", "OR", 4, 38.0 * s, 8.0 * s, 1.05, 1.5, 3.0),
+        _cell("OR5_X1", "OR", 5, 43.0 * s, 8.5 * s, 1.05, 1.5, 3.5),
+        _cell("OR8_X1", "OR", 8, 54.0 * s, 9.5 * s, 1.10, 1.0, 4.5),
+        _cell("OR9_X1", "OR", 9, 58.0 * s, 9.5 * s, 1.10, 1.0, 5.0),
+        _cell("XOR2_X1", "XOR", 2, 45.0 * s, 9.0 * s, 1.15, 2.0, 3.0),
+        _cell("XOR3_X1", "XOR", 3, 62.0 * s, 10.0 * s, 1.20, 2.0, 4.0),
+        _cell("XNOR2_X1", "XNOR", 2, 47.0 * s, 9.0 * s, 1.15, 2.0, 3.0),
+        _cell("XNOR3_X1", "XNOR", 3, 64.0 * s, 10.0 * s, 1.20, 2.0, 4.0),
+    ]
+    return Library(name, cells)

@@ -1,0 +1,163 @@
+"""Edge criticality computation (Section IV.B of the paper).
+
+For an edge ``e`` and an input/output pair ``(i, j)`` the criticality
+``c_ij`` is the probability that ``e`` lies on the critical path between
+``v_i`` and ``v_j``.  Following Xiong/Zolotov/Visweswariah (eq. 13-15):
+
+    d_e  = a_e + d + r_e          (longest path through e)
+    c_ij = Prob{ d_e >= M_ij }    (M_ij = longest path overall)
+
+where ``a_e`` is the arrival time at the source of ``e`` exclusively from
+input ``i``, ``r_e`` the maximum delay from the sink of ``e`` to output
+``j`` and ``d`` the edge delay itself.  The probability is evaluated with
+the Gaussian tightness-probability formula (eq. 6) on the canonical forms.
+
+The per-pair computation is fully vectorized: for a fixed edge all
+``|I| x |O|`` pairs are evaluated with a handful of matrix operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.timing.allpairs import AllPairsTiming
+from repro.timing.graph import TimingEdge, TimingGraph
+
+__all__ = ["CriticalityResult", "compute_edge_criticalities", "edge_criticality_matrix"]
+
+_THETA_EPSILON = 1e-12
+_MEAN_EPSILON = 1e-9
+
+
+@dataclass
+class CriticalityResult:
+    """Maximum criticality of every edge of a timing graph.
+
+    Attributes
+    ----------
+    max_criticality:
+        ``edge_id -> c_m`` (eq. of Definition 2); edges lying on no
+        input-to-output path have criticality 0.
+    """
+
+    max_criticality: Dict[int, float]
+
+    def values(self) -> np.ndarray:
+        """All maximum criticalities as an array (for histograms)."""
+        return np.asarray(list(self.max_criticality.values()), dtype=float)
+
+    def histogram(self, bins: int = 20) -> "tuple[np.ndarray, np.ndarray]":
+        """Histogram of the maximum criticalities over [0, 1] (Fig. 6)."""
+        return np.histogram(self.values(), bins=bins, range=(0.0, 1.0))
+
+    def below(self, threshold: float) -> Dict[int, float]:
+        """Edges whose maximum criticality is below ``threshold``."""
+        return {
+            edge_id: value
+            for edge_id, value in self.max_criticality.items()
+            if value < threshold
+        }
+
+
+def edge_criticality_matrix(
+    analysis: AllPairsTiming, edge: TimingEdge
+) -> np.ndarray:
+    """Criticality ``c_ij`` of one edge for every input/output pair.
+
+    Returns an ``(I, O)`` array; pairs with no path through the edge (or no
+    path at all) have criticality 0.
+    """
+    arrays = analysis.arrays
+    edge_row = arrays.edge_rows[edge.edge_id]
+    source_row = int(arrays.edge_source[edge_row])
+    sink_row = int(arrays.edge_sink[edge_row])
+
+    # Arrival side (per input), including the edge's own delay.
+    a_mean = analysis.arrival_mean[source_row] + arrays.edge_mean[edge_row]
+    a_corr = analysis.arrival_corr[source_row] + arrays.edge_corr[edge_row]
+    a_randvar = analysis.arrival_randvar[source_row] + arrays.edge_randvar[edge_row]
+    a_valid = analysis.arrival_valid[source_row]
+
+    # Path-to-output side (per output).
+    r_mean = analysis.to_output_mean[sink_row]
+    r_corr = analysis.to_output_corr[sink_row]
+    r_randvar = analysis.to_output_randvar[sink_row]
+    r_valid = analysis.to_output_valid[sink_row]
+
+    # d_e statistics for every pair (i, j).
+    de_mean = a_mean[:, np.newaxis] + r_mean[np.newaxis, :]
+    corr_cross = a_corr @ r_corr.T
+    a_corr_sq = np.einsum("ik,ik->i", a_corr, a_corr)
+    r_corr_sq = np.einsum("jk,jk->j", r_corr, r_corr)
+    de_randvar = a_randvar[:, np.newaxis] + r_randvar[np.newaxis, :]
+    de_var = (
+        a_corr_sq[:, np.newaxis]
+        + r_corr_sq[np.newaxis, :]
+        + 2.0 * corr_cross
+        + de_randvar
+    )
+
+    # Covariance between d_e and M_ij.  The correlated (global + local)
+    # contribution follows from the coefficient dot products.  The private
+    # random parts of the two quantities also overlap, because every path
+    # through ``e`` is one of the paths aggregated into ``M_ij``, but the
+    # canonical form no longer tracks which share of the lumped random
+    # coefficient each path contributed.  The overlap therefore lies
+    # somewhere between zero (no shared paths dominate M) and the smaller of
+    # the two random variances (the paths through ``e`` dominate M).  The
+    # criticality is evaluated under both bounds and the larger probability
+    # is kept: an edge lying on every path of a pair correctly gets
+    # criticality 1 (shared bound) while balanced parallel paths correctly
+    # split the criticality (independent bound), and edge removal errs on
+    # the conservative side.
+    m_corr = analysis.matrix_corr
+    m_randvar = analysis.matrix_randvar
+    cov_correlated = np.einsum("ik,ijk->ij", a_corr, m_corr) + np.einsum(
+        "jk,ijk->ij", r_corr, m_corr
+    )
+    shared_randvar = np.minimum(de_randvar, m_randvar)
+
+    m_mean = analysis.matrix_mean
+    m_var = np.einsum("ijk,ijk->ij", m_corr, m_corr) + m_randvar
+    mean_tolerance = _MEAN_EPSILON * np.maximum(1.0, np.abs(m_mean))
+
+    criticality = np.zeros_like(m_mean)
+    for cov in (cov_correlated, cov_correlated + shared_randvar):
+        theta_sq = np.maximum(de_var + m_var - 2.0 * cov, 0.0)
+        theta = np.sqrt(theta_sq)
+        degenerate = theta <= _THETA_EPSILON
+        safe_theta = np.where(degenerate, 1.0, theta)
+        z = (de_mean - m_mean) / safe_theta
+        probability = ndtr(z)
+        probability = np.where(
+            degenerate,
+            (de_mean >= m_mean - mean_tolerance).astype(float),
+            probability,
+        )
+        criticality = np.maximum(criticality, probability)
+
+    pair_valid = (
+        a_valid[:, np.newaxis] & r_valid[np.newaxis, :] & analysis.matrix_valid
+    )
+    return np.where(pair_valid, criticality, 0.0)
+
+
+def compute_edge_criticalities(
+    graph: TimingGraph, analysis: Optional[AllPairsTiming] = None
+) -> CriticalityResult:
+    """Maximum criticality ``c_m`` of every edge of ``graph``.
+
+    ``analysis`` may be supplied to reuse an existing all-pairs analysis;
+    otherwise one is computed.
+    """
+    if analysis is None:
+        analysis = AllPairsTiming.analyze(graph)
+    max_criticality: Dict[int, float] = {}
+    for edge in graph.edges:
+        matrix = edge_criticality_matrix(analysis, edge)
+        max_criticality[edge.edge_id] = float(matrix.max()) if matrix.size else 0.0
+    return CriticalityResult(max_criticality)

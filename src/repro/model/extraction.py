@@ -1,0 +1,109 @@
+"""The complete gray-box timing-model extraction pipeline (Fig. 3).
+
+``extract_timing_model`` runs the three steps of the paper on a module's
+statistical timing graph:
+
+1. compute the maximum criticality of every edge over all input/output
+   pairs;
+2. remove edges below the criticality threshold ``delta`` (0.05 in the
+   paper's experiments);
+3. iterate serial and parallel merges (plus pruning of vertices that can no
+   longer reach an output) to a fixpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ModelExtractionError
+from repro.model.criticality import CriticalityResult, compute_edge_criticalities
+from repro.model.reduction import reduce_graph
+from repro.model.timing_model import ExtractionStats, TimingModel
+from repro.timing.allpairs import AllPairsTiming
+from repro.timing.graph import TimingGraph
+from repro.variation.model import VariationModel
+
+__all__ = ["extract_timing_model"]
+
+DEFAULT_CRITICALITY_THRESHOLD = 0.05
+
+
+def extract_timing_model(
+    graph: TimingGraph,
+    variation: VariationModel,
+    threshold: float = DEFAULT_CRITICALITY_THRESHOLD,
+    analysis: Optional[AllPairsTiming] = None,
+    criticalities: Optional[CriticalityResult] = None,
+    name: Optional[str] = None,
+) -> TimingModel:
+    """Extract the gray-box statistical timing model of a module.
+
+    Parameters
+    ----------
+    graph:
+        The module's full statistical timing graph (one vertex per net, one
+        edge per pin-to-pin delay).
+    variation:
+        The variation model the graph was built with; it is stored in the
+        model so design-level analysis can replace the independent
+        variables.
+    threshold:
+        Criticality threshold ``delta``; edges whose maximum criticality is
+        below it are removed.  ``0`` keeps every edge (pure merge-based
+        reduction).
+    analysis, criticalities:
+        Optional precomputed intermediate results, reused when provided
+        (e.g. when sweeping thresholds in the ablation experiments).
+    name:
+        Model name; defaults to the graph name.
+
+    Raises
+    ------
+    ModelExtractionError
+        If the graph has no inputs or outputs, or if the threshold is not in
+        ``[0, 1)``.
+    """
+    if not graph.inputs or not graph.outputs:
+        raise ModelExtractionError(
+            "module %r needs designated inputs and outputs" % graph.name
+        )
+    if not 0.0 <= threshold < 1.0:
+        raise ModelExtractionError("threshold must lie in [0, 1)")
+    if graph.num_locals != variation.num_locals:
+        raise ModelExtractionError(
+            "graph has %d local components but the variation model has %d"
+            % (graph.num_locals, variation.num_locals)
+        )
+
+    start = time.perf_counter()
+    original_edges = graph.num_edges
+    original_vertices = graph.num_vertices
+
+    if criticalities is None:
+        if analysis is None:
+            analysis = AllPairsTiming.analyze(graph)
+        criticalities = compute_edge_criticalities(graph, analysis)
+
+    reduced = graph.copy()
+    removable = criticalities.below(threshold)
+    # Edge ids are re-assigned by copy(); the copies are created in the same
+    # order as the original edges, so pair them positionally.
+    for original_edge, copied_edge in zip(graph.edges, reduced.edges):
+        if original_edge.edge_id in removable:
+            reduced.remove_edge(copied_edge)
+    removed_edges = len(removable)
+
+    reduce_graph(reduced)
+    elapsed = time.perf_counter() - start
+
+    stats = ExtractionStats(
+        original_edges=original_edges,
+        original_vertices=original_vertices,
+        model_edges=reduced.num_edges,
+        model_vertices=reduced.num_vertices,
+        removed_edges=removed_edges,
+        threshold=threshold,
+        extraction_seconds=elapsed,
+    )
+    return TimingModel(name or graph.name, reduced, variation, stats)

@@ -1,0 +1,196 @@
+"""Serialization of pre-characterized timing models.
+
+The whole point of timing models (Section III) is that an IP vendor can ship
+them *instead of* the module netlist.  This module defines a self-contained
+JSON representation of a :class:`~repro.model.timing_model.TimingModel` —
+the reduced timing graph with its canonical edge delays plus the variation
+metadata (grid geometry, correlation profile, sigma budget) that the
+design-level analysis needs for the independent-variable replacement — and
+round-trip load/save helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import ModelExtractionError
+from repro.model.timing_model import ExtractionStats, TimingModel
+from repro.timing.graph import TimingGraph
+from repro.variation.grid import Die, GridCell, GridPartition
+from repro.variation.model import VariationModel
+from repro.variation.spatial import SpatialCorrelation
+
+__all__ = [
+    "timing_model_to_dict",
+    "timing_model_from_dict",
+    "save_timing_model",
+    "load_timing_model",
+]
+
+FORMAT_NAME = "repro-timing-model"
+FORMAT_VERSION = 1
+
+
+def _canonical_to_list(form: CanonicalForm) -> List[float]:
+    """Flatten a canonical form to ``[nominal, global, random, locals...]``."""
+    return (
+        [form.nominal, form.global_coeff, form.random_coeff]
+        + [float(value) for value in form.local_coeffs]
+    )
+
+
+def _canonical_from_list(values: List[float]) -> CanonicalForm:
+    if len(values) < 3:
+        raise ModelExtractionError("canonical form needs at least three values")
+    return CanonicalForm(values[0], values[1], values[3:], values[2])
+
+
+def timing_model_to_dict(model: TimingModel) -> Dict[str, Any]:
+    """Convert a timing model into a JSON-serializable dictionary."""
+    graph = model.graph
+    variation = model.variation
+    partition = variation.partition
+    correlation = variation.correlation
+    die = partition.die
+
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": model.name,
+        "graph": {
+            "num_locals": graph.num_locals,
+            "vertices": list(graph.vertices),
+            "inputs": list(graph.inputs),
+            "outputs": list(graph.outputs),
+            "edges": [
+                {
+                    "source": edge.source,
+                    "sink": edge.sink,
+                    "delay": _canonical_to_list(edge.delay),
+                }
+                for edge in graph.edges
+            ],
+        },
+        "variation": {
+            "sigma_fraction": variation.sigma_fraction,
+            "random_variance_share": variation.random_variance_share,
+            "correlation": {
+                "neighbor_correlation": correlation.neighbor_correlation,
+                "floor_correlation": correlation.floor_correlation,
+                "cutoff_distance": correlation.cutoff_distance,
+                "floor_tolerance": correlation.floor_tolerance,
+            },
+            "partition": {
+                "grid_size": partition.grid_size,
+                "die": {
+                    "width": die.width,
+                    "height": die.height,
+                    "origin_x": die.origin_x,
+                    "origin_y": die.origin_y,
+                },
+                "cells": [
+                    {
+                        "index": cell.index,
+                        "xmin": cell.xmin,
+                        "ymin": cell.ymin,
+                        "xmax": cell.xmax,
+                        "ymax": cell.ymax,
+                        "tag": cell.tag,
+                    }
+                    for cell in partition.cells
+                ],
+            },
+        },
+        "stats": {
+            "original_edges": model.stats.original_edges,
+            "original_vertices": model.stats.original_vertices,
+            "model_edges": model.stats.model_edges,
+            "model_vertices": model.stats.model_vertices,
+            "removed_edges": model.stats.removed_edges,
+            "threshold": model.stats.threshold,
+            "extraction_seconds": model.stats.extraction_seconds,
+        },
+    }
+
+
+def timing_model_from_dict(payload: Dict[str, Any]) -> TimingModel:
+    """Rebuild a timing model from its dictionary representation.
+
+    The PCA decomposition of the grid correlation matrix is recomputed from
+    the stored geometry and correlation profile; it is deterministic, so the
+    rebuilt model behaves identically in the hierarchical flow.
+    """
+    if payload.get("format") != FORMAT_NAME:
+        raise ModelExtractionError("not a %s payload" % FORMAT_NAME)
+    if int(payload.get("version", -1)) != FORMAT_VERSION:
+        raise ModelExtractionError(
+            "unsupported %s version %r" % (FORMAT_NAME, payload.get("version"))
+        )
+
+    variation_data = payload["variation"]
+    correlation_data = variation_data["correlation"]
+    partition_data = variation_data["partition"]
+    die_data = partition_data["die"]
+
+    die = Die(
+        die_data["width"], die_data["height"], die_data["origin_x"], die_data["origin_y"]
+    )
+    cells = [
+        GridCell(
+            cell["index"], cell["xmin"], cell["ymin"], cell["xmax"], cell["ymax"], cell["tag"]
+        )
+        for cell in partition_data["cells"]
+    ]
+    partition = GridPartition(die, cells, partition_data["grid_size"])
+    correlation = SpatialCorrelation(
+        correlation_data["neighbor_correlation"],
+        correlation_data["floor_correlation"],
+        correlation_data["cutoff_distance"],
+        correlation_data["floor_tolerance"],
+    )
+    variation = VariationModel(
+        partition,
+        correlation,
+        variation_data["sigma_fraction"],
+        variation_data["random_variance_share"],
+    )
+
+    graph_data = payload["graph"]
+    graph = TimingGraph(payload["name"], int(graph_data["num_locals"]))
+    for vertex in graph_data["vertices"]:
+        graph.add_vertex(vertex)
+    for vertex in graph_data["inputs"]:
+        graph.mark_input(vertex)
+    for vertex in graph_data["outputs"]:
+        graph.mark_output(vertex)
+    for edge in graph_data["edges"]:
+        graph.add_edge(edge["source"], edge["sink"], _canonical_from_list(edge["delay"]))
+    graph.validate()
+
+    stats_data = payload["stats"]
+    stats = ExtractionStats(
+        original_edges=int(stats_data["original_edges"]),
+        original_vertices=int(stats_data["original_vertices"]),
+        model_edges=int(stats_data["model_edges"]),
+        model_vertices=int(stats_data["model_vertices"]),
+        removed_edges=int(stats_data["removed_edges"]),
+        threshold=float(stats_data["threshold"]),
+        extraction_seconds=float(stats_data["extraction_seconds"]),
+    )
+    return TimingModel(payload["name"], graph, variation, stats)
+
+
+def save_timing_model(model: TimingModel, path: Union[str, Path]) -> Path:
+    """Write a timing model to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(timing_model_to_dict(model), indent=1))
+    return path
+
+
+def load_timing_model(path: Union[str, Path]) -> TimingModel:
+    """Read a timing model back from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    return timing_model_from_dict(payload)

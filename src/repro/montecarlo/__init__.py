@@ -1,0 +1,26 @@
+"""Monte Carlo reference timing simulation.
+
+Monte Carlo sampling of the canonical edge delays is the accuracy reference
+the paper compares against (10 000 iterations in Section VI).  Because every
+edge delay is *exactly* linear in the underlying Gaussian variables, sampling
+those variables and taking per-sample longest paths gives the true
+distribution of the circuit delay — the only approximations in the analytical
+flow (Clark's max, model reduction, variable replacement) are absent here.
+"""
+
+from repro.montecarlo.flat import (
+    MonteCarloResult,
+    IoDelayStatistics,
+    simulate_graph_delay,
+    simulate_io_delays,
+)
+from repro.montecarlo.hierarchical import flatten_design, monte_carlo_hierarchical
+
+__all__ = [
+    "MonteCarloResult",
+    "IoDelayStatistics",
+    "simulate_graph_delay",
+    "simulate_io_delays",
+    "flatten_design",
+    "monte_carlo_hierarchical",
+]

@@ -1,0 +1,36 @@
+"""Gate-level netlists, the ISCAS85 ``.bench`` format and circuit generators.
+
+The original ISCAS85 netlists are not redistributed with this repository;
+instead :mod:`repro.netlist.iscas85` provides deterministic *surrogate*
+generators that reproduce each benchmark's timing-graph size (number of
+vertices and edges in Table I) and :mod:`repro.netlist.multiplier` builds a
+real 16x16 array multiplier for the hierarchical experiment (c6288 is a
+16x16 multiplier).  Any genuine ``.bench`` file can also be loaded through
+:func:`repro.netlist.bench.parse_bench`.
+"""
+
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
+from repro.netlist.generators import layered_random_circuit, ripple_carry_adder
+from repro.netlist.multiplier import array_multiplier
+from repro.netlist.iscas85 import (
+    ISCAS85_SPECS,
+    Iscas85Spec,
+    iscas85_surrogate,
+    available_benchmarks,
+)
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "layered_random_circuit",
+    "ripple_carry_adder",
+    "array_multiplier",
+    "ISCAS85_SPECS",
+    "Iscas85Spec",
+    "iscas85_surrogate",
+    "available_benchmarks",
+]

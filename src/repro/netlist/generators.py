@@ -1,0 +1,487 @@
+"""Synthetic combinational circuit generators.
+
+Two families are provided:
+
+* :func:`layered_random_circuit` — a deterministic (seeded) random DAG
+  generator with an *exact* gate count and an *exact* total number of gate
+  input connections.  Because the statistical timing graph has one vertex
+  per net and one edge per gate input connection, this gives full control
+  over the timing-graph size, which is how the ISCAS85 surrogates of
+  :mod:`repro.netlist.iscas85` match Table I's Eo/Vo columns.
+* :func:`ripple_carry_adder` / :func:`carry_select_adder` — structured
+  arithmetic circuits used in examples and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Gate, Netlist
+
+__all__ = [
+    "layered_random_circuit",
+    "ripple_carry_adder",
+    "carry_select_adder",
+    "full_adder_gates",
+    "half_adder_gates",
+]
+
+# Logic functions available per fanin width (must stay compatible with the
+# synthetic library of repro.liberty.library).
+_FUNCTIONS_BY_FANIN: Dict[int, Tuple[str, ...]] = {
+    1: ("INV", "INV", "INV", "BUF"),
+    2: ("NAND", "NAND", "NOR", "AND", "OR", "XOR", "XNOR"),
+    3: ("NAND", "NOR", "AND", "OR"),
+    4: ("NAND", "NOR", "AND", "OR"),
+    5: ("NAND", "AND", "OR"),
+}
+_MAX_FANIN = max(_FUNCTIONS_BY_FANIN)
+
+
+def _distribute_fanins(
+    num_gates: int, num_connections: int, rng: np.random.Generator
+) -> List[int]:
+    """Assign a fanin count to every gate summing exactly to ``num_connections``."""
+    if num_connections < num_gates:
+        raise NetlistError(
+            "cannot build %d gates from only %d connections" % (num_gates, num_connections)
+        )
+    if num_connections > num_gates * _MAX_FANIN:
+        raise NetlistError(
+            "%d connections exceed the %d-input limit of %d gates"
+            % (num_connections, _MAX_FANIN, num_gates)
+        )
+    fanins = [2] * num_gates
+    difference = num_connections - 2 * num_gates
+    if difference > 0:
+        while difference > 0:
+            index = int(rng.integers(num_gates))
+            if fanins[index] < _MAX_FANIN:
+                fanins[index] += 1
+                difference -= 1
+    elif difference < 0:
+        while difference < 0:
+            index = int(rng.integers(num_gates))
+            if fanins[index] > 1:
+                fanins[index] -= 1
+                difference += 1
+    return fanins
+
+
+def _limit_fanins_to_available_nets(fanins: List[int], num_inputs: int) -> None:
+    """Ensure gate ``i`` never needs more distinct nets than exist before it.
+
+    Gate ``i`` can only read the ``num_inputs + i`` nets created earlier.  In
+    very small circuits the random fanin assignment can violate that, so
+    excess fanin is swapped towards later gates (which have more candidates);
+    the total connection count is unchanged.
+    """
+    for index in range(len(fanins)):
+        available = num_inputs + index
+        while fanins[index] > available:
+            for later in range(len(fanins) - 1, index, -1):
+                if (
+                    fanins[later] < fanins[index]
+                    and fanins[later] < _MAX_FANIN
+                    and fanins[later] < num_inputs + later
+                ):
+                    fanins[index] -= 1
+                    fanins[later] += 1
+                    break
+            else:
+                raise NetlistError(
+                    "cannot satisfy %d connections with %d inputs and %d gates"
+                    % (sum(fanins), num_inputs, len(fanins))
+                )
+
+
+def layered_random_circuit(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_gates: int,
+    num_connections: Optional[int] = None,
+    seed: int = 0,
+    depth: Optional[int] = None,
+    far_edge_probability: float = 0.3,
+) -> Netlist:
+    """Generate a random combinational DAG with exact size parameters.
+
+    Parameters
+    ----------
+    num_inputs, num_outputs, num_gates:
+        Primary input count, primary output count and gate count.
+    num_connections:
+        Total number of gate input connections; defaults to ``2 * num_gates``.
+        The resulting statistical timing graph will have exactly
+        ``num_inputs + num_gates`` vertices and ``num_connections`` edges.
+    seed:
+        Seed of the deterministic pseudo-random construction.
+    depth:
+        Target number of logic levels.  Gates are assigned to levels and draw
+        most of their inputs from the immediately preceding level, which
+        produces ISCAS85-like depths (roughly ``1.3 * sqrt(num_gates)`` by
+        default) and the path-length diversity that makes some paths clearly
+        dominant.
+    far_edge_probability:
+        Probability that an input is drawn from an arbitrary earlier level
+        instead of the preceding one; controls reconvergent fanout across
+        levels.
+
+    Every primary input and every internal net is guaranteed to have fanout
+    (a repair pass rewires leftover dangling nets), so the generated netlist
+    always passes :meth:`Netlist.validate`.
+    """
+    if num_inputs <= 0 or num_outputs <= 0 or num_gates <= 0:
+        raise NetlistError("inputs, outputs and gates must all be positive")
+    if num_outputs > num_gates:
+        raise NetlistError("cannot have more outputs (%d) than gates (%d)" % (num_outputs, num_gates))
+    if num_connections is None:
+        num_connections = 2 * num_gates
+    if not 0.0 <= far_edge_probability <= 1.0:
+        raise NetlistError("far_edge_probability must be in [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    fanins = _distribute_fanins(num_gates, num_connections, rng)
+    _limit_fanins_to_available_nets(fanins, num_inputs)
+    if depth is None:
+        depth = max(6, int(round(1.3 * math.sqrt(num_gates))))
+    depth = max(2, min(depth, num_gates))
+
+    inputs = ["I%d" % index for index in range(num_inputs)]
+    # The last ``num_outputs`` gates drive the primary outputs and therefore
+    # do not require internal fanout.
+    output_gate_start = num_gates - num_outputs
+
+    # Nets grouped by logic level; level 0 holds the primary inputs.  Gates
+    # only consume nets from strictly earlier levels so the logic depth is
+    # bounded by the number of levels.
+    nets_by_level: List[List[str]] = [list(inputs)]
+    prev_nets: List[str] = []
+    prev_level_filled = -1
+    pending: List[str] = list(inputs)
+    pending_set = set(pending)
+    gates: List[Gate] = []
+
+    remaining_slots = num_connections
+    for gate_index in range(num_gates):
+        fanin = fanins[gate_index]
+        is_output_gate = gate_index >= output_gate_start
+        level = min(depth, 1 + (gate_index * depth) // num_gates)
+        while len(nets_by_level) <= level:
+            nets_by_level.append([])
+        while prev_level_filled < level - 1:
+            prev_level_filled += 1
+            prev_nets.extend(nets_by_level[prev_level_filled])
+
+        # Nets created by future non-output gates will also need fanout; keep
+        # enough slack in the remaining connection slots for them.
+        future_non_output_gates = max(0, output_gate_start - (gate_index + 1))
+        slack = remaining_slots - fanin - future_non_output_gates
+        must_take = max(0, len(pending) - slack)
+        want_take = int(rng.integers(0, fanin + 1)) if pending else 0
+        take_from_pending = min(fanin, len(pending), max(must_take, want_take))
+
+        chosen: List[str] = []
+        chosen_set = set()
+        # Drain pending nets from earlier levels first (keeps depth bounded);
+        # fall back to same-level pending nets only when forced.
+        current_level_nets = set(nets_by_level[level])
+        pending_prev = [net for net in pending if net not in current_level_nets]
+        for take_index in range(take_from_pending):
+            if pending_prev:
+                pool = pending_prev
+            elif take_index < must_take and pending:
+                # Only forced takes may consume same-level pending nets; this
+                # keeps the logic depth close to the requested level count.
+                pool = pending
+            else:
+                break
+            position = int(rng.integers(len(pool)))
+            net = pool[position]
+            if pool is pending_prev:
+                pending_prev.pop(position)
+            pending.remove(net)
+            pending_set.discard(net)
+            if net not in chosen_set:
+                chosen.append(net)
+                chosen_set.add(net)
+
+        # Previous-level nets give the circuit its layered depth; "far" edges
+        # from any earlier level create reconvergent fanout across levels.
+        previous_level = nets_by_level[level - 1] if nets_by_level[level - 1] else None
+        attempts = 0
+        while len(chosen) < fanin and attempts < 60 * fanin:
+            attempts += 1
+            use_far = previous_level is None or rng.random() < far_edge_probability
+            if use_far:
+                net = prev_nets[int(rng.integers(len(prev_nets)))]
+            else:
+                net = previous_level[int(rng.integers(len(previous_level)))]
+            if net in chosen_set:
+                continue
+            chosen.append(net)
+            chosen_set.add(net)
+            if net in pending_set:
+                pending_set.discard(net)
+                pending.remove(net)
+        while len(chosen) < fanin:
+            # Extremely small candidate pools: fall back to any unused net,
+            # preferring earlier levels but accepting same-level nets (the
+            # circuit stays acyclic because only already-created nets are
+            # eligible).
+            for net in prev_nets + nets_by_level[level]:
+                if net not in chosen_set:
+                    chosen.append(net)
+                    chosen_set.add(net)
+                    if net in pending_set:
+                        pending_set.discard(net)
+                        pending.remove(net)
+                    break
+            else:
+                raise NetlistError(
+                    "not enough distinct nets to wire gate %d of %r" % (gate_index, name)
+                )
+
+        functions = _FUNCTIONS_BY_FANIN[len(chosen)]
+        function = functions[int(rng.integers(len(functions)))]
+        output_net = "G%d" % gate_index
+        gates.append(Gate("U%d" % gate_index, function, tuple(chosen), output_net))
+        nets_by_level[level].append(output_net)
+        if not is_output_gate:
+            pending.append(output_net)
+            pending_set.add(output_net)
+        remaining_slots -= fanin
+
+    outputs = [gates[index].output for index in range(output_gate_start, num_gates)]
+    netlist = Netlist(name, inputs, outputs, gates)
+    netlist = _repair_dangling_nets(netlist, pending, rng)
+    netlist.validate()
+    return netlist
+
+
+def _repair_dangling_nets(
+    netlist: Netlist, dangling: Sequence[str], rng: np.random.Generator
+) -> Netlist:
+    """Rewire leftover dangling nets into later gates without changing sizes.
+
+    For each dangling net the repair looks for a gate that (a) appears later
+    in topological order than the net's driver and (b) has an input whose
+    driver still keeps fanout elsewhere; that input is replaced by the
+    dangling net.  Nets that cannot be repaired are promoted to additional
+    primary outputs (this preserves the vertex/edge counts of the timing
+    graph, which is what the surrogates must match exactly).
+    """
+    dangling = [net for net in dangling if netlist.fanout_count(net) == 0]
+    if not dangling:
+        return netlist
+
+    gates = list(netlist.gates)
+    gate_position = {gate.name: index for index, gate in enumerate(gates)}
+    net_position: Dict[str, int] = {net: -1 for net in netlist.primary_inputs}
+    for index, gate in enumerate(gates):
+        net_position[gate.output] = index
+
+    fanout_counts: Dict[str, int] = {}
+    for gate in gates:
+        for net in gate.inputs:
+            fanout_counts[net] = fanout_counts.get(net, 0) + 1
+
+    extra_outputs: List[str] = []
+    for net in dangling:
+        created_at = net_position[net]
+        repaired = False
+        order = list(range(len(gates)))
+        rng.shuffle(order)
+        for gate_index in order:
+            if gate_index <= created_at:
+                continue
+            gate = gates[gate_index]
+            if net in gate.inputs:
+                continue
+            for pin_index, victim in enumerate(gate.inputs):
+                if fanout_counts.get(victim, 0) >= 2:
+                    new_inputs = list(gate.inputs)
+                    new_inputs[pin_index] = net
+                    gates[gate_index] = Gate(
+                        gate.name, gate.function, tuple(new_inputs), gate.output
+                    )
+                    fanout_counts[victim] -= 1
+                    fanout_counts[net] = fanout_counts.get(net, 0) + 1
+                    repaired = True
+                    break
+            if repaired:
+                break
+        if not repaired:
+            extra_outputs.append(net)
+
+    outputs = list(netlist.primary_outputs) + [
+        net for net in extra_outputs if net not in netlist.primary_outputs
+    ]
+    return Netlist(netlist.name, netlist.primary_inputs, outputs, gates)
+
+
+def full_adder_gates(
+    a: str, b: str, carry_in: str, prefix: str
+) -> Tuple[List[Gate], str, str]:
+    """Gates of a one-bit full adder; returns ``(gates, sum_net, carry_net)``."""
+    s1 = "%s_s1" % prefix
+    sum_net = "%s_sum" % prefix
+    c1 = "%s_c1" % prefix
+    c2 = "%s_c2" % prefix
+    carry_net = "%s_cout" % prefix
+    gates = [
+        Gate("%s_x1" % prefix, "XOR", (a, b), s1),
+        Gate("%s_x2" % prefix, "XOR", (s1, carry_in), sum_net),
+        Gate("%s_a1" % prefix, "AND", (a, b), c1),
+        Gate("%s_a2" % prefix, "AND", (s1, carry_in), c2),
+        Gate("%s_o1" % prefix, "OR", (c1, c2), carry_net),
+    ]
+    return gates, sum_net, carry_net
+
+
+def half_adder_gates(a: str, b: str, prefix: str) -> Tuple[List[Gate], str, str]:
+    """Gates of a half adder; returns ``(gates, sum_net, carry_net)``."""
+    sum_net = "%s_sum" % prefix
+    carry_net = "%s_cout" % prefix
+    gates = [
+        Gate("%s_x1" % prefix, "XOR", (a, b), sum_net),
+        Gate("%s_a1" % prefix, "AND", (a, b), carry_net),
+    ]
+    return gates, sum_net, carry_net
+
+
+def ripple_carry_adder(bits: int, name: str = "", with_carry_in: bool = True) -> Netlist:
+    """An n-bit ripple-carry adder built from full adders."""
+    if bits <= 0:
+        raise NetlistError("bits must be positive")
+    name = name or "rca%d" % bits
+    a_inputs = ["A%d" % index for index in range(bits)]
+    b_inputs = ["B%d" % index for index in range(bits)]
+    inputs = a_inputs + b_inputs
+    gates: List[Gate] = []
+
+    if with_carry_in:
+        inputs.append("CIN")
+        carry = "CIN"
+        start = 0
+    else:
+        fa_gates, sum_net, carry = half_adder_gates("A0", "B0", "%s_fa0" % name)
+        gates.extend(fa_gates)
+        start = 1
+        sums = {"0": sum_net}
+
+    sums_list: List[str] = []
+    if not with_carry_in:
+        sums_list.append(sum_net)
+    for bit in range(start, bits):
+        fa_gates, sum_net, carry = full_adder_gates(
+            "A%d" % bit, "B%d" % bit, carry, "%s_fa%d" % (name, bit)
+        )
+        gates.extend(fa_gates)
+        sums_list.append(sum_net)
+
+    outputs = sums_list + [carry]
+    netlist = Netlist(name, inputs, outputs, gates)
+    netlist.validate()
+    return netlist
+
+
+def carry_select_adder(bits: int, block: int = 4, name: str = "") -> Netlist:
+    """An n-bit carry-select-style adder (wider but shallower than ripple).
+
+    Each block computes its sums for both carry-in assumptions with two
+    ripple chains and selects the result with AND-OR multiplexers; this
+    produces a circuit with substantial reconvergent fanout, useful for
+    exercising the criticality computation.
+    """
+    if bits <= 0 or block <= 0:
+        raise NetlistError("bits and block must be positive")
+    name = name or "csa%d" % bits
+    inputs = ["A%d" % index for index in range(bits)]
+    inputs += ["B%d" % index for index in range(bits)]
+    inputs.append("CIN")
+    gates: List[Gate] = []
+    outputs: List[str] = []
+
+    carry = "CIN"
+    for block_start in range(0, bits, block):
+        block_bits = min(block, bits - block_start)
+        block_id = block_start // block
+        chains = {}
+        for assumption in (0, 1):
+            chain_carry = "%s_b%d_c%d_init" % (name, block_id, assumption)
+            if assumption == 0:
+                gates.append(
+                    Gate(
+                        "%s_b%d_zero" % (name, block_id),
+                        "AND",
+                        ("CIN", "CIN"),
+                        chain_carry,
+                    )
+                )
+            else:
+                gates.append(
+                    Gate(
+                        "%s_b%d_one" % (name, block_id),
+                        "OR",
+                        ("CIN", "CIN"),
+                        chain_carry,
+                    )
+                )
+            sums = []
+            for offset in range(block_bits):
+                bit = block_start + offset
+                fa_gates, sum_net, chain_carry = full_adder_gates(
+                    "A%d" % bit,
+                    "B%d" % bit,
+                    chain_carry,
+                    "%s_b%d_a%d_fa%d" % (name, block_id, assumption, offset),
+                )
+                gates.extend(fa_gates)
+                sums.append(sum_net)
+            chains[assumption] = (sums, chain_carry)
+
+        select = carry
+        not_select = "%s_b%d_nsel" % (name, block_id)
+        gates.append(Gate("%s_b%d_inv" % (name, block_id), "INV", (select,), not_select))
+        for offset in range(block_bits):
+            bit = block_start + offset
+            pick0 = "%s_b%d_p0_%d" % (name, block_id, offset)
+            pick1 = "%s_b%d_p1_%d" % (name, block_id, offset)
+            sum_out = "%s_S%d" % (name, bit)
+            gates.append(
+                Gate("%s_b%d_and0_%d" % (name, block_id, offset), "AND",
+                     (chains[0][0][offset], not_select), pick0)
+            )
+            gates.append(
+                Gate("%s_b%d_and1_%d" % (name, block_id, offset), "AND",
+                     (chains[1][0][offset], select), pick1)
+            )
+            gates.append(
+                Gate("%s_b%d_or_%d" % (name, block_id, offset), "OR", (pick0, pick1), sum_out)
+            )
+            outputs.append(sum_out)
+
+        carry0_pick = "%s_b%d_cp0" % (name, block_id)
+        carry1_pick = "%s_b%d_cp1" % (name, block_id)
+        block_carry = "%s_b%d_cout" % (name, block_id)
+        gates.append(
+            Gate("%s_b%d_cand0" % (name, block_id), "AND", (chains[0][1], not_select), carry0_pick)
+        )
+        gates.append(
+            Gate("%s_b%d_cand1" % (name, block_id), "AND", (chains[1][1], select), carry1_pick)
+        )
+        gates.append(
+            Gate("%s_b%d_cor" % (name, block_id), "OR", (carry0_pick, carry1_pick), block_carry)
+        )
+        carry = block_carry
+
+    outputs.append(carry)
+    netlist = Netlist(name, inputs, outputs, gates)
+    netlist.validate()
+    return netlist

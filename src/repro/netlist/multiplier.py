@@ -1,0 +1,95 @@
+"""Structural array multiplier generator.
+
+The hierarchical experiment of the paper (Fig. 7) instantiates four c6288
+modules; c6288 is a 16x16 array multiplier (Hansen, Yalcin & Hayes, 1999).
+This module builds a genuine n x n array multiplier out of AND gates and
+ripple-carry adder rows, which reproduces the defining timing features of
+c6288: a regular two-dimensional structure with very long carry chains and
+heavy path reconvergence.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.generators import full_adder_gates, half_adder_gates
+from repro.netlist.netlist import Gate, Netlist
+
+__all__ = ["array_multiplier"]
+
+
+def array_multiplier(bits: int, name: str = "") -> Netlist:
+    """Generate an ``bits x bits`` array multiplier.
+
+    Primary inputs are ``A0..A{n-1}`` and ``B0..B{n-1}``; primary outputs are
+    the ``2n`` product bits ``P0..P{2n-1}``.  The implementation computes all
+    partial products with AND gates and accumulates them row by row with
+    ripple-carry adders (carry-propagate array), mirroring the structure and
+    depth characteristics of the ISCAS85 c6288 multiplier.
+
+    For ``bits = 16`` the circuit has 1 472 gates and a logic depth of about
+    90 levels — the same order as c6288 (2 416 gates including its inverter
+    pairs, depth 124).
+    """
+    if bits < 2:
+        raise NetlistError("array multiplier needs at least 2 bits")
+    name = name or "mult%dx%d" % (bits, bits)
+
+    a_inputs = ["A%d" % index for index in range(bits)]
+    b_inputs = ["B%d" % index for index in range(bits)]
+    gates: List[Gate] = []
+
+    # Partial products pp[i][j] = A[j] AND B[i].
+    partial: List[List[str]] = []
+    for i in range(bits):
+        row: List[str] = []
+        for j in range(bits):
+            net = "%s_pp_%d_%d" % (name, i, j)
+            gates.append(Gate("%s_ppa_%d_%d" % (name, i, j), "AND", ("A%d" % j, "B%d" % i), net))
+            row.append(net)
+        partial.append(row)
+
+    # Accumulate: running[k] holds the current bit of weight k.
+    # Start with row 0 (weights 0..bits-1).
+    running: List[str] = list(partial[0])
+    outputs: List[str] = [running[0]]  # P0 is ready immediately.
+    running = running[1:]  # weights 1..bits-1 relative to next row's weight 0
+
+    for i in range(1, bits):
+        row = partial[i]
+        new_running: List[str] = []
+        carry = ""
+        for j in range(bits):
+            existing = running[j] if j < len(running) else ""
+            prefix = "%s_r%d_c%d" % (name, i, j)
+            if existing and carry:
+                fa, sum_net, carry = full_adder_gates(row[j], existing, carry, prefix)
+                gates.extend(fa)
+            elif existing or carry:
+                other = existing or carry
+                ha, sum_net, carry = half_adder_gates(row[j], other, prefix)
+                gates.extend(ha)
+            else:
+                sum_net = row[j]
+                carry = ""
+            new_running.append(sum_net)
+        if carry:
+            new_running.append(carry)
+        outputs.append(new_running[0])
+        running = new_running[1:]
+
+    outputs.extend(running)
+    outputs = ["%s" % net for net in outputs]
+
+    # Publish the product bits under canonical names by inserting buffers so
+    # outputs have stable, position-encoded names P0..P{2n-1}.
+    final_outputs: List[str] = []
+    for position, net in enumerate(outputs):
+        out_net = "P%d" % position
+        gates.append(Gate("%s_obuf_%d" % (name, position), "BUF", (net,), out_net))
+        final_outputs.append(out_net)
+
+    netlist = Netlist(name, a_inputs + b_inputs, final_outputs, gates)
+    netlist.validate()
+    return netlist

@@ -1,0 +1,261 @@
+"""Combinational gate-level netlist data model.
+
+A :class:`Netlist` is a set of named nets and :class:`Gate` instances.  Each
+net is driven either by a primary input or by exactly one gate output; a
+gate reads one or more nets and drives exactly one net.  Only combinational
+circuits are modeled (the paper's ISCAS85 benchmarks are combinational).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import NetlistError
+
+__all__ = ["Gate", "Netlist"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name.
+    function:
+        Logic function label (``"AND"``, ``"NAND"``, ``"XOR"``, ``"INV"``,
+        ``"BUF"``, ...); resolved against the cell library when the timing
+        graph is built.
+    inputs:
+        Names of the nets driving the gate inputs, in pin order.
+    output:
+        Name of the net driven by the gate.
+    """
+
+    name: str
+    function: str
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise NetlistError("gate %r has no inputs" % self.name)
+        object.__setattr__(self, "function", self.function.upper())
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input connections of the gate."""
+        return len(self.inputs)
+
+
+class Netlist:
+    """A combinational circuit: primary inputs/outputs and gates."""
+
+    def __init__(
+        self,
+        name: str,
+        primary_inputs: Sequence[str],
+        primary_outputs: Sequence[str],
+        gates: Optional[Sequence[Gate]] = None,
+    ) -> None:
+        self._name = name
+        self._primary_inputs: Tuple[str, ...] = tuple(primary_inputs)
+        self._primary_outputs: Tuple[str, ...] = tuple(primary_outputs)
+        self._gates: Dict[str, Gate] = {}
+        self._driver: Dict[str, Gate] = {}
+        self._fanout: Dict[str, List[Gate]] = {}
+        if len(set(self._primary_inputs)) != len(self._primary_inputs):
+            raise NetlistError("duplicate primary input in %r" % name)
+        if len(set(self._primary_outputs)) != len(self._primary_outputs):
+            raise NetlistError("duplicate primary output in %r" % name)
+        for gate in gates or []:
+            self.add_gate(gate)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_gate(self, gate: Gate) -> None:
+        """Add a gate; its name and output net must be unused."""
+        if gate.name in self._gates:
+            raise NetlistError("duplicate gate name %r" % gate.name)
+        if gate.output in self._driver:
+            raise NetlistError(
+                "net %r already driven by gate %r" % (gate.output, self._driver[gate.output].name)
+            )
+        if gate.output in self._primary_inputs:
+            raise NetlistError("gate %r drives primary input net %r" % (gate.name, gate.output))
+        self._gates[gate.name] = gate
+        self._driver[gate.output] = gate
+        for net in gate.inputs:
+            self._fanout.setdefault(net, []).append(gate)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Circuit name."""
+        return self._name
+
+    @property
+    def primary_inputs(self) -> Tuple[str, ...]:
+        """Primary input net names."""
+        return self._primary_inputs
+
+    @property
+    def primary_outputs(self) -> Tuple[str, ...]:
+        """Primary output net names."""
+        return self._primary_outputs
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """All gates in insertion order."""
+        return tuple(self._gates.values())
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gate instances."""
+        return len(self._gates)
+
+    @property
+    def num_connections(self) -> int:
+        """Total number of gate input connections (timing-graph edges)."""
+        return sum(gate.num_inputs for gate in self._gates.values())
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        """All net names: primary inputs first, then gate outputs."""
+        return self._primary_inputs + tuple(
+            gate.output for gate in self._gates.values()
+        )
+
+    def gate(self, name: str) -> Gate:
+        """Look a gate up by instance name."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetlistError("netlist %r has no gate %r" % (self._name, name)) from None
+
+    def driver(self, net: str) -> Optional[Gate]:
+        """Gate driving ``net``, or ``None`` for primary inputs."""
+        return self._driver.get(net)
+
+    def fanout(self, net: str) -> Tuple[Gate, ...]:
+        """Gates reading ``net``."""
+        return tuple(self._fanout.get(net, ()))
+
+    def fanout_count(self, net: str) -> int:
+        """Number of gate inputs driven by ``net``."""
+        return len(self._fanout.get(net, ()))
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    # ------------------------------------------------------------------
+    # Structural analysis
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`NetlistError` on problems.
+
+        Checks that every gate input is driven (by a PI or another gate),
+        every primary output is driven, the circuit is acyclic, and no
+        non-output net dangles.
+        """
+        known = set(self._primary_inputs) | set(self._driver)
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                if net not in known:
+                    raise NetlistError(
+                        "gate %r input net %r has no driver" % (gate.name, net)
+                    )
+        for net in self._primary_outputs:
+            if net not in known:
+                raise NetlistError("primary output %r has no driver" % net)
+        outputs = set(self._primary_outputs)
+        for net in known:
+            if net not in outputs and self.fanout_count(net) == 0:
+                raise NetlistError("net %r dangles (no fanout and not an output)" % net)
+        self.topological_gate_order()  # raises on cycles
+
+    def topological_gate_order(self) -> List[Gate]:
+        """Gates sorted so every gate appears after all its drivers.
+
+        Raises :class:`NetlistError` if the netlist contains a combinational
+        cycle.
+        """
+        in_degree: Dict[str, int] = {}
+        for gate in self._gates.values():
+            in_degree[gate.name] = sum(
+                1 for net in gate.inputs if net in self._driver
+            )
+        ready = [gate for gate in self._gates.values() if in_degree[gate.name] == 0]
+        order: List[Gate] = []
+        index = 0
+        while index < len(ready):
+            gate = ready[index]
+            index += 1
+            order.append(gate)
+            for consumer in self._fanout.get(gate.output, ()):
+                in_degree[consumer.name] -= 1
+                if in_degree[consumer.name] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self._gates):
+            raise NetlistError("netlist %r contains a combinational cycle" % self._name)
+        return order
+
+    def logic_depth(self) -> int:
+        """Maximum number of gates on any input-to-output path."""
+        depth: Dict[str, int] = {net: 0 for net in self._primary_inputs}
+        for gate in self.topological_gate_order():
+            depth[gate.output] = 1 + max(
+                (depth.get(net, 0) for net in gate.inputs), default=0
+            )
+        if not depth:
+            return 0
+        return max(depth.values())
+
+    def function_histogram(self) -> Dict[str, int]:
+        """Count of gate instances per logic function."""
+        histogram: Dict[str, int] = {}
+        for gate in self._gates.values():
+            histogram[gate.function] = histogram.get(gate.function, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def renamed(self, prefix: str, name: Optional[str] = None) -> "Netlist":
+        """A copy with every net and gate name prefixed (used for flattening)."""
+
+        def rename(net: str) -> str:
+            return "%s%s" % (prefix, net)
+
+        gates = [
+            Gate(
+                rename(gate.name),
+                gate.function,
+                tuple(rename(net) for net in gate.inputs),
+                rename(gate.output),
+            )
+            for gate in self._gates.values()
+        ]
+        return Netlist(
+            name or self._name,
+            [rename(net) for net in self._primary_inputs],
+            [rename(net) for net in self._primary_outputs],
+            gates,
+        )
+
+    def __repr__(self) -> str:
+        return "Netlist(%r, inputs=%d, outputs=%d, gates=%d)" % (
+            self._name,
+            len(self._primary_inputs),
+            len(self._primary_outputs),
+            self.num_gates,
+        )

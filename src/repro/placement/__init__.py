@@ -1,0 +1,18 @@
+"""Cell placement and module floorplanning.
+
+The spatial-correlation model needs an on-die location for every cell; this
+subpackage provides a simple deterministic row-based placer for module-level
+characterization and a floorplan abstraction for positioning module
+instances on the top-level die (Section V of the paper).
+"""
+
+from repro.placement.placer import Placement, place_netlist, die_for_netlist
+from repro.placement.floorplan import Floorplan, ModulePlacement
+
+__all__ = [
+    "Placement",
+    "place_netlist",
+    "die_for_netlist",
+    "Floorplan",
+    "ModulePlacement",
+]

@@ -1,0 +1,145 @@
+"""Top-level floorplanning of module instances.
+
+A :class:`Floorplan` records where each module instance sits on the design
+die.  The hierarchical analysis (Section V) uses these offsets both to build
+the heterogeneous design-level grid partition and to translate module grids
+into design coordinates; the Monte Carlo reference uses them to flatten the
+design with correct cell locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import HierarchyError
+from repro.variation.grid import Die
+
+__all__ = ["ModulePlacement", "Floorplan"]
+
+
+@dataclass(frozen=True)
+class ModulePlacement:
+    """Position of one module instance on the design die."""
+
+    instance_name: str
+    die: Die
+    origin_x: float
+    origin_y: float
+
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the instance outline."""
+        return (
+            self.origin_x,
+            self.origin_y,
+            self.origin_x + self.die.width,
+            self.origin_y + self.die.height,
+        )
+
+    def overlaps(self, other: "ModulePlacement") -> bool:
+        """Whether two instance outlines overlap (touching edges do not count)."""
+        ax0, ay0, ax1, ay1 = self.bounds
+        bx0, by0, bx1, by1 = other.bounds
+        return ax0 < bx1 and bx0 < ax1 and ay0 < by1 and by0 < ay1
+
+
+class Floorplan:
+    """The design die plus the placed module instances."""
+
+    def __init__(self, die: Die, placements: Optional[Sequence[ModulePlacement]] = None) -> None:
+        self._die = die
+        self._placements: Dict[str, ModulePlacement] = {}
+        for placement in placements or []:
+            self.add(placement)
+
+    @property
+    def die(self) -> Die:
+        """The top-level design die."""
+        return self._die
+
+    def add(self, placement: ModulePlacement) -> None:
+        """Add an instance placement; it must fit on the die and not overlap."""
+        if placement.instance_name in self._placements:
+            raise HierarchyError("duplicate instance %r" % placement.instance_name)
+        xmin, ymin, xmax, ymax = placement.bounds
+        dx0, dy0, dx1, dy1 = self._die.bounds
+        tolerance = 1e-9
+        if xmin < dx0 - tolerance or ymin < dy0 - tolerance or xmax > dx1 + tolerance or ymax > dy1 + tolerance:
+            raise HierarchyError(
+                "instance %r does not fit on the design die" % placement.instance_name
+            )
+        for existing in self._placements.values():
+            if placement.overlaps(existing):
+                raise HierarchyError(
+                    "instance %r overlaps instance %r"
+                    % (placement.instance_name, existing.instance_name)
+                )
+        self._placements[placement.instance_name] = placement
+
+    def placement(self, instance_name: str) -> ModulePlacement:
+        """Look an instance placement up by name."""
+        try:
+            return self._placements[instance_name]
+        except KeyError:
+            raise HierarchyError("no placement for instance %r" % instance_name) from None
+
+    def __contains__(self, instance_name: str) -> bool:
+        return instance_name in self._placements
+
+    def __iter__(self) -> Iterator[ModulePlacement]:
+        return iter(self._placements.values())
+
+    def __len__(self) -> int:
+        return len(self._placements)
+
+    @property
+    def instance_names(self) -> Tuple[str, ...]:
+        """Names of all placed instances in insertion order."""
+        return tuple(self._placements)
+
+    def covered_by_module(self, x: float, y: float) -> Optional[str]:
+        """Name of the instance covering point ``(x, y)``, or ``None``."""
+        for placement in self._placements.values():
+            xmin, ymin, xmax, ymax = placement.bounds
+            if xmin <= x < xmax and ymin <= y < ymax:
+                return placement.instance_name
+        return None
+
+    @classmethod
+    def abutted_grid(
+        cls,
+        module_die: Die,
+        rows: int,
+        columns: int,
+        instance_names: Optional[Sequence[str]] = None,
+    ) -> "Floorplan":
+        """Place ``rows x columns`` copies of a module in abutment.
+
+        This is the layout of the paper's hierarchical experiment: four
+        c6288 modules placed in two columns with no spacing, maximizing the
+        correlation between neighbouring modules.
+        Instances are named ``m{row}_{column}`` unless names are given
+        (ordered row-major).
+        """
+        if rows <= 0 or columns <= 0:
+            raise HierarchyError("rows and columns must be positive")
+        design_die = Die(module_die.width * columns, module_die.height * rows)
+        floorplan = cls(design_die)
+        index = 0
+        for row in range(rows):
+            for column in range(columns):
+                if instance_names is not None:
+                    name = instance_names[index]
+                else:
+                    name = "m%d_%d" % (row, column)
+                floorplan.add(
+                    ModulePlacement(
+                        name,
+                        module_die,
+                        origin_x=column * module_die.width,
+                        origin_y=row * module_die.height,
+                    )
+                )
+                index += 1
+        return floorplan

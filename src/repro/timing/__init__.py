@@ -1,0 +1,41 @@
+"""Statistical timing graphs and propagation engines.
+
+The timing graph follows the paper's definition (Section II): a vertex per
+pin/net, a directed edge per pin-to-pin delay, and edge weights that are
+canonical linear forms.  Three engines operate on it:
+
+* :mod:`repro.timing.propagation` — object-level block-based SSTA used for
+  module-level and design-level arrival-time propagation;
+* :mod:`repro.timing.allpairs` — a vectorized engine that computes, for a
+  module, the arrival times from *every* input, the path delays to *every*
+  output and the all-pairs input/output delay matrix needed by the
+  criticality-based model extraction;
+* :mod:`repro.timing.sta` — a deterministic corner STA baseline.
+"""
+
+from repro.timing.graph import TimingGraph, TimingEdge
+from repro.timing.builder import build_timing_graph
+from repro.timing.propagation import (
+    propagate_arrival_times,
+    propagate_required_times,
+    circuit_delay,
+    compute_slacks,
+)
+from repro.timing.allpairs import AllPairsTiming
+from repro.timing.paths import TimingPath, enumerate_critical_paths
+from repro.timing.sta import CornerReport, corner_sta
+
+__all__ = [
+    "TimingGraph",
+    "TimingEdge",
+    "build_timing_graph",
+    "propagate_arrival_times",
+    "propagate_required_times",
+    "circuit_delay",
+    "compute_slacks",
+    "AllPairsTiming",
+    "TimingPath",
+    "enumerate_critical_paths",
+    "CornerReport",
+    "corner_sta",
+]

@@ -1,0 +1,357 @@
+"""Vectorized all-pairs input/output timing analysis of a module.
+
+Timing-model extraction (Section IV) needs, for every edge ``e`` and every
+input/output pair ``(i, j)``:
+
+* the arrival time at the source of ``e`` *exclusively from input* ``i``;
+* the maximum delay from the sink of ``e`` *to output* ``j``;
+* the maximum input-to-output delay ``M_ij``.
+
+Computing these with per-pair object-level propagation would require
+``|I| + |O|`` full graph traversals with Python-level Clark operations.
+Instead this engine keeps, per vertex, arrays indexed by the input (or
+output) dimension and performs every Clark maximum simultaneously for all
+inputs (outputs) with numpy, following Sapatnekar's all-pairs propagation
+(ISCAS 1996) lifted to the statistical domain.
+
+Canonical forms are stored column-wise: component 0 of the ``corr`` arrays
+is the global coefficient, components ``1..K`` are the local PCA
+coefficients, and the private random part is tracked as a variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+from repro.timing.graph import TimingEdge, TimingGraph
+
+__all__ = ["AllPairsTiming", "GraphArrays", "clark_max_arrays"]
+
+_THETA_EPSILON = 1e-12
+_INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
+
+
+# ----------------------------------------------------------------------
+# Array representation of the graph
+# ----------------------------------------------------------------------
+@dataclass
+class GraphArrays:
+    """Array view of a timing graph used by the vectorized engines."""
+
+    graph: TimingGraph
+    vertex_index: Dict[str, int]
+    topo_order: List[str]
+    edge_rows: Dict[int, int]
+    edge_source: np.ndarray
+    edge_sink: np.ndarray
+    edge_mean: np.ndarray
+    edge_corr: np.ndarray
+    edge_randvar: np.ndarray
+
+    @classmethod
+    def from_graph(cls, graph: TimingGraph) -> "GraphArrays":
+        """Convert a timing graph into flat numpy arrays."""
+        vertices = list(graph.vertices)
+        vertex_index = {name: index for index, name in enumerate(vertices)}
+        topo_order = graph.topological_order()
+
+        num_edges = graph.num_edges
+        num_corr = graph.num_locals + 1
+        edge_source = np.zeros(num_edges, dtype=np.int64)
+        edge_sink = np.zeros(num_edges, dtype=np.int64)
+        edge_mean = np.zeros(num_edges, dtype=float)
+        edge_corr = np.zeros((num_edges, num_corr), dtype=float)
+        edge_randvar = np.zeros(num_edges, dtype=float)
+        edge_rows: Dict[int, int] = {}
+
+        for row, edge in enumerate(graph.edges):
+            edge_rows[edge.edge_id] = row
+            edge_source[row] = vertex_index[edge.source]
+            edge_sink[row] = vertex_index[edge.sink]
+            edge_mean[row] = edge.delay.nominal
+            edge_corr[row, 0] = edge.delay.global_coeff
+            locals_ = edge.delay.local_coeffs
+            edge_corr[row, 1 : 1 + locals_.shape[0]] = locals_
+            edge_randvar[row] = edge.delay.random_coeff ** 2
+
+        return cls(
+            graph=graph,
+            vertex_index=vertex_index,
+            topo_order=topo_order,
+            edge_rows=edge_rows,
+            edge_source=edge_source,
+            edge_sink=edge_sink,
+            edge_mean=edge_mean,
+            edge_corr=edge_corr,
+            edge_randvar=edge_randvar,
+        )
+
+    @property
+    def num_corr(self) -> int:
+        """Number of correlated components (1 global + K locals)."""
+        return int(self.edge_corr.shape[1])
+
+
+# ----------------------------------------------------------------------
+# Vectorized Clark maximum
+# ----------------------------------------------------------------------
+def clark_max_arrays(
+    mean_a: np.ndarray,
+    corr_a: np.ndarray,
+    randvar_a: np.ndarray,
+    mean_b: np.ndarray,
+    corr_b: np.ndarray,
+    randvar_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Clark maximum of two batches of canonical forms.
+
+    All inputs are batched along the leading axis; ``corr_*`` additionally
+    has the correlated-coefficient axis last.  Returns the canonical
+    re-approximation ``(mean, corr, randvar)`` of the elementwise maximum.
+    """
+    var_a = np.einsum("...k,...k->...", corr_a, corr_a) + randvar_a
+    var_b = np.einsum("...k,...k->...", corr_b, corr_b) + randvar_b
+    cov = np.einsum("...k,...k->...", corr_a, corr_b)
+
+    theta_sq = np.maximum(var_a + var_b - 2.0 * cov, 0.0)
+    theta = np.sqrt(theta_sq)
+    degenerate = theta <= _THETA_EPSILON
+    safe_theta = np.where(degenerate, 1.0, theta)
+
+    alpha = (mean_a - mean_b) / safe_theta
+    tp = ndtr(alpha)
+    phi = _INV_SQRT_2PI * np.exp(-0.5 * alpha * alpha)
+
+    # Degenerate case: the operands differ deterministically.
+    tp = np.where(degenerate, (mean_a >= mean_b).astype(float), tp)
+    phi = np.where(degenerate, 0.0, phi)
+
+    mean = tp * mean_a + (1.0 - tp) * mean_b + theta * phi
+    second = (
+        tp * (var_a + mean_a * mean_a)
+        + (1.0 - tp) * (var_b + mean_b * mean_b)
+        + (mean_a + mean_b) * theta * phi
+    )
+    variance = np.maximum(second - mean * mean, 0.0)
+
+    corr = tp[..., np.newaxis] * corr_a + (1.0 - tp)[..., np.newaxis] * corr_b
+    linear_variance = np.einsum("...k,...k->...", corr, corr)
+    randvar = np.maximum(variance - linear_variance, 0.0)
+    return mean, corr, randvar
+
+
+def _merge_max_with_validity(
+    mean_a: np.ndarray,
+    corr_a: np.ndarray,
+    randvar_a: np.ndarray,
+    valid_a: np.ndarray,
+    mean_b: np.ndarray,
+    corr_b: np.ndarray,
+    randvar_b: np.ndarray,
+    valid_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Clark max that honours per-entry validity masks.
+
+    Entries valid on only one side copy that side; entries valid on neither
+    side stay invalid (their numeric content is meaningless).
+    """
+    mean, corr, randvar = clark_max_arrays(
+        mean_a, corr_a, randvar_a, mean_b, corr_b, randvar_b
+    )
+    both = valid_a & valid_b
+    only_a = valid_a & ~valid_b
+    only_b = valid_b & ~valid_a
+
+    out_mean = np.where(both, mean, np.where(only_a, mean_a, mean_b))
+    out_randvar = np.where(both, randvar, np.where(only_a, randvar_a, randvar_b))
+    both_e = both[..., np.newaxis]
+    only_a_e = only_a[..., np.newaxis]
+    out_corr = np.where(both_e, corr, np.where(only_a_e, corr_a, corr_b))
+    out_valid = valid_a | valid_b
+    return out_mean, out_corr, out_randvar, out_valid
+
+
+# ----------------------------------------------------------------------
+# All-pairs analysis
+# ----------------------------------------------------------------------
+class AllPairsTiming:
+    """Per-input arrival times, per-output path delays and the delay matrix.
+
+    Build with :meth:`analyze`; afterwards the object exposes, for a module
+    with ``I`` inputs, ``O`` outputs, ``V`` vertices and ``K`` local
+    components:
+
+    * ``arrival_mean/corr/randvar/valid`` — shape ``(V, I, ...)``: arrival
+      time at each vertex exclusively from each input;
+    * ``to_output_mean/corr/randvar/valid`` — shape ``(V, O, ...)``: maximum
+      delay from each vertex to each output;
+    * ``matrix_mean/corr/randvar/valid`` — shape ``(I, O, ...)``: the
+      input/output delay matrix ``M`` of Section III.
+    """
+
+    def __init__(self, arrays: GraphArrays) -> None:
+        self.arrays = arrays
+        graph = arrays.graph
+        self.inputs: Tuple[str, ...] = graph.inputs
+        self.outputs: Tuple[str, ...] = graph.outputs
+        if not self.inputs or not self.outputs:
+            raise TimingGraphError(
+                "all-pairs analysis needs designated inputs and outputs"
+            )
+
+        num_vertices = graph.num_vertices
+        num_inputs = len(self.inputs)
+        num_outputs = len(self.outputs)
+        num_corr = arrays.num_corr
+
+        self.arrival_mean = np.zeros((num_vertices, num_inputs), dtype=float)
+        self.arrival_corr = np.zeros((num_vertices, num_inputs, num_corr), dtype=float)
+        self.arrival_randvar = np.zeros((num_vertices, num_inputs), dtype=float)
+        self.arrival_valid = np.zeros((num_vertices, num_inputs), dtype=bool)
+
+        self.to_output_mean = np.zeros((num_vertices, num_outputs), dtype=float)
+        self.to_output_corr = np.zeros((num_vertices, num_outputs, num_corr), dtype=float)
+        self.to_output_randvar = np.zeros((num_vertices, num_outputs), dtype=float)
+        self.to_output_valid = np.zeros((num_vertices, num_outputs), dtype=bool)
+
+        self.matrix_mean = np.zeros((num_inputs, num_outputs), dtype=float)
+        self.matrix_corr = np.zeros((num_inputs, num_outputs, num_corr), dtype=float)
+        self.matrix_randvar = np.zeros((num_inputs, num_outputs), dtype=float)
+        self.matrix_valid = np.zeros((num_inputs, num_outputs), dtype=bool)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def analyze(cls, graph: TimingGraph) -> "AllPairsTiming":
+        """Run the forward and backward all-pairs propagation on ``graph``."""
+        arrays = GraphArrays.from_graph(graph)
+        analysis = cls(arrays)
+        analysis._propagate_forward()
+        analysis._propagate_backward()
+        analysis._extract_matrix()
+        return analysis
+
+    # ------------------------------------------------------------------
+    def _propagate_forward(self) -> None:
+        arrays = self.arrays
+        graph = arrays.graph
+        index = arrays.vertex_index
+
+        for input_position, input_name in enumerate(self.inputs):
+            self.arrival_valid[index[input_name], input_position] = True
+
+        for vertex in arrays.topo_order:
+            vertex_row = index[vertex]
+            fanin = graph.fanin_edges(vertex)
+            if not fanin:
+                continue
+            mean = self.arrival_mean[vertex_row]
+            corr = self.arrival_corr[vertex_row]
+            randvar = self.arrival_randvar[vertex_row]
+            valid = self.arrival_valid[vertex_row]
+            for edge in fanin:
+                edge_row = arrays.edge_rows[edge.edge_id]
+                source_row = arrays.edge_source[edge_row]
+                cand_mean = self.arrival_mean[source_row] + arrays.edge_mean[edge_row]
+                cand_corr = self.arrival_corr[source_row] + arrays.edge_corr[edge_row]
+                cand_randvar = (
+                    self.arrival_randvar[source_row] + arrays.edge_randvar[edge_row]
+                )
+                cand_valid = self.arrival_valid[source_row]
+                mean, corr, randvar, valid = _merge_max_with_validity(
+                    mean, corr, randvar, valid,
+                    cand_mean, cand_corr, cand_randvar, cand_valid,
+                )
+            self.arrival_mean[vertex_row] = mean
+            self.arrival_corr[vertex_row] = corr
+            self.arrival_randvar[vertex_row] = randvar
+            self.arrival_valid[vertex_row] = valid
+
+    def _propagate_backward(self) -> None:
+        arrays = self.arrays
+        graph = arrays.graph
+        index = arrays.vertex_index
+
+        for output_position, output_name in enumerate(self.outputs):
+            self.to_output_valid[index[output_name], output_position] = True
+
+        for vertex in reversed(arrays.topo_order):
+            vertex_row = index[vertex]
+            fanout = graph.fanout_edges(vertex)
+            if not fanout:
+                continue
+            mean = self.to_output_mean[vertex_row]
+            corr = self.to_output_corr[vertex_row]
+            randvar = self.to_output_randvar[vertex_row]
+            valid = self.to_output_valid[vertex_row]
+            for edge in fanout:
+                edge_row = arrays.edge_rows[edge.edge_id]
+                sink_row = arrays.edge_sink[edge_row]
+                cand_mean = self.to_output_mean[sink_row] + arrays.edge_mean[edge_row]
+                cand_corr = self.to_output_corr[sink_row] + arrays.edge_corr[edge_row]
+                cand_randvar = (
+                    self.to_output_randvar[sink_row] + arrays.edge_randvar[edge_row]
+                )
+                cand_valid = self.to_output_valid[sink_row]
+                mean, corr, randvar, valid = _merge_max_with_validity(
+                    mean, corr, randvar, valid,
+                    cand_mean, cand_corr, cand_randvar, cand_valid,
+                )
+            self.to_output_mean[vertex_row] = mean
+            self.to_output_corr[vertex_row] = corr
+            self.to_output_randvar[vertex_row] = randvar
+            self.to_output_valid[vertex_row] = valid
+
+    def _extract_matrix(self) -> None:
+        index = self.arrays.vertex_index
+        for output_position, output_name in enumerate(self.outputs):
+            output_row = index[output_name]
+            self.matrix_mean[:, output_position] = self.arrival_mean[output_row]
+            self.matrix_corr[:, output_position, :] = self.arrival_corr[output_row]
+            self.matrix_randvar[:, output_position] = self.arrival_randvar[output_row]
+            self.matrix_valid[:, output_position] = self.arrival_valid[output_row]
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Number of module inputs."""
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of module outputs."""
+        return len(self.outputs)
+
+    def delay_form(self, input_name: str, output_name: str) -> Optional[CanonicalForm]:
+        """The canonical input/output delay ``M_ij``; ``None`` if no path."""
+        i = self.inputs.index(input_name)
+        j = self.outputs.index(output_name)
+        if not self.matrix_valid[i, j]:
+            return None
+        corr = self.matrix_corr[i, j]
+        return CanonicalForm(
+            self.matrix_mean[i, j],
+            corr[0],
+            corr[1:],
+            float(np.sqrt(self.matrix_randvar[i, j])),
+        )
+
+    def matrix_std(self) -> np.ndarray:
+        """Standard deviation of every ``M_ij`` (invalid pairs are NaN)."""
+        variance = (
+            np.einsum("ijk,ijk->ij", self.matrix_corr, self.matrix_corr)
+            + self.matrix_randvar
+        )
+        std = np.sqrt(variance)
+        return np.where(self.matrix_valid, std, np.nan)
+
+    def matrix_means(self) -> np.ndarray:
+        """Mean of every ``M_ij`` (invalid pairs are NaN)."""
+        return np.where(self.matrix_valid, self.matrix_mean, np.nan)

@@ -1,0 +1,107 @@
+"""Construction of a statistical timing graph from a netlist.
+
+Following Section II of the paper, the graph has one vertex per net (primary
+inputs and gate outputs) and one edge per gate input connection, weighted
+with the canonical form of that pin-to-pin delay.  The nominal delay comes
+from the library arc (intrinsic plus a load term proportional to the fanout
+of the driven net); the variability comes from the
+:class:`~repro.variation.model.VariationModel` evaluated at the gate's
+placed location.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TimingGraphError
+from repro.liberty.library import Library, standard_library
+from repro.netlist.netlist import Netlist
+from repro.placement.placer import Placement, place_netlist
+from repro.timing.graph import TimingGraph
+from repro.variation.model import VariationModel
+from repro.variation.grid import GridPartition
+from repro.variation.spatial import SpatialCorrelation
+
+__all__ = ["build_timing_graph", "default_variation_for"]
+
+
+def default_variation_for(
+    netlist: Netlist,
+    placement: Placement,
+    correlation: Optional[SpatialCorrelation] = None,
+    sigma_fraction: float = 0.12,
+    random_variance_share: float = 0.2,
+    max_cells_per_grid: int = 100,
+) -> VariationModel:
+    """Build the paper-default variation model for a placed netlist.
+
+    The die of the placement is partitioned so that no grid holds more than
+    ``max_cells_per_grid`` cells (the paper uses 100) and the default
+    exponential correlation profile (0.92 neighbouring, 0.42 floor at
+    distance 15) is applied.
+    """
+    partition = GridPartition.for_cell_count(
+        placement.die, netlist.num_gates, max_cells_per_grid
+    )
+    return VariationModel(
+        partition,
+        SpatialCorrelation() if correlation is None else correlation,
+        sigma_fraction,
+        random_variance_share,
+    )
+
+
+def build_timing_graph(
+    netlist: Netlist,
+    library: Optional[Library] = None,
+    placement: Optional[Placement] = None,
+    variation: Optional[VariationModel] = None,
+    name: Optional[str] = None,
+) -> TimingGraph:
+    """Build the statistical timing graph of a combinational netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit; it must pass :meth:`Netlist.validate`.
+    library:
+        Cell library resolving each gate's function; defaults to the
+        synthetic 90 nm library.
+    placement:
+        Gate locations; defaults to the deterministic row placer.
+    variation:
+        Variation model providing the statistical context; defaults to
+        :func:`default_variation_for` on the chosen placement.
+    name:
+        Name of the resulting graph; defaults to the netlist name.
+    """
+    library = standard_library() if library is None else library
+    if placement is None:
+        placement = place_netlist(netlist, library)
+    if variation is None:
+        variation = default_variation_for(netlist, placement)
+
+    graph = TimingGraph(name or netlist.name, variation.num_locals)
+    for net in netlist.primary_inputs:
+        graph.mark_input(net)
+    for net in netlist.primary_outputs:
+        graph.mark_output(net)
+
+    for gate in netlist.topological_gate_order():
+        if not library.supports_function(gate.function, gate.num_inputs):
+            raise TimingGraphError(
+                "library %r has no %d-input %s cell for gate %r"
+                % (library.name, gate.num_inputs, gate.function, gate.name)
+            )
+        cell = library.cell_for_function(gate.function, gate.num_inputs)
+        fanout = max(1, netlist.fanout_count(gate.output))
+        x, y = placement.location(gate.name)
+        for pin_index, input_net in enumerate(gate.inputs):
+            pin = cell.input_pins[pin_index]
+            arc = cell.arc(pin)
+            nominal = arc.nominal_delay(fanout)
+            delay = variation.delay_form(nominal, x, y, arc.sigma_scale)
+            graph.add_edge(input_net, gate.output, delay)
+
+    graph.validate()
+    return graph

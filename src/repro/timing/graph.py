@@ -1,0 +1,282 @@
+"""The statistical timing graph data structure.
+
+A :class:`TimingGraph` is a directed multigraph: vertices are pins/nets,
+edges carry :class:`~repro.core.canonical.CanonicalForm` delays.  Parallel
+edges between the same pair of vertices are allowed (they arise naturally
+during graph reduction and are collapsed by the parallel merge operation).
+The graph is mutable because the model-extraction algorithms remove edges
+and vertices in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+
+__all__ = ["TimingEdge", "TimingGraph"]
+
+
+class TimingEdge:
+    """One delay edge of a timing graph."""
+
+    __slots__ = ("edge_id", "source", "sink", "delay")
+
+    def __init__(self, edge_id: int, source: str, sink: str, delay: CanonicalForm) -> None:
+        self.edge_id = edge_id
+        self.source = source
+        self.sink = sink
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return "TimingEdge(%d, %r -> %r, nominal=%.3f)" % (
+            self.edge_id,
+            self.source,
+            self.sink,
+            self.delay.nominal,
+        )
+
+
+class TimingGraph:
+    """A mutable directed multigraph with statistical edge delays."""
+
+    def __init__(self, name: str = "timing_graph", num_locals: int = 0) -> None:
+        self._name = name
+        self._num_locals = int(num_locals)
+        self._vertices: Dict[str, None] = {}
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._edges: Dict[int, TimingEdge] = {}
+        self._fanout: Dict[str, List[int]] = {}
+        self._fanin: Dict[str, List[int]] = {}
+        self._next_edge_id = 0
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Graph name (usually the module name)."""
+        return self._name
+
+    @property
+    def num_locals(self) -> int:
+        """Dimension of the local (PCA) coefficient space of the edge delays."""
+        return self._num_locals
+
+    @property
+    def vertices(self) -> Tuple[str, ...]:
+        """All vertex names in insertion order."""
+        return tuple(self._vertices)
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Designated input vertices (module/primary inputs)."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Designated output vertices (module/primary outputs)."""
+        return tuple(self._outputs)
+
+    @property
+    def edges(self) -> Tuple[TimingEdge, ...]:
+        """All edges in insertion order."""
+        return tuple(self._edges.values())
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def has_vertex(self, name: str) -> bool:
+        """Whether a vertex exists."""
+        return name in self._vertices
+
+    def has_edge(self, edge_id: int) -> bool:
+        """Whether an edge with this id exists."""
+        return edge_id in self._edges
+
+    def edge(self, edge_id: int) -> TimingEdge:
+        """Look an edge up by id."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise TimingGraphError("no edge with id %d" % edge_id) from None
+
+    def fanin_edges(self, vertex: str) -> Tuple[TimingEdge, ...]:
+        """Edges ending at ``vertex``."""
+        self._require_vertex(vertex)
+        return tuple(self._edges[edge_id] for edge_id in self._fanin.get(vertex, ()))
+
+    def fanout_edges(self, vertex: str) -> Tuple[TimingEdge, ...]:
+        """Edges starting at ``vertex``."""
+        self._require_vertex(vertex)
+        return tuple(self._edges[edge_id] for edge_id in self._fanout.get(vertex, ()))
+
+    def fanin_count(self, vertex: str) -> int:
+        """Number of edges ending at ``vertex``."""
+        return len(self._fanin.get(vertex, ()))
+
+    def fanout_count(self, vertex: str) -> int:
+        """Number of edges starting at ``vertex``."""
+        return len(self._fanout.get(vertex, ()))
+
+    def predecessors(self, vertex: str) -> Tuple[str, ...]:
+        """Distinct sources of the fanin edges of ``vertex``."""
+        seen: Dict[str, None] = {}
+        for edge in self.fanin_edges(vertex):
+            seen.setdefault(edge.source)
+        return tuple(seen)
+
+    def successors(self, vertex: str) -> Tuple[str, ...]:
+        """Distinct sinks of the fanout edges of ``vertex``."""
+        seen: Dict[str, None] = {}
+        for edge in self.fanout_edges(vertex):
+            seen.setdefault(edge.sink)
+        return tuple(seen)
+
+    def is_input(self, vertex: str) -> bool:
+        """Whether ``vertex`` is a designated input."""
+        return vertex in self._input_set()
+
+    def is_output(self, vertex: str) -> bool:
+        """Whether ``vertex`` is a designated output."""
+        return vertex in self._output_set()
+
+    def _input_set(self) -> Set[str]:
+        return set(self._inputs)
+
+    def _output_set(self) -> Set[str]:
+        return set(self._outputs)
+
+    def _require_vertex(self, name: str) -> None:
+        if name not in self._vertices:
+            raise TimingGraphError("vertex %r does not exist" % name)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, name: str) -> None:
+        """Add a vertex (no-op if it already exists)."""
+        self._vertices.setdefault(name, None)
+
+    def mark_input(self, name: str) -> None:
+        """Designate an existing or new vertex as a graph input."""
+        self.add_vertex(name)
+        if name not in self._inputs:
+            self._inputs.append(name)
+
+    def mark_output(self, name: str) -> None:
+        """Designate an existing or new vertex as a graph output."""
+        self.add_vertex(name)
+        if name not in self._outputs:
+            self._outputs.append(name)
+
+    def add_edge(self, source: str, sink: str, delay: CanonicalForm) -> TimingEdge:
+        """Add a delay edge; vertices are created on demand."""
+        if source == sink:
+            raise TimingGraphError("self-loop on vertex %r is not allowed" % source)
+        self.add_vertex(source)
+        self.add_vertex(sink)
+        edge = TimingEdge(self._next_edge_id, source, sink, delay)
+        self._next_edge_id += 1
+        self._edges[edge.edge_id] = edge
+        self._fanout.setdefault(source, []).append(edge.edge_id)
+        self._fanin.setdefault(sink, []).append(edge.edge_id)
+        return edge
+
+    def remove_edge(self, edge: TimingEdge) -> None:
+        """Remove an edge from the graph."""
+        if edge.edge_id not in self._edges:
+            raise TimingGraphError("edge %d is not in the graph" % edge.edge_id)
+        del self._edges[edge.edge_id]
+        self._fanout[edge.source].remove(edge.edge_id)
+        self._fanin[edge.sink].remove(edge.edge_id)
+
+    def remove_vertex(self, name: str) -> None:
+        """Remove a vertex; it must have no remaining edges and not be an I/O."""
+        self._require_vertex(name)
+        if self._fanin.get(name) or self._fanout.get(name):
+            raise TimingGraphError("vertex %r still has edges" % name)
+        if name in self._inputs or name in self._outputs:
+            raise TimingGraphError("cannot remove input/output vertex %r" % name)
+        del self._vertices[name]
+        self._fanin.pop(name, None)
+        self._fanout.pop(name, None)
+
+    def replace_edge_delay(self, edge: TimingEdge, delay: CanonicalForm) -> None:
+        """Replace the delay of an edge in place."""
+        if edge.edge_id not in self._edges:
+            raise TimingGraphError("edge %d is not in the graph" % edge.edge_id)
+        edge.delay = delay
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Vertices ordered so that every edge goes forward.
+
+        Raises :class:`TimingGraphError` if the graph has a cycle.
+        """
+        in_degree = {vertex: 0 for vertex in self._vertices}
+        for edge in self._edges.values():
+            in_degree[edge.sink] += 1
+        ready = [vertex for vertex, degree in in_degree.items() if degree == 0]
+        order: List[str] = []
+        index = 0
+        while index < len(ready):
+            vertex = ready[index]
+            index += 1
+            order.append(vertex)
+            for edge_id in self._fanout.get(vertex, ()):
+                sink = self._edges[edge_id].sink
+                in_degree[sink] -= 1
+                if in_degree[sink] == 0:
+                    ready.append(sink)
+        if len(order) != len(self._vertices):
+            raise TimingGraphError("timing graph %r contains a cycle" % self._name)
+        return order
+
+    def validate(self) -> None:
+        """Structural checks: acyclic, inputs have no fanin, outputs exist."""
+        self.topological_order()
+        for vertex in self._inputs:
+            self._require_vertex(vertex)
+            if self.fanin_count(vertex) != 0:
+                raise TimingGraphError("input vertex %r has fanin edges" % vertex)
+        for vertex in self._outputs:
+            self._require_vertex(vertex)
+
+    def copy(self, name: Optional[str] = None) -> "TimingGraph":
+        """A deep-enough copy (edges are new objects; delays are shared, immutable)."""
+        clone = TimingGraph(name or self._name, self._num_locals)
+        for vertex in self._vertices:
+            clone.add_vertex(vertex)
+        for vertex in self._inputs:
+            clone.mark_input(vertex)
+        for vertex in self._outputs:
+            clone.mark_output(vertex)
+        for edge in self._edges.values():
+            clone.add_edge(edge.source, edge.sink, edge.delay)
+        return clone
+
+    def internal_vertices(self) -> Tuple[str, ...]:
+        """Vertices that are neither inputs nor outputs."""
+        io = self._input_set() | self._output_set()
+        return tuple(vertex for vertex in self._vertices if vertex not in io)
+
+    def __repr__(self) -> str:
+        return "TimingGraph(%r, vertices=%d, edges=%d, inputs=%d, outputs=%d)" % (
+            self._name,
+            self.num_vertices,
+            self.num_edges,
+            len(self._inputs),
+            len(self._outputs),
+        )

@@ -1,0 +1,165 @@
+"""Object-level block-based SSTA propagation.
+
+These routines implement the classic single-traversal SSTA of Visweswariah
+et al. on a :class:`~repro.timing.graph.TimingGraph`: arrival times are
+propagated from the designated inputs to every vertex with the statistical
+``sum`` and ``max`` operators, and required times backwards with ``sum`` and
+``min``.  They are used both for module-level sanity analysis and for the
+design-level hierarchical propagation (Section V, step 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.canonical import CanonicalForm
+from repro.core.ops import statistical_max, statistical_min
+from repro.errors import TimingGraphError
+from repro.timing.graph import TimingGraph
+
+__all__ = [
+    "propagate_arrival_times",
+    "propagate_required_times",
+    "circuit_delay",
+    "compute_slacks",
+    "longest_path_to_outputs",
+]
+
+
+def propagate_arrival_times(
+    graph: TimingGraph,
+    input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+) -> Dict[str, CanonicalForm]:
+    """Propagate arrival times from the graph inputs to every vertex.
+
+    ``input_arrivals`` optionally supplies the arrival time at each input
+    vertex (defaults to a deterministic zero).  Vertices unreachable from
+    any input get no entry in the returned mapping.
+    """
+    input_arrivals = dict(input_arrivals or {})
+    arrivals: Dict[str, CanonicalForm] = {}
+    zero = CanonicalForm.constant(0.0, graph.num_locals)
+
+    for vertex in graph.inputs:
+        arrivals[vertex] = input_arrivals.get(vertex, zero)
+
+    for vertex in graph.topological_order():
+        fanin = graph.fanin_edges(vertex)
+        if not fanin:
+            continue
+        best: Optional[CanonicalForm] = None
+        for edge in fanin:
+            source_arrival = arrivals.get(edge.source)
+            if source_arrival is None:
+                continue
+            candidate = source_arrival.add(edge.delay)
+            best = candidate if best is None else statistical_max(best, candidate)
+        if best is not None:
+            if vertex in arrivals:
+                best = statistical_max(best, arrivals[vertex])
+            arrivals[vertex] = best
+    return arrivals
+
+
+def circuit_delay(
+    graph: TimingGraph,
+    input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+) -> CanonicalForm:
+    """Statistical maximum arrival time over the graph outputs."""
+    arrivals = propagate_arrival_times(graph, input_arrivals)
+    best: Optional[CanonicalForm] = None
+    for vertex in graph.outputs:
+        arrival = arrivals.get(vertex)
+        if arrival is None:
+            continue
+        best = arrival if best is None else statistical_max(best, arrival)
+    if best is None:
+        raise TimingGraphError(
+            "no output of %r is reachable from any input" % graph.name
+        )
+    return best
+
+
+def longest_path_to_outputs(graph: TimingGraph) -> Dict[str, CanonicalForm]:
+    """Maximum statistical delay from every vertex to any graph output.
+
+    This is the "negative required time with the output required time set to
+    zero" used by the paper's criticality computation (eq. 15); it is the
+    backward analogue of :func:`propagate_arrival_times`.
+    """
+    zero = CanonicalForm.constant(0.0, graph.num_locals)
+    to_output: Dict[str, CanonicalForm] = {vertex: zero for vertex in graph.outputs}
+
+    for vertex in reversed(graph.topological_order()):
+        fanout = graph.fanout_edges(vertex)
+        if not fanout:
+            continue
+        best: Optional[CanonicalForm] = to_output.get(vertex)
+        for edge in fanout:
+            sink_delay = to_output.get(edge.sink)
+            if sink_delay is None:
+                continue
+            candidate = sink_delay.add(edge.delay)
+            best = candidate if best is None else statistical_max(best, candidate)
+        if best is not None:
+            to_output[vertex] = best
+    return to_output
+
+
+def propagate_required_times(
+    graph: TimingGraph,
+    required_at_outputs: Optional[Mapping[str, CanonicalForm]] = None,
+    default_required: Optional[CanonicalForm] = None,
+) -> Dict[str, CanonicalForm]:
+    """Propagate required times backwards from the outputs.
+
+    The required time at a vertex is the statistical *minimum* over its
+    fanout edges of ``required(sink) - delay``.  ``default_required``
+    (default: deterministic zero) is used for outputs without an explicit
+    entry in ``required_at_outputs``.
+    """
+    required_at_outputs = dict(required_at_outputs or {})
+    if default_required is None:
+        default_required = CanonicalForm.constant(0.0, graph.num_locals)
+
+    required: Dict[str, CanonicalForm] = {}
+    for vertex in graph.outputs:
+        required[vertex] = required_at_outputs.get(vertex, default_required)
+
+    for vertex in reversed(graph.topological_order()):
+        fanout = graph.fanout_edges(vertex)
+        if not fanout:
+            continue
+        best: Optional[CanonicalForm] = required.get(vertex) if graph.is_output(vertex) else None
+        for edge in fanout:
+            sink_required = required.get(edge.sink)
+            if sink_required is None:
+                continue
+            candidate = sink_required.subtract(edge.delay)
+            best = candidate if best is None else statistical_min(best, candidate)
+        if best is not None:
+            required[vertex] = best
+    return required
+
+
+def compute_slacks(
+    graph: TimingGraph,
+    required_time: CanonicalForm,
+    input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+) -> Dict[str, CanonicalForm]:
+    """Statistical slack (required minus arrival) at every reachable vertex.
+
+    ``required_time`` is applied at every output; slack distributions with
+    negative means indicate paths that nominally violate the constraint.
+    """
+    arrivals = propagate_arrival_times(graph, input_arrivals)
+    required = propagate_required_times(
+        graph, {vertex: required_time for vertex in graph.outputs}
+    )
+    slacks: Dict[str, CanonicalForm] = {}
+    for vertex, arrival in arrivals.items():
+        vertex_required = required.get(vertex)
+        if vertex_required is None:
+            continue
+        slacks[vertex] = vertex_required.subtract(arrival)
+    return slacks

@@ -1,0 +1,29 @@
+"""Process-variation modeling: parameters, die grids, spatial correlation, PCA.
+
+This subpackage implements the variation substrate of Section II: a process
+parameter is decomposed into a global part shared by the whole die, a
+spatially correlated local part assigned per grid cell, and a purely random
+part private to each delay (eq. 1).  The correlated grid variables are
+decomposed into independent components with principal component analysis
+(eq. 2).
+"""
+
+from repro.variation.parameters import ProcessParameter, ParameterSet, nassif_parameters
+from repro.variation.grid import Die, GridPartition, GridCell
+from repro.variation.spatial import SpatialCorrelation, exponential_correlation
+from repro.variation.pca import PCADecomposition, decompose_covariance
+from repro.variation.model import VariationModel
+
+__all__ = [
+    "ProcessParameter",
+    "ParameterSet",
+    "nassif_parameters",
+    "Die",
+    "GridPartition",
+    "GridCell",
+    "SpatialCorrelation",
+    "exponential_correlation",
+    "PCADecomposition",
+    "decompose_covariance",
+    "VariationModel",
+]

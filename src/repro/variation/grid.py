@@ -1,0 +1,226 @@
+"""Die geometry and grid partitioning.
+
+The die of a module (or of the top design) is partitioned into rectangular
+grids; every cell placed inside a grid shares that grid's local-variation
+random variable (Section II, after Chang & Sapatnekar).  At design level the
+partition may be *heterogeneous* (Section V, Fig. 4): module-covered areas
+keep the module's own grid layout while the remaining area is partitioned
+with the default grid size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Die", "GridCell", "GridPartition"]
+
+
+@dataclass(frozen=True)
+class Die:
+    """Axis-aligned rectangular die outline.
+
+    ``width`` and ``height`` are in the same arbitrary length unit used by
+    the placement engine (one "site" per unit by default).
+    """
+
+    width: float
+    height: float
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0 or self.height <= 0.0:
+            raise ValueError("die dimensions must be positive")
+
+    @property
+    def area(self) -> float:
+        """Die area."""
+        return self.width * self.height
+
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the die."""
+        return (
+            self.origin_x,
+            self.origin_y,
+            self.origin_x + self.width,
+            self.origin_y + self.height,
+        )
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point lies inside the die (closed rectangle)."""
+        xmin, ymin, xmax, ymax = self.bounds
+        return xmin <= x <= xmax and ymin <= y <= ymax
+
+    def shifted(self, dx: float, dy: float) -> "Die":
+        """The same die translated by ``(dx, dy)``."""
+        return Die(self.width, self.height, self.origin_x + dx, self.origin_y + dy)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid of the die partition.
+
+    Attributes
+    ----------
+    index:
+        Position of this grid in the partition's variable ordering; the
+        local random variable ``x_index`` is assigned to it.
+    xmin, ymin, xmax, ymax:
+        Bounding box of the grid.  For heterogeneous design-level grids the
+        actual covered region may be a sub-area of this box, but the
+        *centre* used for correlation distances is always the box centre.
+    tag:
+        Optional provenance label (e.g. the module instance that owns the
+        grid at design level, or ``"top"`` for filler grids).
+    """
+
+    index: int
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+    tag: str = "top"
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Geometric centre of the grid's bounding box."""
+        return (0.5 * (self.xmin + self.xmax), 0.5 * (self.ymin + self.ymax))
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    def contains(self, x: float, y: float) -> bool:
+        """Half-open membership test (upper edges belong to the next grid)."""
+        return self.xmin <= x < self.xmax and self.ymin <= y < self.ymax
+
+    def contains_closed(self, x: float, y: float) -> bool:
+        """Closed membership test, used for points on the die boundary."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+
+class GridPartition:
+    """A collection of :class:`GridCell` covering a die.
+
+    The partition knows how to map a placed cell location to the grid that
+    owns it, and exposes the grid centres used to build the spatial
+    covariance matrix.
+    """
+
+    def __init__(self, die: Die, cells: Sequence[GridCell], grid_size: float) -> None:
+        if not cells:
+            raise ValueError("a grid partition needs at least one grid cell")
+        self._die = die
+        self._cells = list(cells)
+        self._grid_size = float(grid_size)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def regular(cls, die: Die, grid_size: float, tag: str = "top") -> "GridPartition":
+        """Partition ``die`` into a regular mesh of ``grid_size`` squares.
+
+        The right-most column and top-most row may be narrower when the die
+        dimensions are not multiples of ``grid_size``.
+        """
+        if grid_size <= 0.0:
+            raise ValueError("grid_size must be positive")
+        cells: List[GridCell] = []
+        nx = max(1, int(math.ceil(die.width / grid_size)))
+        ny = max(1, int(math.ceil(die.height / grid_size)))
+        index = 0
+        for iy in range(ny):
+            for ix in range(nx):
+                xmin = die.origin_x + ix * grid_size
+                ymin = die.origin_y + iy * grid_size
+                xmax = min(xmin + grid_size, die.origin_x + die.width)
+                ymax = min(ymin + grid_size, die.origin_y + die.height)
+                cells.append(GridCell(index, xmin, ymin, xmax, ymax, tag))
+                index += 1
+        return cls(die, cells, grid_size)
+
+    @classmethod
+    def for_cell_count(
+        cls, die: Die, num_cells: int, max_cells_per_grid: int = 100, tag: str = "top"
+    ) -> "GridPartition":
+        """Choose a grid size so that no grid holds more than ``max_cells_per_grid``.
+
+        The paper partitions each die "so that the number of cells in a grid
+        is less than 100".  Assuming a roughly uniform placement density, the
+        number of grids must be at least ``num_cells / max_cells_per_grid``;
+        the grid size follows from the die area.
+        """
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        if max_cells_per_grid <= 0:
+            raise ValueError("max_cells_per_grid must be positive")
+        min_grids = max(1, int(math.ceil(num_cells / max_cells_per_grid)))
+        grid_area = die.area / min_grids
+        grid_size = math.sqrt(grid_area)
+        # Never exceed the die's shorter side.
+        grid_size = min(grid_size, die.width, die.height)
+        return cls.regular(die, grid_size, tag)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def die(self) -> Die:
+        """The partitioned die."""
+        return self._die
+
+    @property
+    def grid_size(self) -> float:
+        """Nominal (default) grid edge length of this partition."""
+        return self._grid_size
+
+    @property
+    def cells(self) -> Tuple[GridCell, ...]:
+        """All grid cells in variable order."""
+        return tuple(self._cells)
+
+    @property
+    def num_grids(self) -> int:
+        """Number of grids (= number of correlated local random variables)."""
+        return len(self._cells)
+
+    def __len__(self) -> int:
+        return self.num_grids
+
+    def __iter__(self) -> Iterator[GridCell]:
+        return iter(self._cells)
+
+    def centers(self) -> List[Tuple[float, float]]:
+        """Centres of all grids, in variable order."""
+        return [cell.center for cell in self._cells]
+
+    def grid_index_at(self, x: float, y: float) -> int:
+        """Index of the grid owning the point ``(x, y)``.
+
+        Points on the die's outer boundary are assigned to the adjacent
+        grid; points outside every grid raise ``ValueError``.
+        """
+        for cell in self._cells:
+            if cell.contains(x, y):
+                return cell.index
+        for cell in self._cells:
+            if cell.contains_closed(x, y):
+                return cell.index
+        raise ValueError("point (%.3f, %.3f) lies outside the partition" % (x, y))
+
+    def distance_matrix(self) -> "np.ndarray":  # noqa: F821 - documented return
+        """Pairwise centre-to-centre distances in units of the grid size."""
+        import numpy as np
+
+        centers = np.asarray(self.centers(), dtype=float)
+        deltas = centers[:, np.newaxis, :] - centers[np.newaxis, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=2))
+        return distances / self._grid_size

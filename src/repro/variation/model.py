@@ -1,0 +1,234 @@
+"""The complete variation model used to build statistical delay arcs.
+
+A :class:`VariationModel` ties together a die grid partition, a spatial
+correlation profile and a process-parameter budget, performs the PCA
+decomposition of the correlated local variables (eq. 2) and converts a
+nominal delay plus a placement location into the canonical linear form of
+eq. (3).
+
+Variance bookkeeping
+--------------------
+For a delay with nominal value ``d0`` placed at ``(x, y)``:
+
+* the total delay sigma is ``d0 * sigma_fraction``;
+* a ``random_variance_share`` fraction of the variance is carried by the
+  delay-private random variable ``xr``;
+* the remaining (spatially correlated) variance is split between the shared
+  global variable ``xg`` and the grid-local variables according to the
+  correlation floor of the spatial profile — in the paper's setup distant
+  grids keep a correlation of 0.42, which is exactly the share attributed to
+  the global component;
+* the local part is spread over the independent PCA components using the
+  row of the mixing matrix ``A`` that corresponds to the grid containing
+  ``(x, y)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm
+from repro.variation.grid import Die, GridPartition
+from repro.variation.parameters import ParameterSet, nassif_parameters
+from repro.variation.pca import PCADecomposition, decompose_covariance
+from repro.variation.spatial import SpatialCorrelation
+
+__all__ = ["VariationModel"]
+
+
+class VariationModel:
+    """Statistical context shared by every delay arc of one module (or design).
+
+    Parameters
+    ----------
+    partition:
+        Grid partition of the module's die.
+    correlation:
+        Spatial correlation profile of the within-die variation.
+    sigma_fraction:
+        Total delay standard deviation as a fraction of the nominal delay.
+    random_variance_share:
+        Fraction of the total delay *variance* carried by the purely random
+        component (``xr``); the rest is spatially correlated.
+    """
+
+    def __init__(
+        self,
+        partition: GridPartition,
+        correlation: Optional[SpatialCorrelation] = None,
+        sigma_fraction: float = 0.12,
+        random_variance_share: float = 0.2,
+    ) -> None:
+        if sigma_fraction < 0.0:
+            raise ValueError("sigma_fraction must be non-negative")
+        if not 0.0 <= random_variance_share <= 1.0:
+            raise ValueError("random_variance_share must be in [0, 1]")
+        self._partition = partition
+        self._correlation = SpatialCorrelation() if correlation is None else correlation
+        self._sigma_fraction = float(sigma_fraction)
+        self._random_share = float(random_variance_share)
+
+        self._local_corr = self._correlation.local_correlation_matrix(partition)
+        self._pca = decompose_covariance(self._local_corr)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parameters(
+        cls,
+        partition: GridPartition,
+        correlation: Optional[SpatialCorrelation] = None,
+        parameters: Optional[ParameterSet] = None,
+    ) -> "VariationModel":
+        """Build a model from a :class:`ParameterSet` budget.
+
+        The total sigma fraction is the root-sum-square of the parameter
+        sigmas (different parameters treated as uncorrelated, as in the
+        paper) and the random variance share is taken from the parameters'
+        random components.
+        """
+        parameters = nassif_parameters() if parameters is None else parameters
+        total = parameters.combined_sigma_fraction()
+        _unused_global, _unused_local, random_fraction = (
+            parameters.component_sigma_fractions()
+        )
+        if total > 0.0:
+            random_share = (random_fraction / total) ** 2
+        else:
+            random_share = 0.0
+        return cls(partition, correlation, total, random_share)
+
+    @classmethod
+    def for_die(
+        cls,
+        die: Die,
+        num_cells: int,
+        correlation: Optional[SpatialCorrelation] = None,
+        sigma_fraction: float = 0.12,
+        random_variance_share: float = 0.2,
+        max_cells_per_grid: int = 100,
+    ) -> "VariationModel":
+        """Convenience constructor that also builds the grid partition."""
+        partition = GridPartition.for_cell_count(die, num_cells, max_cells_per_grid)
+        return cls(partition, correlation, sigma_fraction, random_variance_share)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> GridPartition:
+        """The die grid partition the local variables are attached to."""
+        return self._partition
+
+    @property
+    def correlation(self) -> SpatialCorrelation:
+        """Spatial correlation profile."""
+        return self._correlation
+
+    @property
+    def pca(self) -> PCADecomposition:
+        """PCA decomposition of the local grid correlation matrix."""
+        return self._pca
+
+    @property
+    def sigma_fraction(self) -> float:
+        """Total delay sigma as a fraction of the nominal delay."""
+        return self._sigma_fraction
+
+    @property
+    def random_variance_share(self) -> float:
+        """Share of the delay variance carried by the private random part."""
+        return self._random_share
+
+    @property
+    def num_locals(self) -> int:
+        """Number of independent local (PCA) variables."""
+        return self._pca.num_components
+
+    @property
+    def num_grids(self) -> int:
+        """Number of correlated grid variables before PCA."""
+        return self._partition.num_grids
+
+    @property
+    def local_correlation_matrix(self) -> np.ndarray:
+        """Correlation matrix of the grid-local variables."""
+        return self._local_corr
+
+    # ------------------------------------------------------------------
+    # Variance split helpers
+    # ------------------------------------------------------------------
+    def variance_split(self, nominal: float) -> Tuple[float, float, float]:
+        """``(global, local, random)`` variances of a delay with mean ``nominal``."""
+        sigma = abs(nominal) * self._sigma_fraction
+        total_var = sigma * sigma
+        random_var = self._random_share * total_var
+        correlated_var = total_var - random_var
+        global_var = self._correlation.global_variance_share * correlated_var
+        local_var = correlated_var - global_var
+        return global_var, local_var, random_var
+
+    # ------------------------------------------------------------------
+    # Canonical-form factory
+    # ------------------------------------------------------------------
+    def delay_form(
+        self,
+        nominal: float,
+        x: float,
+        y: float,
+        sigma_scale: float = 1.0,
+    ) -> CanonicalForm:
+        """Canonical form of a delay with mean ``nominal`` placed at ``(x, y)``.
+
+        ``sigma_scale`` optionally scales the arc's variability relative to
+        the model default (e.g. arcs of complex cells being slightly more
+        sensitive); it multiplies the standard deviation, not the variance.
+        """
+        grid_index = self._partition.grid_index_at(x, y)
+        return self.delay_form_for_grid(nominal, grid_index, sigma_scale)
+
+    def delay_form_for_grid(
+        self,
+        nominal: float,
+        grid_index: int,
+        sigma_scale: float = 1.0,
+    ) -> CanonicalForm:
+        """Same as :meth:`delay_form` but with the grid index already known."""
+        if not 0 <= grid_index < self.num_grids:
+            raise IndexError("grid index %d out of range" % grid_index)
+        global_var, local_var, random_var = self.variance_split(nominal)
+        scale_sq = sigma_scale * sigma_scale
+        global_var *= scale_sq
+        local_var *= scale_sq
+        random_var *= scale_sq
+
+        global_coeff = math.sqrt(global_var)
+        local_coeffs = math.sqrt(local_var) * self._pca.coefficients_for(grid_index)
+        random_coeff = math.sqrt(random_var)
+        return CanonicalForm(nominal, global_coeff, local_coeffs, random_coeff)
+
+    def constant_form(self, value: float) -> CanonicalForm:
+        """A deterministic value expressed with this model's local dimension."""
+        return CanonicalForm.constant(value, self.num_locals)
+
+    # ------------------------------------------------------------------
+    # Monte Carlo support
+    # ------------------------------------------------------------------
+    def sample_local_components(
+        self, num_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw samples of the independent PCA variables ``x``.
+
+        Returns an array of shape ``(num_locals, num_samples)``.  Feeding
+        these into :meth:`CanonicalForm.sample` reproduces the correlated
+        grid behaviour because the PCA rows already encode the mixing.
+        """
+        return rng.standard_normal((self.num_locals, num_samples))
+
+    def sample_global(self, num_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw samples of the shared global variable ``xg``."""
+        return rng.standard_normal(num_samples)

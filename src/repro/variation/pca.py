@@ -1,0 +1,135 @@
+"""Principal component analysis of correlated grid variables (eq. 2).
+
+The vector of correlated local variables ``pl`` with covariance matrix ``C``
+is decomposed as ``pl = A x`` where ``x`` is a vector of independent
+standard-normal variables.  We use the eigendecomposition
+``C = U diag(lambda) U^T`` and set ``A = U diag(sqrt(lambda))`` so that
+``cov(A x) = A A^T = C`` exactly.
+
+The paper states ``A`` is orthogonal with ``A^-1 = A^T``; that holds for the
+pure eigenvector matrix when the variables are additionally scaled, but the
+replacement algebra of Section V only requires a *left inverse* that maps
+``pl`` back onto ``x``.  :class:`PCADecomposition` therefore exposes both the
+mixing matrix ``A`` and its pseudo-inverse so eq. (19) can be applied without
+assuming orthogonality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PCADecomposition", "decompose_covariance"]
+
+
+@dataclass(frozen=True)
+class PCADecomposition:
+    """Result of decomposing a covariance matrix ``C`` into ``A A^T``.
+
+    Attributes
+    ----------
+    covariance:
+        The original covariance matrix ``C`` (n x n).
+    transform:
+        The mixing matrix ``A`` (n x k) with ``pl = A x``; ``k`` is the
+        number of retained components (``k == n`` unless truncated).
+    inverse_transform:
+        Left inverse of ``A`` (k x n) such that ``x = inverse_transform @ pl``
+        in the mean-square sense.
+    eigenvalues:
+        Retained eigenvalues of ``C`` in descending order (length ``k``).
+    """
+
+    covariance: np.ndarray
+    transform: np.ndarray
+    inverse_transform: np.ndarray
+    eigenvalues: np.ndarray
+
+    @property
+    def num_variables(self) -> int:
+        """Number of correlated variables (rows of ``A``)."""
+        return int(self.transform.shape[0])
+
+    @property
+    def num_components(self) -> int:
+        """Number of independent components (columns of ``A``)."""
+        return int(self.transform.shape[1])
+
+    def coefficients_for(self, grid_index: int) -> np.ndarray:
+        """Row of ``A`` for one grid variable.
+
+        A delay that depends on grid ``i`` with local sensitivity ``s``
+        contributes ``s * coefficients_for(i)`` to its canonical local
+        coefficient vector.
+        """
+        return self.transform[grid_index]
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance carried by each retained component."""
+        total = float(np.trace(self.covariance))
+        if total <= 0.0:
+            return np.zeros_like(self.eigenvalues)
+        return self.eigenvalues / total
+
+    def reconstruct_covariance(self) -> np.ndarray:
+        """``A A^T`` — equals ``C`` exactly when no components were truncated."""
+        return self.transform @ self.transform.T
+
+
+def decompose_covariance(
+    covariance: np.ndarray,
+    variance_tolerance: float = 0.0,
+    min_eigenvalue: float = 1e-12,
+) -> PCADecomposition:
+    """Eigendecompose a covariance matrix into independent components.
+
+    Parameters
+    ----------
+    covariance:
+        Symmetric positive-semidefinite matrix ``C``.
+    variance_tolerance:
+        If positive, trailing components are dropped as long as the retained
+        ones still explain at least ``1 - variance_tolerance`` of the total
+        variance (dimension reduction).
+    min_eigenvalue:
+        Components with eigenvalues below this threshold are always dropped
+        (they carry numerically zero variance).
+    """
+    covariance = np.asarray(covariance, dtype=float)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise ValueError("covariance must be a square matrix")
+    symmetric = 0.5 * (covariance + covariance.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(symmetric)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    keep = eigenvalues > min_eigenvalue
+    if variance_tolerance > 0.0 and eigenvalues.sum() > 0.0:
+        cumulative = np.cumsum(eigenvalues) / eigenvalues.sum()
+        needed = int(np.searchsorted(cumulative, 1.0 - variance_tolerance) + 1)
+        keep = keep & (np.arange(eigenvalues.shape[0]) < needed)
+    if not keep.any():
+        # Degenerate (all-zero) covariance: keep a single zero component so
+        # downstream shapes stay consistent.
+        keep = np.zeros_like(keep)
+        keep[0] = True
+
+    eigenvalues = eigenvalues[keep]
+    eigenvectors = eigenvectors[:, keep]
+
+    scales = np.sqrt(eigenvalues)
+    transform = eigenvectors * scales
+    with np.errstate(divide="ignore"):
+        inv_scales = np.where(scales > 0.0, 1.0 / scales, 0.0)
+    inverse_transform = (eigenvectors * inv_scales).T
+
+    return PCADecomposition(
+        covariance=symmetric,
+        transform=transform,
+        inverse_transform=inverse_transform,
+        eigenvalues=eigenvalues,
+    )

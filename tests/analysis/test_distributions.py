@@ -1,0 +1,62 @@
+"""Tests of distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import EmpiricalDistribution, gaussian_cdf
+
+
+class TestGaussianCdf:
+    def test_midpoint(self):
+        assert gaussian_cdf(np.array([5.0]), 5.0, 2.0)[0] == pytest.approx(0.5)
+
+    def test_zero_sigma_is_step_function(self):
+        values = gaussian_cdf(np.array([4.0, 5.0, 6.0]), 5.0, 0.0)
+        assert values.tolist() == [0.0, 1.0, 1.0]
+
+
+class TestEmpiricalDistribution:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(np.array([]))
+
+    def test_moments(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, 50000)
+        distribution = EmpiricalDistribution(samples)
+        assert distribution.mean == pytest.approx(10.0, rel=0.01)
+        assert distribution.std == pytest.approx(2.0, rel=0.02)
+        assert distribution.min <= distribution.quantile(0.01)
+        assert distribution.max >= distribution.quantile(0.99)
+
+    def test_cdf_monotone_and_bounded(self):
+        distribution = EmpiricalDistribution(np.array([1.0, 2.0, 3.0, 4.0]))
+        grid = np.linspace(0.0, 5.0, 11)
+        cdf = distribution.cdf(grid)
+        assert cdf[0] == 0.0
+        assert cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) >= 0.0)
+        assert distribution.cdf(2.0) == pytest.approx(0.5)
+
+    def test_quantile_inverse_of_cdf(self):
+        rng = np.random.default_rng(1)
+        distribution = EmpiricalDistribution(rng.normal(0.0, 1.0, 10000))
+        for q in (0.1, 0.5, 0.9):
+            value = float(distribution.quantile(q))
+            assert float(distribution.cdf(value)) == pytest.approx(q, abs=0.01)
+
+    def test_histogram_total(self):
+        distribution = EmpiricalDistribution(np.arange(100, dtype=float))
+        counts, _edges = distribution.histogram(bins=10)
+        assert counts.sum() == 100
+
+    def test_normalized_range(self):
+        distribution = EmpiricalDistribution(np.array([5.0, 10.0, 15.0]))
+        normalized = distribution.normalized()
+        assert normalized.min == 0.0
+        assert normalized.max == 1.0
+
+    def test_normalized_constant_samples(self):
+        distribution = EmpiricalDistribution(np.full(10, 3.0))
+        normalized = distribution.normalized()
+        assert normalized.min == normalized.max == 0.0

@@ -1,0 +1,61 @@
+"""Tests of the comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import EmpiricalDistribution
+from repro.analysis.metrics import (
+    ks_statistic_against_gaussian,
+    max_cdf_gap,
+    max_relative_matrix_error,
+    mean_error,
+    quantile_errors,
+    relative_error,
+    std_error,
+)
+
+
+class TestRelativeErrors:
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+        assert mean_error(10.2, 10.0) == pytest.approx(0.02)
+        assert std_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_matrix_error_ignores_nan(self):
+        estimate = np.array([[1.0, 2.0], [np.nan, 4.0]])
+        reference = np.array([[1.1, 2.0], [3.0, np.nan]])
+        assert max_relative_matrix_error(estimate, reference) == pytest.approx(0.1 / 1.1)
+
+    def test_matrix_error_all_nan(self):
+        assert max_relative_matrix_error(np.full((2, 2), np.nan), np.ones((2, 2))) == 0.0
+
+
+class TestDistributionMetrics:
+    def test_ks_statistic_small_for_matching_gaussian(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(5.0, 1.5, 20000)
+        distribution = EmpiricalDistribution(samples)
+        assert ks_statistic_against_gaussian(distribution, 5.0, 1.5) < 0.02
+
+    def test_ks_statistic_large_for_wrong_moments(self):
+        rng = np.random.default_rng(4)
+        distribution = EmpiricalDistribution(rng.normal(5.0, 1.5, 20000))
+        assert ks_statistic_against_gaussian(distribution, 8.0, 1.5) > 0.5
+
+    def test_max_cdf_gap_behaviour(self):
+        rng = np.random.default_rng(5)
+        distribution = EmpiricalDistribution(rng.normal(0.0, 1.0, 20000))
+        good = max_cdf_gap(distribution, 0.0, 1.0)
+        bad = max_cdf_gap(distribution, 0.0, 2.0)
+        assert good < 0.02
+        assert bad > 0.1
+
+    def test_quantile_errors(self):
+        rng = np.random.default_rng(6)
+        distribution = EmpiricalDistribution(rng.normal(100.0, 10.0, 50000))
+        errors = quantile_errors(distribution, 100.0, 10.0)
+        assert set(errors) == {0.01, 0.05, 0.5, 0.95, 0.99}
+        assert max(errors.values()) < 0.02

@@ -1,0 +1,54 @@
+"""Tests of the plain-text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    ascii_cdf_plot,
+    ascii_histogram,
+    format_percent,
+    format_table,
+)
+
+
+class TestFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.203) == "20.3%"
+        assert format_percent(0.0059, digits=2) == "0.59%"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1), ("bb", 22.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data rows have the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only one",)])
+
+
+class TestAsciiPlots:
+    def test_histogram_renders_every_bin(self):
+        counts = np.array([1, 5, 10])
+        edges = np.array([0.0, 0.1, 0.2, 0.3])
+        text = ascii_histogram(counts, edges, width=20, title="H")
+        lines = text.splitlines()
+        assert lines[0] == "H"
+        assert len(lines) == 4
+        assert lines[-1].count("#") == 20
+
+    def test_histogram_handles_empty_counts(self):
+        text = ascii_histogram(np.zeros(3), np.linspace(0, 1, 4))
+        assert "#" not in text
+
+    def test_cdf_plot_contains_legend_and_markers(self):
+        grid = np.linspace(0.0, 1.0, 30)
+        curves = {"a": grid, "b": np.sqrt(grid)}
+        text = ascii_cdf_plot(grid, curves, width=40, height=10, title="cdf")
+        assert "legend" in text
+        assert "* a" in text
+        assert "o b" in text
+        assert text.count("\n") >= 12

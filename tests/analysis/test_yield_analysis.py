@@ -1,0 +1,75 @@
+"""Tests of parametric timing-yield analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import EmpiricalDistribution
+from repro.analysis.yield_analysis import (
+    required_period_for_yield,
+    timing_yield,
+    yield_curve,
+)
+from repro.core.canonical import CanonicalForm
+from repro.montecarlo.flat import simulate_graph_delay
+from repro.timing.propagation import circuit_delay
+
+
+@pytest.fixture
+def gaussian_delay() -> CanonicalForm:
+    return CanonicalForm(1000.0, 30.0, [40.0], 0.0)  # std = 50
+
+
+class TestTimingYield:
+    def test_yield_at_mean_is_half(self, gaussian_delay):
+        assert timing_yield(gaussian_delay, 1000.0) == pytest.approx(0.5)
+
+    def test_three_sigma_yield(self, gaussian_delay):
+        assert timing_yield(gaussian_delay, 1150.0) == pytest.approx(0.99865, abs=1e-4)
+
+    def test_empirical_input(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert timing_yield(samples, 2.5) == pytest.approx(0.5)
+        assert timing_yield(EmpiricalDistribution(samples), 4.0) == 1.0
+
+    def test_required_period_inverts_yield(self, gaussian_delay):
+        for target in (0.5, 0.9, 0.99):
+            period = required_period_for_yield(gaussian_delay, target)
+            assert timing_yield(gaussian_delay, period) == pytest.approx(target, abs=1e-6)
+
+    def test_required_period_validates_target(self, gaussian_delay):
+        with pytest.raises(ValueError):
+            required_period_for_yield(gaussian_delay, 1.5)
+        with pytest.raises(ValueError):
+            required_period_for_yield(gaussian_delay, 0.0)
+
+
+class TestYieldCurve:
+    def test_curve_is_monotone_from_zero_to_one(self, gaussian_delay):
+        curve = yield_curve(gaussian_delay)
+        assert curve.yields[0] < 0.01
+        assert curve.yields[-1] > 0.99
+        assert np.all(np.diff(curve.yields) >= -1e-12)
+        assert len(curve) == 101
+
+    def test_interpolation_helpers(self, gaussian_delay):
+        curve = yield_curve(gaussian_delay)
+        assert curve.at(1000.0) == pytest.approx(0.5, abs=0.01)
+        assert curve.period_for(0.5) == pytest.approx(1000.0, rel=0.01)
+
+    def test_explicit_period_grid(self, gaussian_delay):
+        curve = yield_curve(gaussian_delay, periods=[900.0, 1000.0, 1100.0])
+        assert len(curve) == 3
+
+    def test_invalid_grids_rejected(self, gaussian_delay):
+        with pytest.raises(ValueError):
+            yield_curve(gaussian_delay, periods=[1000.0])
+        with pytest.raises(ValueError):
+            yield_curve(gaussian_delay, periods=[1100.0, 1000.0])
+
+    def test_analytical_and_monte_carlo_curves_agree(self, adder_graph):
+        analytical = circuit_delay(adder_graph)
+        samples = simulate_graph_delay(adder_graph, num_samples=4000, seed=8).samples
+        grid = np.linspace(samples.min(), samples.max(), 41)
+        gaussian = yield_curve(analytical, periods=grid)
+        empirical = yield_curve(samples, periods=grid)
+        assert np.max(np.abs(gaussian.yields - empirical.yields)) < 0.06

@@ -1,0 +1,107 @@
+"""Shared fixtures of the repro test suite.
+
+The fixtures favour small, deterministic circuits so the full suite stays
+fast; the experiment-level tests use the FAST configuration (reduced Monte
+Carlo sample counts) for the same reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.experiments.config import ExperimentConfig
+from repro.liberty.library import Library, standard_library
+from repro.netlist.generators import layered_random_circuit, ripple_carry_adder
+from repro.netlist.netlist import Gate, Netlist
+from repro.placement.placer import Placement, place_netlist
+from repro.timing.builder import build_timing_graph, default_variation_for
+from repro.timing.graph import TimingGraph
+from repro.variation.grid import Die, GridPartition
+from repro.variation.model import VariationModel
+from repro.variation.spatial import SpatialCorrelation
+
+
+@pytest.fixture(scope="session")
+def library() -> Library:
+    """The synthetic 90 nm library shared by all tests."""
+    return standard_library()
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ExperimentConfig:
+    """Paper configuration with reduced Monte Carlo sample counts."""
+    return ExperimentConfig(monte_carlo_samples=1500, monte_carlo_chunk=750)
+
+
+@pytest.fixture
+def tiny_netlist() -> Netlist:
+    """A hand-written five-gate circuit with reconvergent fanout."""
+    gates = [
+        Gate("u1", "NAND", ("a", "b"), "n1"),
+        Gate("u2", "NOR", ("b", "c"), "n2"),
+        Gate("u3", "AND", ("n1", "n2"), "n3"),
+        Gate("u4", "INV", ("n1",), "n4"),
+        Gate("u5", "OR", ("n3", "n4"), "z"),
+    ]
+    netlist = Netlist("tiny", ["a", "b", "c"], ["z"], gates)
+    netlist.validate()
+    return netlist
+
+
+@pytest.fixture
+def adder_netlist() -> Netlist:
+    """A 4-bit ripple-carry adder."""
+    return ripple_carry_adder(4)
+
+
+@pytest.fixture
+def small_random_netlist() -> Netlist:
+    """A 60-gate random circuit with exact connection count."""
+    return layered_random_circuit(
+        "rand60", num_inputs=8, num_outputs=5, num_gates=60, num_connections=130, seed=7
+    )
+
+
+@pytest.fixture
+def small_variation() -> VariationModel:
+    """A 2x2-grid variation model on a 10x10 die."""
+    partition = GridPartition.regular(Die(10.0, 10.0), 5.0)
+    return VariationModel(partition, SpatialCorrelation(), sigma_fraction=0.1,
+                          random_variance_share=0.25)
+
+
+@pytest.fixture
+def tiny_graph(tiny_netlist, library) -> TimingGraph:
+    """Statistical timing graph of the five-gate circuit."""
+    placement = place_netlist(tiny_netlist, library)
+    variation = default_variation_for(tiny_netlist, placement)
+    return build_timing_graph(tiny_netlist, library, placement, variation)
+
+
+@pytest.fixture
+def adder_graph(adder_netlist, library) -> TimingGraph:
+    """Statistical timing graph of the 4-bit adder."""
+    placement = place_netlist(adder_netlist, library)
+    variation = default_variation_for(adder_netlist, placement)
+    return build_timing_graph(adder_netlist, library, placement, variation)
+
+
+@pytest.fixture
+def random_graph_and_variation(small_random_netlist, library):
+    """Graph plus variation model of the 60-gate random circuit."""
+    placement = place_netlist(small_random_netlist, library)
+    variation = default_variation_for(small_random_netlist, placement)
+    graph = build_timing_graph(small_random_netlist, library, placement, variation)
+    return graph, variation
+
+
+def make_form(
+    nominal: float,
+    global_coeff: float = 0.0,
+    local_coeffs=None,
+    random_coeff: float = 0.0,
+) -> CanonicalForm:
+    """Shorthand canonical-form constructor used across test modules."""
+    return CanonicalForm(nominal, global_coeff, local_coeffs, random_coeff)

@@ -1,0 +1,197 @@
+"""Unit tests of the canonical linear delay form."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import CanonicalForm
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        form = CanonicalForm()
+        assert form.nominal == 0.0
+        assert form.variance == 0.0
+        assert form.num_locals == 0
+
+    def test_constant(self):
+        form = CanonicalForm.constant(3.5, num_locals=4)
+        assert form.nominal == 3.5
+        assert form.std == 0.0
+        assert form.num_locals == 4
+
+    def test_minus_infinity_is_not_finite(self):
+        form = CanonicalForm.minus_infinity(2)
+        assert not form.is_finite
+        assert form.nominal == -math.inf
+
+    def test_random_coefficient_stored_as_absolute(self):
+        form = CanonicalForm(1.0, random_coeff=-2.0)
+        assert form.random_coeff == 2.0
+
+    def test_local_coefficients_are_copied_and_read_only(self):
+        coeffs = np.array([1.0, 2.0])
+        form = CanonicalForm(0.0, 0.0, coeffs, 0.0)
+        coeffs[0] = 99.0
+        assert form.local_coeffs[0] == 1.0
+        with pytest.raises(ValueError):
+            form.local_coeffs[0] = 5.0
+
+
+class TestMoments:
+    def test_variance_combines_all_components(self):
+        form = CanonicalForm(10.0, 3.0, [4.0], 12.0)
+        assert form.variance == pytest.approx(9.0 + 16.0 + 144.0)
+        assert form.std == pytest.approx(13.0)
+
+    def test_correlated_variance_excludes_random(self):
+        form = CanonicalForm(10.0, 3.0, [4.0], 12.0)
+        assert form.correlated_variance == pytest.approx(25.0)
+
+    def test_mean_alias(self):
+        form = CanonicalForm(7.25)
+        assert form.mean == form.nominal == 7.25
+
+
+class TestArithmetic:
+    def test_add_sums_coefficients(self):
+        a = CanonicalForm(1.0, 2.0, [1.0, 0.0], 3.0)
+        b = CanonicalForm(4.0, 1.0, [2.0, 5.0], 4.0)
+        c = a.add(b)
+        assert c.nominal == 5.0
+        assert c.global_coeff == 3.0
+        assert np.allclose(c.local_coeffs, [3.0, 5.0])
+        assert c.random_coeff == pytest.approx(5.0)  # hypot(3, 4)
+
+    def test_add_broadcasts_shorter_local_vector(self):
+        a = CanonicalForm(1.0, 0.0, [1.0], 0.0)
+        b = CanonicalForm(1.0, 0.0, [1.0, 2.0, 3.0], 0.0)
+        c = a + b
+        assert np.allclose(c.local_coeffs, [2.0, 2.0, 3.0])
+
+    def test_add_constant_shifts_mean_only(self):
+        a = CanonicalForm(1.0, 2.0, [3.0], 4.0)
+        b = a.add_constant(10.0)
+        assert b.nominal == 11.0
+        assert b.variance == a.variance
+
+    def test_scalar_multiplication(self):
+        a = CanonicalForm(2.0, 1.0, [2.0], 2.0)
+        b = a * 3.0
+        assert b.nominal == 6.0
+        assert b.std == pytest.approx(3.0 * a.std)
+
+    def test_negate_keeps_variance(self):
+        a = CanonicalForm(2.0, 1.0, [2.0], 2.0)
+        b = -a
+        assert b.nominal == -2.0
+        assert b.variance == pytest.approx(a.variance)
+
+    def test_subtract_adds_random_variance(self):
+        a = CanonicalForm(5.0, 0.0, None, 3.0)
+        b = CanonicalForm(2.0, 0.0, None, 4.0)
+        c = a - b
+        assert c.nominal == 3.0
+        assert c.std == pytest.approx(5.0)
+
+    def test_operator_overloads_with_scalars(self):
+        a = CanonicalForm(5.0)
+        assert (a + 2.0).nominal == 7.0
+        assert (2.0 + a).nominal == 7.0
+        assert (a - 1.0).nominal == 4.0
+        assert (3.0 * a).nominal == 15.0
+
+
+class TestCovariance:
+    def test_covariance_uses_shared_variables_only(self):
+        a = CanonicalForm(0.0, 2.0, [1.0, 0.0], 5.0)
+        b = CanonicalForm(0.0, 3.0, [4.0, 1.0], 7.0)
+        assert a.covariance(b) == pytest.approx(2.0 * 3.0 + 1.0 * 4.0)
+
+    def test_correlation_of_identical_correlated_forms_is_one(self):
+        a = CanonicalForm(1.0, 2.0, [3.0], 0.0)
+        assert a.correlation(a) == pytest.approx(1.0)
+
+    def test_correlation_with_deterministic_form_is_zero(self):
+        a = CanonicalForm(1.0, 2.0, [3.0], 0.0)
+        b = CanonicalForm.constant(5.0, 1)
+        assert a.correlation(b) == 0.0
+
+
+class TestRemapLocals:
+    def test_remap_preserves_mean_and_global(self):
+        form = CanonicalForm(10.0, 2.0, [1.0, 2.0], 0.5)
+        matrix = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        remapped = form.remap_locals(matrix)
+        assert remapped.nominal == 10.0
+        assert remapped.global_coeff == 2.0
+        assert remapped.num_locals == 3
+        assert np.allclose(remapped.local_coeffs, [1.0, 2.0, 0.0])
+
+    def test_remap_with_orthogonal_matrix_preserves_variance(self):
+        rng = np.random.default_rng(3)
+        matrix = np.linalg.qr(rng.standard_normal((4, 4)))[0]
+        form = CanonicalForm(1.0, 0.5, rng.standard_normal(4), 0.25)
+        remapped = form.remap_locals(matrix)
+        assert remapped.variance == pytest.approx(form.variance)
+
+    def test_remap_rejects_wrong_row_count(self):
+        form = CanonicalForm(1.0, 0.0, [1.0, 2.0], 0.0)
+        with pytest.raises(ValueError):
+            form.remap_locals(np.zeros((3, 2)))
+
+    def test_remap_rejects_non_matrix(self):
+        form = CanonicalForm(1.0, 0.0, [1.0], 0.0)
+        with pytest.raises(ValueError):
+            form.remap_locals(np.zeros(3))
+
+
+class TestSamplingAndDistribution:
+    def test_sample_reproduces_linear_model(self):
+        form = CanonicalForm(10.0, 2.0, [1.0, -1.0], 3.0)
+        value = form.sample(0.5, np.array([1.0, 2.0]), -1.0)
+        expected = 10.0 + 2.0 * 0.5 + 1.0 * 1.0 - 1.0 * 2.0 + 3.0 * -1.0
+        assert value[0] == pytest.approx(expected)
+
+    def test_sample_statistics_match_moments(self):
+        rng = np.random.default_rng(11)
+        form = CanonicalForm(50.0, 2.0, [1.5, 0.5], 1.0)
+        n = 40000
+        values = form.sample(
+            rng.standard_normal(n), rng.standard_normal((2, n)), rng.standard_normal(n)
+        )
+        assert np.mean(values) == pytest.approx(form.nominal, rel=0.01)
+        assert np.std(values) == pytest.approx(form.std, rel=0.03)
+
+    def test_quantile_and_cdf_are_consistent(self):
+        form = CanonicalForm(100.0, 5.0, [5.0], 5.0)
+        q95 = form.quantile(0.95)
+        assert float(form.cdf(q95)) == pytest.approx(0.95, abs=1e-9)
+
+    def test_cdf_of_deterministic_form_is_step(self):
+        form = CanonicalForm.constant(10.0)
+        assert float(form.cdf(9.0)) == pytest.approx(0.0)
+        assert float(form.cdf(11.0)) == pytest.approx(1.0)
+
+
+class TestEqualityAndRepr:
+    def test_equality_and_hash(self):
+        a = CanonicalForm(1.0, 2.0, [3.0], 4.0)
+        b = CanonicalForm(1.0, 2.0, [3.0], 4.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_broadcasts_trailing_zeros(self):
+        a = CanonicalForm(1.0, 2.0, [3.0], 4.0)
+        b = CanonicalForm(1.0, 2.0, [3.0, 0.0], 4.0)
+        assert a == b
+
+    def test_is_close(self):
+        a = CanonicalForm(1.0, 2.0, [3.0], 4.0)
+        b = CanonicalForm(1.0 + 1e-12, 2.0, [3.0], 4.0)
+        assert a.is_close(b)
+
+    def test_repr_mentions_moments(self):
+        text = repr(CanonicalForm(1.5, 0.5, [0.5], 0.5))
+        assert "nominal=1.5" in text

@@ -1,0 +1,71 @@
+"""Tests of covariance/correlation helpers over canonical forms."""
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.core.correlation import (
+    correlation,
+    correlation_matrix,
+    covariance,
+    covariance_matrix,
+)
+
+
+@pytest.fixture
+def forms():
+    return [
+        CanonicalForm(10.0, 1.0, [2.0, 0.0], 1.0),
+        CanonicalForm(12.0, 1.0, [0.0, 2.0], 0.5),
+        CanonicalForm(8.0, 0.0, [1.0, 1.0], 2.0),
+    ]
+
+
+def test_covariance_is_symmetric(forms):
+    assert covariance(forms[0], forms[1]) == covariance(forms[1], forms[0])
+
+
+def test_covariance_matrix_diagonal_holds_variances(forms):
+    matrix = covariance_matrix(forms)
+    for index, form in enumerate(forms):
+        assert matrix[index, index] == pytest.approx(form.variance)
+
+
+def test_covariance_matrix_off_diagonal(forms):
+    matrix = covariance_matrix(forms)
+    assert matrix[0, 1] == pytest.approx(forms[0].covariance(forms[1]))
+    assert np.allclose(matrix, matrix.T)
+
+
+def test_covariance_matrix_is_positive_semidefinite(forms):
+    matrix = covariance_matrix(forms)
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    assert eigenvalues.min() >= -1e-9
+
+
+def test_correlation_matrix_has_unit_diagonal(forms):
+    matrix = correlation_matrix(forms)
+    assert np.allclose(np.diag(matrix), 1.0)
+    assert np.all(matrix <= 1.0 + 1e-12)
+    assert np.all(matrix >= -1.0 - 1e-12)
+
+
+def test_correlation_with_deterministic_form_is_zero(forms):
+    deterministic = CanonicalForm.constant(1.0, 2)
+    assert correlation(forms[0], deterministic) == 0.0
+    matrix = correlation_matrix([forms[0], deterministic])
+    assert matrix[0, 1] == 0.0
+    assert matrix[1, 1] == 1.0
+
+
+def test_sampled_correlation_matches_analytical(forms):
+    rng = np.random.default_rng(23)
+    n = 200000
+    xg = rng.standard_normal(n)
+    xl = rng.standard_normal((2, n))
+    sampled = [
+        form.sample(xg, xl, rng.standard_normal(n)) for form in forms
+    ]
+    empirical = np.corrcoef(np.vstack(sampled))
+    analytical = correlation_matrix(forms)
+    assert np.allclose(empirical, analytical, atol=0.02)

@@ -1,0 +1,155 @@
+"""Unit and property-based tests of the statistical sum/max operators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import CanonicalForm
+from repro.core.ops import (
+    exceedance_probability,
+    statistical_max,
+    statistical_max_many,
+    statistical_min,
+    statistical_sum,
+    tightness_probability,
+)
+
+
+def _finite_forms(max_locals: int = 3):
+    """Hypothesis strategy generating bounded canonical forms."""
+    coeff = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+    positive = st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+    return st.builds(
+        CanonicalForm,
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+        coeff,
+        st.lists(coeff, min_size=max_locals, max_size=max_locals),
+        positive,
+    )
+
+
+class TestSum:
+    def test_sum_matches_add(self):
+        a = CanonicalForm(1.0, 1.0, [1.0], 1.0)
+        b = CanonicalForm(2.0, 0.5, [0.5], 2.0)
+        assert statistical_sum(a, b) == a.add(b)
+
+    @given(_finite_forms(), _finite_forms())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_moments(self, a, b):
+        c = statistical_sum(a, b)
+        assert c.nominal == pytest.approx(a.nominal + b.nominal, rel=1e-9, abs=1e-9)
+        expected_var = a.variance + b.variance + 2.0 * a.covariance(b)
+        assert c.variance == pytest.approx(expected_var, rel=1e-9, abs=1e-9)
+
+
+class TestTightnessProbability:
+    def test_symmetric_case(self):
+        a = CanonicalForm(10.0, 1.0, None, 1.0)
+        b = CanonicalForm(10.0, 1.0, None, 1.0)
+        assert tightness_probability(a, b) == pytest.approx(0.5)
+
+    def test_dominant_operand(self):
+        a = CanonicalForm(100.0, 1.0, None, 0.0)
+        b = CanonicalForm(0.0, 1.0, None, 0.0)
+        assert tightness_probability(a, b) == pytest.approx(1.0)
+        assert tightness_probability(b, a) == pytest.approx(0.0)
+
+    def test_identical_correlated_forms_degenerate(self):
+        a = CanonicalForm(5.0, 2.0, [1.0], 0.0)
+        assert tightness_probability(a, a) == 1.0
+
+    def test_minus_infinity_never_wins(self):
+        a = CanonicalForm(5.0, 1.0, None, 0.0)
+        neg = CanonicalForm.minus_infinity()
+        assert tightness_probability(a, neg) == 1.0
+        assert tightness_probability(neg, a) == 0.0
+
+    def test_exceedance_probability(self):
+        a = CanonicalForm(10.0, 3.0, [4.0], 0.0)  # std 5
+        assert exceedance_probability(a, 10.0) == pytest.approx(0.5)
+        assert exceedance_probability(a, 0.0) == pytest.approx(0.9772, abs=1e-3)
+        deterministic = CanonicalForm.constant(1.0)
+        assert exceedance_probability(deterministic, 0.5) == 1.0
+        assert exceedance_probability(deterministic, 1.5) == 0.0
+
+
+class TestMax:
+    def test_max_with_minus_infinity_is_identity(self):
+        a = CanonicalForm(5.0, 1.0, [1.0], 1.0)
+        neg = CanonicalForm.minus_infinity(1)
+        assert statistical_max(a, neg) is a
+        assert statistical_max(neg, a) is a
+
+    def test_max_of_clearly_dominant_operand(self):
+        a = CanonicalForm(100.0, 1.0, [1.0], 1.0)
+        b = CanonicalForm(1.0, 1.0, [1.0], 1.0)
+        c = statistical_max(a, b)
+        assert c.nominal == pytest.approx(100.0, rel=1e-6)
+        assert c.std == pytest.approx(a.std, rel=1e-3)
+
+    def test_max_mean_exceeds_both_means_for_overlapping(self):
+        a = CanonicalForm(10.0, 0.0, None, 2.0)
+        b = CanonicalForm(10.0, 0.0, None, 2.0)
+        c = statistical_max(a, b)
+        assert c.nominal > 10.0
+
+    def test_max_against_monte_carlo(self):
+        rng = np.random.default_rng(17)
+        a = CanonicalForm(20.0, 1.0, [2.0, 0.0], 1.0)
+        b = CanonicalForm(21.0, 1.5, [0.0, 2.0], 1.5)
+        c = statistical_max(a, b)
+        n = 200000
+        xg = rng.standard_normal(n)
+        xl = rng.standard_normal((2, n))
+        sa = a.sample(xg, xl, rng.standard_normal(n))
+        sb = b.sample(xg, xl, rng.standard_normal(n))
+        empirical = np.maximum(sa, sb)
+        assert c.nominal == pytest.approx(float(np.mean(empirical)), rel=0.01)
+        assert c.std == pytest.approx(float(np.std(empirical)), rel=0.05)
+
+    def test_max_preserves_correlation_structure(self):
+        # The result's global coefficient is the TP-weighted combination.
+        a = CanonicalForm(10.0, 2.0, [1.0], 0.5)
+        b = CanonicalForm(10.0, 1.0, [2.0], 0.5)
+        c = statistical_max(a, b)
+        assert 1.0 < c.global_coeff < 2.0
+        assert c.local_coeffs[0] > 0.0
+
+    @given(_finite_forms(), _finite_forms())
+    @settings(max_examples=60, deadline=None)
+    def test_max_mean_at_least_both_means(self, a, b):
+        c = statistical_max(a, b)
+        assert c.nominal >= max(a.nominal, b.nominal) - 1e-6
+
+    @given(_finite_forms(), _finite_forms())
+    @settings(max_examples=60, deadline=None)
+    def test_max_is_commutative_in_moments(self, a, b):
+        c1 = statistical_max(a, b)
+        c2 = statistical_max(b, a)
+        assert c1.nominal == pytest.approx(c2.nominal, rel=1e-6, abs=1e-6)
+        assert c1.variance == pytest.approx(c2.variance, rel=1e-6, abs=1e-6)
+
+
+class TestMinAndMany:
+    def test_min_is_negated_max(self):
+        a = CanonicalForm(10.0, 1.0, [1.0], 1.0)
+        b = CanonicalForm(12.0, 1.0, [0.5], 1.0)
+        c = statistical_min(a, b)
+        assert c.nominal <= min(a.nominal, b.nominal) + 1e-9
+
+    def test_max_many_requires_one_form(self):
+        with pytest.raises(ValueError):
+            statistical_max_many([])
+
+    def test_max_many_single_form(self):
+        a = CanonicalForm(3.0)
+        assert statistical_max_many([a]) is a
+
+    def test_max_many_dominant(self):
+        forms = [CanonicalForm(float(value), 0.1, None, 0.1) for value in (1, 5, 42, 7)]
+        result = statistical_max_many(forms)
+        assert result.nominal == pytest.approx(42.0, rel=1e-3)

@@ -1,0 +1,54 @@
+"""Tests of the Fig. 6 criticality-histogram driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure6 import run_figure6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure6("c880", bins=20, config=ExperimentConfig())
+
+
+class TestFigure6:
+    def test_histogram_covers_all_edges(self, result):
+        assert result.counts.sum() == result.num_edges
+        assert result.bin_edges[0] == 0.0
+        assert result.bin_edges[-1] == 1.0
+        assert result.criticalities.min() >= 0.0
+        assert result.criticalities.max() <= 1.0
+
+    def test_distribution_is_bimodal_towards_zero(self, result):
+        """The paper's observation: criticalities concentrate near 0 (and 1),
+        which is what makes threshold-based removal effective.  The random
+        surrogate circuits show the same tendency, if less extremely than the
+        real c7552 (they have more balanced reconvergent paths)."""
+        assert result.fraction_below_threshold > 0.3
+        assert result.fraction_near_one > 0.02
+        # The lowest bin alone holds more mass than any interior bin.
+        assert result.counts[0] == result.counts.max()
+
+    def test_render(self, result):
+        text = result.render(width=30)
+        assert "Fig. 6" in text
+        assert "below threshold" in text
+        assert text.count("\n") >= 20
+
+    def test_bins_parameter(self):
+        result = run_figure6("c432", bins=10, config=ExperimentConfig())
+        assert len(result.counts) == 10
+
+    def test_reuses_precomputed_criticalities(self, result):
+        from repro.model.criticality import CriticalityResult
+
+        recycled = run_figure6(
+            "c880",
+            bins=20,
+            config=ExperimentConfig(),
+            criticalities=CriticalityResult(
+                {index: value for index, value in enumerate(result.criticalities)}
+            ),
+        )
+        assert np.allclose(recycled.counts, result.counts)

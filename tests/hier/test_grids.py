@@ -1,0 +1,82 @@
+"""Tests of the heterogeneous design-level grid partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HierarchyError
+from repro.hier.design import HierarchicalDesign, ModuleInstance
+from repro.hier.grids import build_design_grids
+from repro.model.extraction import extract_timing_model
+from repro.variation.grid import Die
+
+
+@pytest.fixture
+def module_model(random_graph_and_variation):
+    graph, variation = random_graph_and_variation
+    return extract_timing_model(graph, variation, threshold=0.05)
+
+
+def _two_instance_design(module_model, gap: float = 0.0) -> HierarchicalDesign:
+    die = module_model.die
+    design = HierarchicalDesign(
+        "duo", Die(2 * die.width + gap + 2.0, die.height + 2.0)
+    )
+    design.add_instance(ModuleInstance("a", module_model, 0.0, 0.0))
+    design.add_instance(ModuleInstance("b", module_model, die.width + gap, 0.0))
+    return design
+
+
+class TestBuildDesignGrids:
+    def test_module_grids_come_first_and_in_order(self, module_model):
+        design = _two_instance_design(module_model)
+        grids = build_design_grids(design)
+        per_module = module_model.partition.num_grids
+        assert grids.indices_for("a") == list(range(per_module))
+        assert grids.indices_for("b") == list(range(per_module, 2 * per_module))
+
+    def test_module_grids_are_translated_copies(self, module_model):
+        design = _two_instance_design(module_model)
+        grids = build_design_grids(design)
+        instance = design.instance("b")
+        for module_cell, design_index in zip(
+            module_model.partition.cells, grids.indices_for("b")
+        ):
+            design_cell = grids.partition.cells[design_index]
+            assert design_cell.xmin == pytest.approx(module_cell.xmin + instance.origin_x)
+            assert design_cell.ymin == pytest.approx(module_cell.ymin + instance.origin_y)
+            assert design_cell.tag == "b"
+
+    def test_filler_grids_cover_uncovered_area(self, module_model):
+        design = _two_instance_design(module_model, gap=5.0)
+        grids = build_design_grids(design)
+        filler = [cell for cell in grids.partition.cells if cell.tag == "top"]
+        assert filler, "expected filler grids for the uncovered area"
+        # Filler grid centres must not lie inside any instance outline.
+        for cell in filler:
+            cx, cy = cell.center
+            for instance in design.instances:
+                xmin, ymin, xmax, ymax = instance.bounds
+                assert not (xmin <= cx < xmax and ymin <= cy < ymax)
+
+    def test_total_grid_count(self, module_model):
+        design = _two_instance_design(module_model)
+        grids = build_design_grids(design)
+        per_module = module_model.partition.num_grids
+        assert grids.num_grids >= 2 * per_module
+        assert grids.default_grid_size == pytest.approx(module_model.partition.grid_size)
+
+    def test_unknown_instance_lookup(self, module_model):
+        design = _two_instance_design(module_model)
+        grids = build_design_grids(design)
+        with pytest.raises(HierarchyError):
+            grids.indices_for("ghost")
+
+    def test_empty_design_rejected(self):
+        design = HierarchicalDesign("empty", Die(10.0, 10.0))
+        with pytest.raises(HierarchyError):
+            build_design_grids(design)
+
+    def test_mismatched_grid_size_rejected(self, module_model):
+        design = _two_instance_design(module_model)
+        with pytest.raises(HierarchyError):
+            build_design_grids(design, default_grid_size=module_model.partition.grid_size * 2.0)

@@ -1,0 +1,126 @@
+"""Tests of the independent-random-variable replacement (eq. 19)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import covariance_matrix
+from repro.hier.design import HierarchicalDesign, ModuleInstance
+from repro.hier.grids import build_design_grids
+from repro.hier.replacement import (
+    block_diagonal_graph,
+    design_pca,
+    remap_model_graph,
+    replacement_matrix,
+    subblock_consistency_error,
+)
+from repro.model.extraction import extract_timing_model
+from repro.variation.grid import Die
+
+
+@pytest.fixture
+def module_model(random_graph_and_variation):
+    graph, variation = random_graph_and_variation
+    return extract_timing_model(graph, variation, threshold=0.05)
+
+
+@pytest.fixture
+def abutted_design(module_model):
+    die = module_model.die
+    design = HierarchicalDesign("abutted", Die(2 * die.width, die.height))
+    design.add_instance(ModuleInstance("a", module_model, 0.0, 0.0))
+    design.add_instance(ModuleInstance("b", module_model, die.width, 0.0))
+    return design
+
+
+class TestDesignPca:
+    def test_subblock_matches_module_correlation(self, abutted_design, module_model):
+        grids = build_design_grids(abutted_design)
+        for instance in abutted_design.instances:
+            error = subblock_consistency_error(instance, grids, module_model.correlation)
+            assert error < 1e-6
+
+    def test_design_pca_reconstructs_design_correlation(self, abutted_design, module_model):
+        grids = build_design_grids(abutted_design)
+        pca = design_pca(grids, module_model.correlation)
+        reconstructed = pca.reconstruct_covariance()
+        assert np.allclose(np.diag(reconstructed), 1.0, atol=1e-6)
+
+
+class TestReplacementMatrix:
+    def test_shape(self, abutted_design, module_model):
+        grids = build_design_grids(abutted_design)
+        pca = design_pca(grids, module_model.correlation)
+        matrix = replacement_matrix(abutted_design.instance("a"), grids, pca)
+        assert matrix.shape == (module_model.pca.num_components, pca.num_components)
+
+    def test_replacement_preserves_module_internal_covariance(
+        self, abutted_design, module_model
+    ):
+        """Eq. 18/19: rewriting the variables must not change the covariance
+        structure *within* a module."""
+        grids = build_design_grids(abutted_design)
+        pca = design_pca(grids, module_model.correlation)
+        instance = abutted_design.instance("a")
+        matrix = replacement_matrix(instance, grids, pca)
+        remapped = remap_model_graph(instance, matrix, pca.num_components)
+
+        original_delays = [edge.delay for edge in module_model.graph.edges][:12]
+        remapped_delays = [edge.delay for edge in remapped.edges][:12]
+        original_cov = covariance_matrix(original_delays)
+        remapped_cov = covariance_matrix(remapped_delays)
+        assert np.allclose(original_cov, remapped_cov, rtol=1e-3, atol=1e-6)
+
+    def test_replacement_creates_cross_module_correlation(
+        self, abutted_design, module_model
+    ):
+        """Edges of abutted instances must become correlated through the
+        shared design-level variables (the whole point of Section V)."""
+        grids = build_design_grids(abutted_design)
+        pca = design_pca(grids, module_model.correlation)
+        graphs = {}
+        for name in ("a", "b"):
+            instance = abutted_design.instance(name)
+            matrix = replacement_matrix(instance, grids, pca)
+            graphs[name] = remap_model_graph(instance, matrix, pca.num_components)
+        edge_a = graphs["a"].edges[0].delay
+        edge_b = graphs["b"].edges[0].delay
+        correlation = edge_a.correlation(edge_b)
+        # Neighbouring abutted modules: local correlation must be clearly
+        # positive beyond the global floor contribution alone.
+        global_only = (edge_a.global_coeff * edge_b.global_coeff) / (edge_a.std * edge_b.std)
+        assert correlation > global_only + 0.01
+
+    def test_remap_prefixes_vertices(self, abutted_design, module_model):
+        grids = build_design_grids(abutted_design)
+        pca = design_pca(grids, module_model.correlation)
+        instance = abutted_design.instance("a")
+        matrix = replacement_matrix(instance, grids, pca)
+        remapped = remap_model_graph(instance, matrix, pca.num_components)
+        assert all(vertex.startswith("a/") for vertex in remapped.vertices)
+        assert remapped.num_edges == module_model.graph.num_edges
+        assert remapped.num_locals == pca.num_components
+
+
+class TestBlockDiagonal:
+    def test_block_diagonal_keeps_internal_correlation(self, abutted_design, module_model):
+        instance = abutted_design.instance("a")
+        total = 2 * module_model.num_locals
+        graph = block_diagonal_graph(instance, 0, total)
+        original = module_model.graph.edges[0].delay
+        copied = graph.edges[0].delay
+        assert copied.nominal == original.nominal
+        assert copied.variance == pytest.approx(original.variance)
+
+    def test_block_diagonal_removes_cross_module_local_correlation(
+        self, abutted_design, module_model
+    ):
+        total = 2 * module_model.num_locals
+        graph_a = block_diagonal_graph(abutted_design.instance("a"), 0, total)
+        graph_b = block_diagonal_graph(
+            abutted_design.instance("b"), module_model.num_locals, total
+        )
+        edge_a = graph_a.edges[0].delay
+        edge_b = graph_b.edges[0].delay
+        # Only the shared global variable contributes.
+        expected = edge_a.global_coeff * edge_b.global_coeff
+        assert edge_a.covariance(edge_b) == pytest.approx(expected)

@@ -1,0 +1,113 @@
+"""Property-based tests of system-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import CanonicalForm
+from repro.core.ops import statistical_max, statistical_max_many
+from repro.model.reduction import reduce_graph
+from repro.montecarlo.flat import simulate_graph_delay
+from repro.netlist.generators import layered_random_circuit
+from repro.timing.allpairs import AllPairsTiming
+from repro.timing.builder import build_timing_graph
+from repro.timing.graph import TimingGraph
+from repro.timing.propagation import circuit_delay
+from repro.timing.sta import deterministic_longest_path
+
+
+@st.composite
+def random_timing_graphs(draw):
+    """Small random DAG timing graphs with statistical edge delays."""
+    num_inputs = draw(st.integers(min_value=1, max_value=3))
+    num_outputs = draw(st.integers(min_value=1, max_value=3))
+    num_internal = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+
+    graph = TimingGraph("prop", 2)
+    inputs = ["i%d" % index for index in range(num_inputs)]
+    outputs = ["o%d" % index for index in range(num_outputs)]
+    internal = ["v%d" % index for index in range(num_internal)]
+    for name in inputs:
+        graph.mark_input(name)
+    for name in outputs:
+        graph.mark_output(name)
+
+    ordered = inputs + internal + outputs
+    for position, vertex in enumerate(ordered[num_inputs:], start=num_inputs):
+        fanin = rng.integers(1, min(3, position) + 1)
+        sources = rng.choice(position, size=fanin, replace=False)
+        for source in sources:
+            nominal = float(rng.uniform(5.0, 50.0))
+            delay = CanonicalForm(
+                nominal,
+                0.05 * nominal,
+                rng.uniform(0.0, 0.05, 2) * nominal,
+                0.03 * nominal,
+            )
+            graph.add_edge(ordered[int(source)], vertex, delay)
+    return graph
+
+
+class TestPropagationInvariants:
+    @given(random_timing_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_statistical_mean_dominates_deterministic_longest_path(self, graph):
+        try:
+            analytical = circuit_delay(graph)
+        except Exception:
+            return  # outputs unreachable in this sample: nothing to check
+        deterministic = deterministic_longest_path(graph)
+        assert analytical.mean >= deterministic - 1e-6
+
+    @given(random_timing_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_reduction_preserves_reachable_io_delays(self, graph):
+        analysis_before = AllPairsTiming.analyze(graph)
+        reduced = reduce_graph(graph.copy())
+        analysis_after = AllPairsTiming.analyze(reduced)
+        before = analysis_before.matrix_means()
+        after = analysis_after.matrix_means()
+        mask = analysis_before.matrix_valid
+        assert np.array_equal(mask, analysis_after.matrix_valid)
+        assert np.allclose(before[mask], after[mask], rtol=0.05, atol=1e-6)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_circuit_delay_matches_monte_carlo(self, seed):
+        netlist = layered_random_circuit("prop", 6, 3, 40, 90, seed=seed)
+        graph = build_timing_graph(netlist)
+        analytical = circuit_delay(graph)
+        simulated = simulate_graph_delay(graph, num_samples=1500, seed=seed)
+        assert analytical.mean == pytest.approx(simulated.mean, rel=0.05)
+        assert analytical.std == pytest.approx(simulated.std, rel=0.35)
+
+
+class TestMaxInvariants:
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_max_many_dominates_every_operand(self, nominals):
+        forms = [CanonicalForm(value, 0.1 * value, None, 0.05 * value) for value in nominals]
+        result = statistical_max_many(forms)
+        assert result.nominal >= max(nominals) - 1e-9
+
+    @given(
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_max_is_associative_within_tolerance(self, a, b, c):
+        forms = [CanonicalForm(value, 0.08 * value, None, 0.04 * value) for value in (a, b, c)]
+        left = statistical_max(statistical_max(forms[0], forms[1]), forms[2])
+        right = statistical_max(forms[0], statistical_max(forms[1], forms[2]))
+        assert left.nominal == pytest.approx(right.nominal, rel=0.02)
+        assert left.std == pytest.approx(right.std, rel=0.1, abs=0.5)

@@ -1,0 +1,64 @@
+"""Tests of cell-type definitions."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.liberty.cells import CellType, PinDirection
+from repro.liberty.delay_model import DelayArc, LinearDelayModel
+
+
+def _arc(pin: str, intrinsic: float = 10.0) -> DelayArc:
+    return DelayArc(pin, "Y", LinearDelayModel(intrinsic, 2.0))
+
+
+@pytest.fixture
+def nand2() -> CellType:
+    return CellType("NAND2_X1", "nand", ["A", "B"], "Y", [_arc("A"), _arc("B", 12.0)])
+
+
+class TestCellType:
+    def test_basic_properties(self, nand2):
+        assert nand2.function == "NAND"
+        assert nand2.num_inputs == 2
+        assert nand2.input_pins == ("A", "B")
+        assert nand2.output_pin == "Y"
+
+    def test_pins_enumeration(self, nand2):
+        pins = nand2.pins
+        assert [pin.name for pin in pins] == ["A", "B", "Y"]
+        assert pins[0].direction is PinDirection.INPUT
+        assert pins[-1].direction is PinDirection.OUTPUT
+
+    def test_arc_lookup_and_delays(self, nand2):
+        assert nand2.nominal_delay("A", 1) == 12.0
+        assert nand2.nominal_delay("B", 1) == 14.0
+        assert nand2.max_nominal_delay(1) == 14.0
+
+    def test_unknown_pin_rejected(self, nand2):
+        with pytest.raises(LibraryError):
+            nand2.arc("C")
+
+    def test_missing_arc_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("BAD", "AND", ["A", "B"], "Y", [_arc("A")])
+
+    def test_arc_for_unknown_pin_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("BAD", "AND", ["A"], "Y", [_arc("A"), _arc("C")])
+
+    def test_arc_to_wrong_output_rejected(self):
+        bad_arc = DelayArc("A", "Z", LinearDelayModel(1.0, 1.0))
+        with pytest.raises(LibraryError):
+            CellType("BAD", "AND", ["A"], "Y", [bad_arc])
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("BAD", "AND", ["A"], "Y", [_arc("A"), _arc("A")])
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("BAD", "AND", [], "Y", [])
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("BAD", "AND", ["A"], "Y", [_arc("A")], area=0.0)

@@ -1,0 +1,34 @@
+"""Tests of the per-arc delay models."""
+
+import pytest
+
+from repro.liberty.delay_model import DelayArc, LinearDelayModel
+
+
+class TestLinearDelayModel:
+    def test_delay_is_linear_in_fanout(self):
+        model = LinearDelayModel(intrinsic=10.0, load_slope=2.0)
+        assert model.delay(1) == 12.0
+        assert model.delay(4) == 18.0
+        assert model.delay(0) == 10.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearDelayModel(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            LinearDelayModel(1.0, -2.0)
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            LinearDelayModel(1.0, 2.0).delay(-1)
+
+
+class TestDelayArc:
+    def test_nominal_delay_delegates_to_model(self):
+        arc = DelayArc("A", "Y", LinearDelayModel(5.0, 1.0), sigma_scale=1.2)
+        assert arc.nominal_delay(3) == 8.0
+        assert arc.sigma_scale == 1.2
+
+    def test_sigma_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DelayArc("A", "Y", LinearDelayModel(5.0, 1.0), sigma_scale=0.0)

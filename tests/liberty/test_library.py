@@ -1,0 +1,75 @@
+"""Tests of the library container and the synthetic standard library."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.liberty.library import Library, standard_library
+
+
+class TestStandardLibrary:
+    def test_contains_basic_cells(self):
+        library = standard_library()
+        for name in ("INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1", "BUF_X1"):
+            assert name in library
+
+    def test_function_lookup_covers_generator_needs(self):
+        library = standard_library()
+        # Every (function, width) the netlist generators may emit must exist.
+        for function, widths in {
+            "INV": (1,),
+            "BUF": (1,),
+            "NAND": (2, 3, 4, 5),
+            "NOR": (2, 3, 4),
+            "AND": (2, 3, 4, 5),
+            "OR": (2, 3, 4, 5),
+            "XOR": (2, 3),
+            "XNOR": (2, 3),
+        }.items():
+            for width in widths:
+                assert library.supports_function(function, width), (function, width)
+
+    def test_not_alias_resolves_to_inverter(self):
+        library = standard_library()
+        assert library.cell_for_function("NOT", 1).name == "INV_X1"
+
+    def test_unknown_function_raises(self):
+        library = standard_library()
+        with pytest.raises(LibraryError):
+            library.cell_for_function("MAJ", 3)
+        assert not library.supports_function("MAJ", 3)
+
+    def test_unknown_cell_raises(self):
+        library = standard_library()
+        with pytest.raises(LibraryError):
+            library.cell("FOO_X1")
+
+    def test_delays_are_positive_and_ordered(self):
+        library = standard_library()
+        inv = library.cell("INV_X1")
+        xor2 = library.cell("XOR2_X1")
+        assert 0.0 < inv.max_nominal_delay(1) < xor2.max_nominal_delay(1)
+
+    def test_drive_scale_scales_delays(self):
+        base = standard_library()
+        scaled = standard_library(name="slow", drive_scale=2.0)
+        assert scaled.cell("NAND2_X1").nominal_delay("A", 1) == pytest.approx(
+            2.0 * base.cell("NAND2_X1").nominal_delay("A", 1)
+        )
+
+    def test_iteration_and_len(self):
+        library = standard_library()
+        assert len(library) == len(list(library)) == len(library.cell_names)
+
+
+class TestLibraryContainer:
+    def test_duplicate_cell_rejected(self):
+        library = standard_library()
+        with pytest.raises(LibraryError):
+            library.add(library.cell("INV_X1"))
+
+    def test_first_registered_cell_wins_function_lookup(self):
+        base = standard_library()
+        inv = base.cell("INV_X1")
+        nand = base.cell("NAND2_X1")
+        library = Library("custom", [inv, nand])
+        assert library.cell_for_function("INV", 1) is inv

@@ -1,0 +1,103 @@
+"""Tests of the end-to-end timing-model extraction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelExtractionError
+from repro.model.criticality import compute_edge_criticalities
+from repro.model.extraction import extract_timing_model
+from repro.montecarlo.flat import simulate_io_delays
+from repro.timing.allpairs import AllPairsTiming
+from repro.timing.graph import TimingGraph
+from repro.variation.grid import Die, GridPartition
+from repro.variation.model import VariationModel
+
+
+class TestValidation:
+    def test_requires_inputs_and_outputs(self, small_variation):
+        graph = TimingGraph("empty", small_variation.num_locals)
+        graph.add_edge("a", "b", small_variation.delay_form(1.0, 1.0, 1.0))
+        with pytest.raises(ModelExtractionError):
+            extract_timing_model(graph, small_variation)
+
+    def test_threshold_range(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        with pytest.raises(ModelExtractionError):
+            extract_timing_model(graph, variation, threshold=1.0)
+        with pytest.raises(ModelExtractionError):
+            extract_timing_model(graph, variation, threshold=-0.1)
+
+    def test_local_dimension_mismatch(self, random_graph_and_variation):
+        graph, _unused = random_graph_and_variation
+        other = VariationModel(GridPartition.regular(Die(100.0, 100.0), 10.0))
+        if other.num_locals != graph.num_locals:
+            with pytest.raises(ModelExtractionError):
+                extract_timing_model(graph, other)
+
+
+class TestExtraction:
+    def test_model_is_smaller(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        model = extract_timing_model(graph, variation, threshold=0.05)
+        assert model.stats.model_edges < graph.num_edges
+        assert model.stats.model_vertices < graph.num_vertices
+        assert model.stats.original_edges == graph.num_edges
+        assert 0.0 < model.stats.edge_ratio < 1.0
+
+    def test_original_graph_untouched(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        edges_before = graph.num_edges
+        extract_timing_model(graph, variation, threshold=0.05)
+        assert graph.num_edges == edges_before
+
+    def test_io_ports_preserved(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        model = extract_timing_model(graph, variation, threshold=0.05)
+        assert set(model.inputs) == set(graph.inputs)
+        assert set(model.outputs) == set(graph.outputs)
+
+    def test_zero_threshold_is_lossless(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        model = extract_timing_model(graph, variation, threshold=0.0)
+        full = AllPairsTiming.analyze(graph)
+        assert np.allclose(
+            model.delay_matrix_means(), full.matrix_means(), rtol=0.03, equal_nan=True
+        )
+
+    def test_higher_threshold_smaller_model(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        analysis = AllPairsTiming.analyze(graph)
+        criticalities = compute_edge_criticalities(graph, analysis)
+        small = extract_timing_model(graph, variation, 0.02, analysis, criticalities)
+        large = extract_timing_model(graph, variation, 0.3, analysis, criticalities)
+        assert large.stats.model_edges <= small.stats.model_edges
+
+    def test_model_accuracy_against_monte_carlo(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        model = extract_timing_model(graph, variation, threshold=0.05)
+        reference = simulate_io_delays(graph, num_samples=3000, seed=11)
+        means = model.delay_matrix_means()
+        mask = np.isfinite(means) & np.isfinite(reference.means)
+        errors = np.abs(means[mask] - reference.means[mask]) / reference.means[mask]
+        assert errors.max() < 0.06
+
+    def test_reuses_precomputed_intermediates(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        analysis = AllPairsTiming.analyze(graph)
+        criticalities = compute_edge_criticalities(graph, analysis)
+        a = extract_timing_model(graph, variation, 0.05, analysis, criticalities)
+        b = extract_timing_model(graph, variation, 0.05)
+        assert a.stats.model_edges == b.stats.model_edges
+        assert a.stats.model_vertices == b.stats.model_vertices
+
+    def test_stats_bookkeeping(self, random_graph_and_variation):
+        graph, variation = random_graph_and_variation
+        model = extract_timing_model(graph, variation, threshold=0.05)
+        stats = model.stats
+        assert stats.threshold == 0.05
+        assert stats.extraction_seconds > 0.0
+        # Thresholding removes ``removed_edges``; the merges can only shrink
+        # the remainder further.
+        assert 0 < stats.removed_edges < stats.original_edges
+        assert stats.model_edges <= stats.original_edges - stats.removed_edges
+        assert stats.edge_ratio == pytest.approx(stats.model_edges / stats.original_edges)

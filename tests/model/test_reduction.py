@@ -1,0 +1,148 @@
+"""Tests of the serial/parallel merge operations and graph pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.model.reduction import parallel_merge, prune_unreachable, reduce_graph, serial_merge
+from repro.timing.allpairs import AllPairsTiming
+from repro.timing.graph import TimingGraph
+
+
+def _delay(value: float) -> CanonicalForm:
+    return CanonicalForm(value, 0.05 * value, [0.02 * value], 0.03 * value)
+
+
+def _matrix_moments(graph: TimingGraph):
+    analysis = AllPairsTiming.analyze(graph)
+    return analysis.matrix_means(), analysis.matrix_std()
+
+
+class TestSerialMerge:
+    def test_single_fanin_vertex_removed(self):
+        graph = TimingGraph("chain", 1)
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_edge("a", "m", _delay(10.0))
+        graph.add_edge("m", "z", _delay(5.0))
+        removed = serial_merge(graph)
+        assert removed == 1
+        assert not graph.has_vertex("m")
+        assert graph.num_edges == 1
+        assert graph.edges[0].delay.nominal == pytest.approx(15.0)
+
+    def test_single_fanin_multiple_fanouts(self):
+        graph = TimingGraph("fork", 1)
+        graph.mark_input("a")
+        graph.mark_output("y")
+        graph.mark_output("z")
+        graph.add_edge("a", "m", _delay(10.0))
+        graph.add_edge("m", "y", _delay(5.0))
+        graph.add_edge("m", "z", _delay(7.0))
+        serial_merge(graph)
+        assert not graph.has_vertex("m")
+        nominals = sorted(edge.delay.nominal for edge in graph.edges)
+        assert nominals == pytest.approx([15.0, 17.0])
+
+    def test_single_fanout_multiple_fanins(self):
+        graph = TimingGraph("join", 1)
+        graph.mark_input("a")
+        graph.mark_input("b")
+        graph.mark_output("z")
+        graph.add_edge("a", "m", _delay(10.0))
+        graph.add_edge("b", "m", _delay(20.0))
+        graph.add_edge("m", "z", _delay(5.0))
+        serial_merge(graph)
+        assert not graph.has_vertex("m")
+        assert graph.num_edges == 2
+
+    def test_io_vertices_never_merged(self):
+        graph = TimingGraph("direct", 1)
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_edge("a", "z", _delay(10.0))
+        assert serial_merge(graph) == 0
+        assert graph.has_vertex("a")
+        assert graph.has_vertex("z")
+
+    def test_merge_preserves_io_delays(self, adder_graph):
+        before_mean, before_std = _matrix_moments(adder_graph)
+        working = adder_graph.copy()
+        serial_merge(working)
+        parallel_merge(working)
+        after_mean, after_std = _matrix_moments(working)
+        assert np.allclose(before_mean, after_mean, rtol=0.02, equal_nan=True)
+        assert np.allclose(before_std, after_std, rtol=0.1, equal_nan=True)
+
+
+class TestParallelMerge:
+    def test_parallel_edges_collapse_to_max(self):
+        graph = TimingGraph("parallel", 1)
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_edge("a", "z", _delay(10.0))
+        graph.add_edge("a", "z", _delay(30.0))
+        graph.add_edge("a", "z", _delay(20.0))
+        removed = parallel_merge(graph)
+        assert removed == 2
+        assert graph.num_edges == 1
+        assert graph.edges[0].delay.nominal >= 30.0 - 1e-9
+
+    def test_no_parallel_edges_noop(self, adder_graph):
+        assert parallel_merge(adder_graph.copy()) == 0
+
+
+class TestPrune:
+    def test_dead_vertices_removed(self):
+        graph = TimingGraph("dead", 1)
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_edge("a", "z", _delay(1.0))
+        graph.add_edge("a", "dead1", _delay(1.0))
+        graph.add_edge("dead1", "dead2", _delay(1.0))
+        removed = prune_unreachable(graph)
+        assert removed == 2
+        assert graph.num_edges == 1
+
+    def test_prune_keeps_io_vertices(self):
+        graph = TimingGraph("io", 1)
+        graph.mark_input("a")
+        graph.mark_input("unused")
+        graph.mark_output("z")
+        graph.add_edge("a", "z", _delay(1.0))
+        prune_unreachable(graph)
+        assert graph.has_vertex("unused")
+
+
+class TestReduceGraph:
+    def test_fixpoint_reached(self, adder_graph):
+        working = adder_graph.copy()
+        reduce_graph(working)
+        # Running again changes nothing.
+        edges = working.num_edges
+        vertices = working.num_vertices
+        reduce_graph(working)
+        assert working.num_edges == edges
+        assert working.num_vertices == vertices
+
+    def test_reduction_shrinks_graph(self, adder_graph):
+        working = adder_graph.copy()
+        reduce_graph(working)
+        assert working.num_edges < adder_graph.num_edges
+        assert working.num_vertices < adder_graph.num_vertices
+
+    def test_reduction_preserves_io_delays(self, random_graph_and_variation):
+        graph, _unused = random_graph_and_variation
+        before_mean, before_std = _matrix_moments(graph)
+        working = graph.copy()
+        reduce_graph(working)
+        after_mean, after_std = _matrix_moments(working)
+        assert np.allclose(before_mean, after_mean, rtol=0.03, equal_nan=True)
+        assert np.allclose(before_std, after_std, rtol=0.15, atol=1.0, equal_nan=True)
+
+    def test_reduction_keeps_all_io_vertices(self, random_graph_and_variation):
+        graph, _unused = random_graph_and_variation
+        working = graph.copy()
+        reduce_graph(working)
+        assert set(working.inputs) == set(graph.inputs)
+        assert set(working.outputs) == set(graph.outputs)

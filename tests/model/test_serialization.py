@@ -1,0 +1,90 @@
+"""Tests of timing-model JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelExtractionError
+from repro.model.extraction import extract_timing_model
+from repro.model.serialization import (
+    load_timing_model,
+    save_timing_model,
+    timing_model_from_dict,
+    timing_model_to_dict,
+)
+
+
+@pytest.fixture
+def model(random_graph_and_variation):
+    graph, variation = random_graph_and_variation
+    return extract_timing_model(graph, variation, threshold=0.05)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_structure(self, model):
+        rebuilt = timing_model_from_dict(timing_model_to_dict(model))
+        assert rebuilt.name == model.name
+        assert rebuilt.inputs == model.inputs
+        assert rebuilt.outputs == model.outputs
+        assert rebuilt.graph.num_edges == model.graph.num_edges
+        assert rebuilt.graph.num_vertices == model.graph.num_vertices
+        assert rebuilt.stats == model.stats
+
+    def test_dict_roundtrip_preserves_delays(self, model):
+        rebuilt = timing_model_from_dict(timing_model_to_dict(model))
+        for original, copy in zip(model.graph.edges, rebuilt.graph.edges):
+            assert copy.source == original.source
+            assert copy.sink == original.sink
+            assert copy.delay.is_close(original.delay)
+
+    def test_dict_roundtrip_preserves_variation_metadata(self, model):
+        rebuilt = timing_model_from_dict(timing_model_to_dict(model))
+        assert rebuilt.variation.sigma_fraction == pytest.approx(model.variation.sigma_fraction)
+        assert rebuilt.variation.num_grids == model.variation.num_grids
+        assert rebuilt.partition.grid_size == pytest.approx(model.partition.grid_size)
+        assert rebuilt.correlation.neighbor_correlation == pytest.approx(
+            model.correlation.neighbor_correlation
+        )
+        assert np.allclose(
+            rebuilt.variation.local_correlation_matrix,
+            model.variation.local_correlation_matrix,
+        )
+
+    def test_rebuilt_model_produces_same_delay_matrix(self, model):
+        rebuilt = timing_model_from_dict(timing_model_to_dict(model))
+        assert np.allclose(
+            rebuilt.delay_matrix_means(), model.delay_matrix_means(), equal_nan=True
+        )
+        assert np.allclose(
+            rebuilt.delay_matrix_stds(), model.delay_matrix_stds(), equal_nan=True
+        )
+
+    def test_file_roundtrip(self, model, tmp_path):
+        path = save_timing_model(model, tmp_path / "model.json")
+        assert path.exists()
+        # The file is genuine JSON.
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-timing-model"
+        rebuilt = load_timing_model(path)
+        assert rebuilt.graph.num_edges == model.graph.num_edges
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, model):
+        payload = timing_model_to_dict(model)
+        payload["format"] = "something-else"
+        with pytest.raises(ModelExtractionError):
+            timing_model_from_dict(payload)
+
+    def test_wrong_version_rejected(self, model):
+        payload = timing_model_to_dict(model)
+        payload["version"] = 999
+        with pytest.raises(ModelExtractionError):
+            timing_model_from_dict(payload)
+
+    def test_truncated_canonical_form_rejected(self, model):
+        payload = timing_model_to_dict(model)
+        payload["graph"]["edges"][0]["delay"] = [1.0]
+        with pytest.raises(ModelExtractionError):
+            timing_model_from_dict(payload)

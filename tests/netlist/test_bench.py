@@ -1,0 +1,98 @@
+"""Tests of the ISCAS85 .bench parser and writer."""
+
+import pytest
+
+from repro.errors import BenchFormatError
+from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
+from repro.netlist.generators import ripple_carry_adder
+
+C17 = """
+# c17 benchmark (ISCAS85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestParser:
+    def test_parse_c17(self):
+        netlist = parse_bench(C17, "c17")
+        assert netlist.name == "c17"
+        assert len(netlist.primary_inputs) == 5
+        assert len(netlist.primary_outputs) == 2
+        assert netlist.num_gates == 6
+        assert netlist.num_connections == 12
+        assert netlist.logic_depth() == 3
+
+    def test_parse_not_and_buf_aliases(self):
+        text = "INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = BUFF(n)\n"
+        netlist = parse_bench(text)
+        assert netlist.gate("n").function == "INV"
+        assert netlist.gate("z").function == "BUF"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\nOUTPUT(z)\n z = NOT(a)  # inline comment\n"
+        netlist = parse_bench(text)
+        assert netlist.num_gates == 1
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = MAJ3(a, a, a)\n")
+
+    def test_dff_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = DFF(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\nthis is not bench\nz = NOT(a)\n")
+
+    def test_missing_inputs_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("OUTPUT(z)\nz = NOT(z2)\n")
+
+    def test_missing_outputs_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\na2 = NOT(a)\n")
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND()\n")
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17)
+        netlist = parse_bench_file(path)
+        assert netlist.name == "c17"
+        assert netlist.num_gates == 6
+
+
+class TestWriter:
+    def test_roundtrip_preserves_structure(self):
+        original = ripple_carry_adder(3)
+        text = write_bench(original)
+        parsed = parse_bench(text, original.name)
+        assert parsed.num_gates == original.num_gates
+        assert parsed.num_connections == original.num_connections
+        assert parsed.primary_inputs == original.primary_inputs
+        assert parsed.primary_outputs == original.primary_outputs
+        assert parsed.logic_depth() == original.logic_depth()
+
+    def test_writer_uses_classic_spellings(self):
+        text = "INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = BUFF(n)\n"
+        rendered = write_bench(parse_bench(text))
+        assert "NOT(" in rendered
+        assert "BUFF(" in rendered
+        assert "INV(" not in rendered

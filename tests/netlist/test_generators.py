@@ -1,0 +1,106 @@
+"""Tests of the synthetic circuit generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.generators import (
+    carry_select_adder,
+    layered_random_circuit,
+    ripple_carry_adder,
+)
+
+
+class TestLayeredRandomCircuit:
+    def test_exact_sizes(self):
+        netlist = layered_random_circuit("r", 10, 4, 100, 230, seed=3)
+        assert len(netlist.primary_inputs) == 10
+        assert netlist.num_gates == 100
+        assert netlist.num_connections == 230
+        netlist.validate()
+
+    def test_deterministic_for_same_seed(self):
+        a = layered_random_circuit("r", 8, 3, 50, 110, seed=42)
+        b = layered_random_circuit("r", 8, 3, 50, 110, seed=42)
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+
+    def test_different_seeds_differ(self):
+        a = layered_random_circuit("r", 8, 3, 50, 110, seed=1)
+        b = layered_random_circuit("r", 8, 3, 50, 110, seed=2)
+        assert [gate.inputs for gate in a.gates] != [gate.inputs for gate in b.gates]
+
+    def test_depth_close_to_target(self):
+        netlist = layered_random_circuit("r", 16, 8, 400, 800, seed=5, depth=20)
+        assert netlist.logic_depth() <= 28  # target plus a small repair margin
+        assert netlist.logic_depth() >= 10
+
+    def test_default_connections(self):
+        netlist = layered_random_circuit("r", 5, 2, 30, seed=1)
+        assert netlist.num_connections == 60
+
+    def test_all_nets_used(self):
+        netlist = layered_random_circuit("r", 12, 6, 80, 170, seed=9)
+        outputs = set(netlist.primary_outputs)
+        for net in netlist.nets:
+            assert netlist.fanout_count(net) > 0 or net in outputs
+
+    def test_invalid_arguments(self):
+        with pytest.raises(NetlistError):
+            layered_random_circuit("r", 0, 1, 10)
+        with pytest.raises(NetlistError):
+            layered_random_circuit("r", 2, 11, 10)
+        with pytest.raises(NetlistError):
+            layered_random_circuit("r", 2, 1, 10, 5)
+        with pytest.raises(NetlistError):
+            layered_random_circuit("r", 2, 1, 10, 1000)
+        with pytest.raises(NetlistError):
+            layered_random_circuit("r", 2, 1, 10, 20, far_edge_probability=2.0)
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=8, max_value=80),
+        st.integers(min_value=0, max_value=10000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_valid_and_exact(self, inputs, outputs, gates, seed):
+        outputs = min(outputs, gates)
+        connections = 2 * gates + (seed % gates)
+        netlist = layered_random_circuit(
+            "prop", inputs, outputs, gates, connections, seed=seed
+        )
+        netlist.validate()
+        assert netlist.num_gates == gates
+        assert netlist.num_connections == connections
+        assert len(netlist.primary_inputs) == inputs
+
+
+class TestArithmeticGenerators:
+    def test_ripple_carry_adder_structure(self):
+        adder = ripple_carry_adder(4)
+        assert len(adder.primary_inputs) == 9  # 2 * 4 + carry-in
+        assert len(adder.primary_outputs) == 5  # 4 sums + carry-out
+        assert adder.num_gates == 4 * 5
+        adder.validate()
+
+    def test_ripple_carry_adder_without_carry_in(self):
+        adder = ripple_carry_adder(4, with_carry_in=False)
+        assert len(adder.primary_inputs) == 8
+        adder.validate()
+
+    def test_ripple_depth_grows_linearly(self):
+        assert ripple_carry_adder(8).logic_depth() > ripple_carry_adder(3).logic_depth()
+
+    def test_invalid_bits(self):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(0)
+        with pytest.raises(NetlistError):
+            carry_select_adder(0)
+
+    def test_carry_select_adder(self):
+        adder = carry_select_adder(8, block=4)
+        adder.validate()
+        assert len(adder.primary_outputs) == 9
+        # Carry-select trades area for (structural) speed: more gates than ripple.
+        assert adder.num_gates > ripple_carry_adder(8).num_gates

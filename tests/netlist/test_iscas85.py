@@ -1,0 +1,78 @@
+"""Tests of the ISCAS85 surrogate suite."""
+
+import pytest
+
+from repro.netlist.iscas85 import (
+    ISCAS85_SPECS,
+    available_benchmarks,
+    iscas85_surrogate,
+)
+
+
+class TestSpecs:
+    def test_all_ten_benchmarks_present(self):
+        assert len(ISCAS85_SPECS) == 10
+        assert set(available_benchmarks()) == set(ISCAS85_SPECS)
+
+    def test_benchmarks_sorted_by_size(self):
+        names = available_benchmarks()
+        sizes = [ISCAS85_SPECS[name].num_gates for name in names]
+        assert sizes == sorted(sizes)
+
+    def test_table1_graph_sizes(self):
+        # The Eo / Vo columns of Table I follow from the published statistics.
+        expected = {
+            "c432": (336, 196),
+            "c499": (408, 243),
+            "c880": (729, 443),
+            "c1355": (1064, 587),
+            "c1908": (1498, 913),
+            "c2670": (2076, 1426),
+            "c3540": (2939, 1719),
+            "c5315": (4386, 2485),
+            "c6288": (4800, 2448),
+            "c7552": (6144, 3719),
+        }
+        for name, (edges, vertices) in expected.items():
+            spec = ISCAS85_SPECS[name]
+            assert spec.timing_graph_edges == edges
+            assert spec.timing_graph_vertices == vertices
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize("name", ["c432", "c499", "c880", "c1355"])
+    def test_surrogate_matches_spec_exactly(self, name):
+        spec = ISCAS85_SPECS[name]
+        netlist = iscas85_surrogate(name)
+        netlist.validate()
+        assert netlist.num_gates == spec.num_gates
+        assert netlist.num_connections == spec.num_connections
+        assert len(netlist.primary_inputs) == spec.num_inputs
+        assert len(netlist.primary_outputs) >= spec.num_outputs
+
+    def test_surrogate_is_deterministic(self):
+        a = iscas85_surrogate("c432")
+        b = iscas85_surrogate("c432")
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+
+    def test_custom_seed_changes_structure(self):
+        a = iscas85_surrogate("c432")
+        b = iscas85_surrogate("c432", seed=99)
+        assert [gate.inputs for gate in a.gates] != [gate.inputs for gate in b.gates]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            iscas85_surrogate("c9999")
+
+    def test_structural_c6288_is_multiplier(self):
+        multiplier = iscas85_surrogate("c6288", structural=True)
+        assert len(multiplier.primary_inputs) == 32
+        assert len(multiplier.primary_outputs) == 32
+
+    def test_structural_only_for_c6288(self):
+        with pytest.raises(ValueError):
+            iscas85_surrogate("c432", structural=True)
+
+    def test_depth_in_iscas_range(self):
+        netlist = iscas85_surrogate("c880")
+        assert 10 <= netlist.logic_depth() <= 60

@@ -1,0 +1,49 @@
+"""Tests of the array multiplier generator."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.multiplier import array_multiplier
+
+
+class TestArrayMultiplier:
+    def test_port_counts(self):
+        multiplier = array_multiplier(4)
+        assert len(multiplier.primary_inputs) == 8
+        assert len(multiplier.primary_outputs) == 8
+        multiplier.validate()
+
+    def test_gate_count_scales_quadratically(self):
+        small = array_multiplier(4)
+        large = array_multiplier(8)
+        assert large.num_gates > 3 * small.num_gates
+
+    def test_depth_has_long_carry_chains(self):
+        multiplier = array_multiplier(8)
+        # An 8x8 carry-propagate array has depth well above 4x its operand width.
+        assert multiplier.logic_depth() > 30
+
+    def test_sixteen_bit_size_is_c6288_like(self):
+        multiplier = array_multiplier(16)
+        assert 1200 <= multiplier.num_gates <= 3000
+        assert len(multiplier.primary_inputs) == 32
+        assert len(multiplier.primary_outputs) == 32
+        multiplier.validate()
+
+    def test_output_names_are_product_bits(self):
+        multiplier = array_multiplier(4)
+        assert multiplier.primary_outputs == tuple("P%d" % i for i in range(8))
+
+    def test_minimum_width(self):
+        with pytest.raises(NetlistError):
+            array_multiplier(1)
+
+    def test_deterministic(self):
+        a = array_multiplier(4)
+        b = array_multiplier(4)
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+
+    def test_all_partial_products_present(self):
+        multiplier = array_multiplier(4)
+        and_gates = [gate for gate in multiplier.gates if gate.name.find("_ppa_") >= 0]
+        assert len(and_gates) == 16

@@ -1,0 +1,117 @@
+"""Tests of the netlist data model."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Gate, Netlist
+
+
+class TestGate:
+    def test_function_uppercased(self):
+        gate = Gate("u1", "nand", ("a", "b"), "y")
+        assert gate.function == "NAND"
+        assert gate.num_inputs == 2
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("u1", "AND", (), "y")
+
+
+class TestNetlistConstruction:
+    def test_duplicate_gate_name_rejected(self, tiny_netlist):
+        with pytest.raises(NetlistError):
+            tiny_netlist.add_gate(Gate("u1", "AND", ("a", "b"), "other"))
+
+    def test_duplicate_driver_rejected(self, tiny_netlist):
+        with pytest.raises(NetlistError):
+            tiny_netlist.add_gate(Gate("u9", "AND", ("a", "b"), "n1"))
+
+    def test_driving_primary_input_rejected(self, tiny_netlist):
+        with pytest.raises(NetlistError):
+            tiny_netlist.add_gate(Gate("u9", "AND", ("n1", "n2"), "a"))
+
+    def test_duplicate_primary_ports_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("bad", ["a", "a"], ["z"])
+        with pytest.raises(NetlistError):
+            Netlist("bad", ["a"], ["z", "z"])
+
+
+class TestAccessors:
+    def test_counts(self, tiny_netlist):
+        assert tiny_netlist.num_gates == 5
+        assert tiny_netlist.num_connections == 9
+        assert len(tiny_netlist) == 5
+        assert len(tiny_netlist.nets) == 3 + 5
+
+    def test_driver_and_fanout(self, tiny_netlist):
+        assert tiny_netlist.driver("a") is None
+        assert tiny_netlist.driver("n1").name == "u1"
+        fanout_names = {gate.name for gate in tiny_netlist.fanout("n1")}
+        assert fanout_names == {"u3", "u4"}
+        assert tiny_netlist.fanout_count("b") == 2
+
+    def test_gate_lookup(self, tiny_netlist):
+        assert tiny_netlist.gate("u3").function == "AND"
+        with pytest.raises(NetlistError):
+            tiny_netlist.gate("nope")
+
+    def test_function_histogram(self, tiny_netlist):
+        histogram = tiny_netlist.function_histogram()
+        assert histogram["NAND"] == 1
+        assert sum(histogram.values()) == 5
+
+
+class TestStructuralAnalysis:
+    def test_validate_passes_for_good_netlist(self, tiny_netlist):
+        tiny_netlist.validate()
+
+    def test_validate_detects_missing_driver(self):
+        netlist = Netlist("bad", ["a"], ["z"], [Gate("u1", "AND", ("a", "ghost"), "z")])
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_validate_detects_undriven_output(self):
+        netlist = Netlist("bad", ["a"], ["z"], [Gate("u1", "INV", ("a",), "n1")])
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_validate_detects_dangling_net(self):
+        gates = [Gate("u1", "INV", ("a",), "n1"), Gate("u2", "INV", ("a",), "z")]
+        netlist = Netlist("bad", ["a"], ["z"], gates)
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_validate_detects_cycle(self):
+        gates = [
+            Gate("u1", "AND", ("a", "n2"), "n1"),
+            Gate("u2", "AND", ("n1", "a"), "n2"),
+            Gate("u3", "OR", ("n1", "n2"), "z"),
+        ]
+        netlist = Netlist("bad", ["a"], ["z"], gates)
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_topological_order_respects_dependencies(self, tiny_netlist):
+        order = [gate.name for gate in tiny_netlist.topological_gate_order()]
+        assert order.index("u1") < order.index("u3")
+        assert order.index("u2") < order.index("u3")
+        assert order.index("u3") < order.index("u5")
+
+    def test_logic_depth(self, tiny_netlist):
+        assert tiny_netlist.logic_depth() == 3
+
+
+class TestRenamed:
+    def test_renamed_prefixes_everything(self, tiny_netlist):
+        renamed = tiny_netlist.renamed("top/")
+        assert renamed.primary_inputs == ("top/a", "top/b", "top/c")
+        assert renamed.primary_outputs == ("top/z",)
+        assert renamed.gate("top/u1").inputs == ("top/a", "top/b")
+        renamed.validate()
+
+    def test_renamed_preserves_structure(self, tiny_netlist):
+        renamed = tiny_netlist.renamed("x_")
+        assert renamed.num_gates == tiny_netlist.num_gates
+        assert renamed.num_connections == tiny_netlist.num_connections
+        assert renamed.logic_depth() == tiny_netlist.logic_depth()

@@ -1,0 +1,78 @@
+"""Tests of module floorplanning."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.placement.floorplan import Floorplan, ModulePlacement
+from repro.variation.grid import Die
+
+
+@pytest.fixture
+def module_die() -> Die:
+    return Die(10.0, 10.0)
+
+
+class TestModulePlacement:
+    def test_bounds(self, module_die):
+        placement = ModulePlacement("m0", module_die, 5.0, 7.0)
+        assert placement.bounds == (5.0, 7.0, 15.0, 17.0)
+
+    def test_overlap_detection(self, module_die):
+        a = ModulePlacement("a", module_die, 0.0, 0.0)
+        b = ModulePlacement("b", module_die, 5.0, 5.0)
+        c = ModulePlacement("c", module_die, 10.0, 0.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # abutment is not overlap
+
+
+class TestFloorplan:
+    def test_add_and_lookup(self, module_die):
+        floorplan = Floorplan(Die(30.0, 30.0))
+        floorplan.add(ModulePlacement("m0", module_die, 0.0, 0.0))
+        assert "m0" in floorplan
+        assert floorplan.placement("m0").origin_x == 0.0
+        assert len(floorplan) == 1
+
+    def test_duplicate_instance_rejected(self, module_die):
+        floorplan = Floorplan(Die(30.0, 30.0))
+        floorplan.add(ModulePlacement("m0", module_die, 0.0, 0.0))
+        with pytest.raises(HierarchyError):
+            floorplan.add(ModulePlacement("m0", module_die, 15.0, 15.0))
+
+    def test_out_of_die_rejected(self, module_die):
+        floorplan = Floorplan(Die(15.0, 15.0))
+        with pytest.raises(HierarchyError):
+            floorplan.add(ModulePlacement("m0", module_die, 10.0, 0.0))
+
+    def test_overlap_rejected(self, module_die):
+        floorplan = Floorplan(Die(30.0, 30.0))
+        floorplan.add(ModulePlacement("m0", module_die, 0.0, 0.0))
+        with pytest.raises(HierarchyError):
+            floorplan.add(ModulePlacement("m1", module_die, 5.0, 5.0))
+
+    def test_unknown_instance(self, module_die):
+        floorplan = Floorplan(Die(30.0, 30.0))
+        with pytest.raises(HierarchyError):
+            floorplan.placement("nope")
+
+    def test_covered_by_module(self, module_die):
+        floorplan = Floorplan(Die(30.0, 30.0))
+        floorplan.add(ModulePlacement("m0", module_die, 0.0, 0.0))
+        assert floorplan.covered_by_module(5.0, 5.0) == "m0"
+        assert floorplan.covered_by_module(25.0, 25.0) is None
+
+    def test_abutted_grid_layout(self, module_die):
+        floorplan = Floorplan.abutted_grid(module_die, rows=2, columns=2)
+        assert len(floorplan) == 4
+        assert floorplan.die.width == 20.0
+        assert floorplan.die.height == 20.0
+        assert floorplan.placement("m1_1").origin_x == 10.0
+        assert floorplan.placement("m1_1").origin_y == 10.0
+
+    def test_abutted_grid_custom_names(self, module_die):
+        floorplan = Floorplan.abutted_grid(module_die, 1, 2, ["left", "right"])
+        assert floorplan.instance_names == ("left", "right")
+
+    def test_abutted_grid_invalid(self, module_die):
+        with pytest.raises(HierarchyError):
+            Floorplan.abutted_grid(module_die, 0, 2)

@@ -1,0 +1,76 @@
+"""Tests of the row-based placer."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.placer import Placement, die_for_netlist, place_netlist
+from repro.variation.grid import Die
+
+
+class TestDieSizing:
+    def test_die_area_scales_with_utilization(self, tiny_netlist, library):
+        tight = die_for_netlist(tiny_netlist, library, utilization=1.0)
+        loose = die_for_netlist(tiny_netlist, library, utilization=0.5)
+        assert loose.area > tight.area
+
+    def test_invalid_utilization(self, tiny_netlist):
+        with pytest.raises(PlacementError):
+            die_for_netlist(tiny_netlist, utilization=0.0)
+
+    def test_die_without_library_uses_unit_areas(self, tiny_netlist):
+        die = die_for_netlist(tiny_netlist, None, utilization=1.0)
+        assert die.area >= tiny_netlist.num_gates
+
+
+class TestPlacement:
+    def test_every_gate_and_input_is_placed(self, tiny_netlist, library):
+        placement = place_netlist(tiny_netlist, library)
+        for gate in tiny_netlist.gates:
+            assert gate.name in placement
+        for net in tiny_netlist.primary_inputs:
+            assert net in placement
+
+    def test_all_locations_inside_die(self, small_random_netlist, library):
+        placement = place_netlist(small_random_netlist, library)
+        die = placement.die
+        for name, (x, y) in placement.locations.items():
+            assert die.contains(x, y), name
+
+    def test_missing_location_raises(self, tiny_netlist, library):
+        placement = place_netlist(tiny_netlist, library)
+        with pytest.raises(PlacementError):
+            placement.location("ghost")
+
+    def test_connected_gates_are_nearby(self, small_random_netlist, library):
+        # Topological row placement keeps drivers and loads in nearby rows.
+        placement = place_netlist(small_random_netlist, library)
+        die = placement.die
+        total, count = 0.0, 0
+        for gate in small_random_netlist.gates:
+            gx, gy = placement.location(gate.name)
+            for net in gate.inputs:
+                driver = small_random_netlist.driver(net)
+                if driver is None:
+                    continue
+                dx, dy = placement.location(driver.name)
+                total += abs(gx - dx) + abs(gy - dy)
+                count += 1
+        average_distance = total / count
+        assert average_distance < (die.width + die.height) / 2.0
+
+    def test_explicit_die_is_used(self, tiny_netlist, library):
+        die = Die(50.0, 50.0)
+        placement = place_netlist(tiny_netlist, library, die=die)
+        assert placement.die is die
+
+    def test_shifted_translates_and_prefixes(self, tiny_netlist, library):
+        placement = place_netlist(tiny_netlist, library)
+        shifted = placement.shifted(10.0, 5.0, prefix="m0/")
+        x, y = placement.location("u1")
+        sx, sy = shifted.location("m0/u1")
+        assert (sx, sy) == (x + 10.0, y + 5.0)
+        assert shifted.die.origin_x == placement.die.origin_x + 10.0
+
+    def test_len(self, tiny_netlist, library):
+        placement = place_netlist(tiny_netlist, library)
+        assert len(placement) == tiny_netlist.num_gates + len(tiny_netlist.primary_inputs)

@@ -1,0 +1,83 @@
+"""Tests of timing-graph construction from netlists."""
+
+import pytest
+
+from repro.errors import TimingGraphError
+from repro.liberty.library import Library
+from repro.netlist.netlist import Gate, Netlist
+from repro.placement.placer import place_netlist
+from repro.timing.builder import build_timing_graph, default_variation_for
+
+
+class TestGraphShape:
+    def test_vertex_per_net_edge_per_connection(self, tiny_netlist, library):
+        graph = build_timing_graph(tiny_netlist, library)
+        assert graph.num_vertices == len(tiny_netlist.primary_inputs) + tiny_netlist.num_gates
+        assert graph.num_edges == tiny_netlist.num_connections
+        assert set(graph.inputs) == set(tiny_netlist.primary_inputs)
+        assert set(graph.outputs) == set(tiny_netlist.primary_outputs)
+
+    def test_edges_follow_connectivity(self, tiny_netlist, library):
+        graph = build_timing_graph(tiny_netlist, library)
+        sinks = {edge.sink for edge in graph.fanout_edges("n1")}
+        assert sinks == {"n3", "n4"}
+
+    def test_defaults_are_built_automatically(self, tiny_netlist):
+        graph = build_timing_graph(tiny_netlist)
+        assert graph.num_edges == tiny_netlist.num_connections
+        assert graph.num_locals >= 1
+
+    def test_graph_name(self, tiny_netlist, library):
+        graph = build_timing_graph(tiny_netlist, library, name="custom")
+        assert graph.name == "custom"
+
+
+class TestDelays:
+    def test_delays_are_positive_with_variation(self, tiny_netlist, library):
+        graph = build_timing_graph(tiny_netlist, library)
+        for edge in graph.edges:
+            assert edge.delay.nominal > 0.0
+            assert edge.delay.std > 0.0
+            assert edge.delay.num_locals == graph.num_locals
+
+    def test_sigma_fraction_respected(self, tiny_netlist, library):
+        placement = place_netlist(tiny_netlist, library)
+        variation = default_variation_for(tiny_netlist, placement, sigma_fraction=0.2)
+        graph = build_timing_graph(tiny_netlist, library, placement, variation)
+        for edge in graph.edges:
+            ratio = edge.delay.std / edge.delay.nominal
+            # sigma_scale of complex cells may raise the ratio slightly.
+            assert 0.18 <= ratio <= 0.26
+
+    def test_higher_fanout_increases_delay(self, library):
+        gates = [
+            Gate("u1", "INV", ("a",), "n1"),
+            Gate("u2", "INV", ("a",), "n2"),
+            Gate("u3", "AND", ("n1", "n2"), "z1"),
+            Gate("u4", "AND", ("n1", "a"), "z2"),
+            Gate("u5", "AND", ("n1", "n2"), "z3"),
+        ]
+        netlist = Netlist("fanout", ["a"], ["z1", "z2", "z3"], gates)
+        graph = build_timing_graph(netlist, library)
+        # n1 drives three loads, n2 only two: u1's arc is slower than u2's.
+        u1_edge = [edge for edge in graph.fanin_edges("n1")][0]
+        u2_edge = [edge for edge in graph.fanin_edges("n2")][0]
+        assert u1_edge.delay.nominal > u2_edge.delay.nominal
+
+    def test_cells_in_same_grid_are_correlated(self, tiny_netlist, library):
+        graph = build_timing_graph(tiny_netlist, library)
+        edges = graph.edges
+        assert edges[0].delay.correlation(edges[-1].delay) > 0.3
+
+
+class TestErrors:
+    def test_unsupported_gate_function(self, library):
+        netlist = Netlist(
+            "bad", ["a", "b", "c"], ["z"], [Gate("u1", "MAJ", ("a", "b", "c"), "z")]
+        )
+        with pytest.raises(TimingGraphError):
+            build_timing_graph(netlist, library)
+
+    def test_empty_library(self, tiny_netlist):
+        with pytest.raises(TimingGraphError):
+            build_timing_graph(tiny_netlist, Library("empty"))

@@ -1,0 +1,137 @@
+"""Tests of the timing-graph data structure."""
+
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+from repro.timing.graph import TimingGraph
+
+
+def _delay(value: float) -> CanonicalForm:
+    return CanonicalForm(value, 0.1 * value, None, 0.05 * value)
+
+
+@pytest.fixture
+def diamond() -> TimingGraph:
+    graph = TimingGraph("diamond", 0)
+    graph.mark_input("a")
+    graph.mark_output("z")
+    graph.add_edge("a", "u", _delay(10.0))
+    graph.add_edge("a", "v", _delay(20.0))
+    graph.add_edge("u", "z", _delay(5.0))
+    graph.add_edge("v", "z", _delay(1.0))
+    return graph
+
+
+class TestConstruction:
+    def test_counts(self, diamond):
+        assert diamond.num_vertices == 4
+        assert diamond.num_edges == 4
+        assert diamond.inputs == ("a",)
+        assert diamond.outputs == ("z",)
+
+    def test_parallel_edges_allowed(self, diamond):
+        diamond.add_edge("u", "z", _delay(7.0))
+        assert diamond.num_edges == 5
+        assert len(diamond.fanin_edges("z")) == 3
+
+    def test_self_loop_rejected(self, diamond):
+        with pytest.raises(TimingGraphError):
+            diamond.add_edge("u", "u", _delay(1.0))
+
+    def test_add_vertex_idempotent(self, diamond):
+        diamond.add_vertex("u")
+        assert diamond.num_vertices == 4
+
+    def test_mark_input_twice(self, diamond):
+        diamond.mark_input("a")
+        assert diamond.inputs == ("a",)
+
+
+class TestQueries:
+    def test_fanin_fanout(self, diamond):
+        assert diamond.fanin_count("z") == 2
+        assert diamond.fanout_count("a") == 2
+        assert {edge.sink for edge in diamond.fanout_edges("a")} == {"u", "v"}
+        assert diamond.predecessors("z") == ("u", "v")
+        assert diamond.successors("a") == ("u", "v")
+
+    def test_unknown_vertex_raises(self, diamond):
+        with pytest.raises(TimingGraphError):
+            diamond.fanin_edges("ghost")
+
+    def test_edge_lookup(self, diamond):
+        edge = diamond.edges[0]
+        assert diamond.edge(edge.edge_id) is edge
+        assert diamond.has_edge(edge.edge_id)
+        with pytest.raises(TimingGraphError):
+            diamond.edge(999)
+
+    def test_internal_vertices(self, diamond):
+        assert set(diamond.internal_vertices()) == {"u", "v"}
+
+    def test_is_input_output(self, diamond):
+        assert diamond.is_input("a")
+        assert diamond.is_output("z")
+        assert not diamond.is_input("u")
+
+
+class TestMutation:
+    def test_remove_edge(self, diamond):
+        edge = diamond.fanin_edges("z")[0]
+        diamond.remove_edge(edge)
+        assert diamond.num_edges == 3
+        with pytest.raises(TimingGraphError):
+            diamond.remove_edge(edge)
+
+    def test_remove_vertex_requires_no_edges(self, diamond):
+        with pytest.raises(TimingGraphError):
+            diamond.remove_vertex("u")
+        for edge in list(diamond.fanin_edges("u")) + list(diamond.fanout_edges("u")):
+            diamond.remove_edge(edge)
+        diamond.remove_vertex("u")
+        assert not diamond.has_vertex("u")
+
+    def test_cannot_remove_io_vertex(self, diamond):
+        for edge in list(diamond.fanout_edges("a")):
+            diamond.remove_edge(edge)
+        with pytest.raises(TimingGraphError):
+            diamond.remove_vertex("a")
+
+    def test_replace_edge_delay(self, diamond):
+        edge = diamond.edges[0]
+        diamond.replace_edge_delay(edge, _delay(99.0))
+        assert diamond.edge(edge.edge_id).delay.nominal == 99.0
+
+
+class TestAnalysis:
+    def test_topological_order(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("a") < order.index("u") < order.index("z")
+
+    def test_cycle_detection(self):
+        graph = TimingGraph("cyclic")
+        graph.add_edge("a", "b", _delay(1.0))
+        graph.add_edge("b", "c", _delay(1.0))
+        graph.add_edge("c", "a", _delay(1.0))
+        with pytest.raises(TimingGraphError):
+            graph.topological_order()
+
+    def test_validate_rejects_input_with_fanin(self):
+        graph = TimingGraph("bad")
+        graph.mark_input("a")
+        graph.mark_input("b")
+        graph.add_edge("a", "b", _delay(1.0))
+        with pytest.raises(TimingGraphError):
+            graph.validate()
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy("clone")
+        clone.remove_edge(clone.edges[0])
+        assert diamond.num_edges == 4
+        assert clone.num_edges == 3
+        assert clone.name == "clone"
+        assert clone.inputs == diamond.inputs
+
+    def test_repr(self, diamond):
+        assert "diamond" in repr(diamond)

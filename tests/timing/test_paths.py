@@ -1,0 +1,106 @@
+"""Tests of critical-path enumeration."""
+
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+from repro.timing.graph import TimingGraph
+from repro.timing.paths import enumerate_critical_paths
+from repro.timing.propagation import circuit_delay
+from repro.timing.sta import deterministic_longest_path
+
+
+def _delay(value: float) -> CanonicalForm:
+    return CanonicalForm(value, 0.05 * value, None, 0.03 * value)
+
+
+@pytest.fixture
+def diamond() -> TimingGraph:
+    graph = TimingGraph("diamond")
+    graph.mark_input("a")
+    graph.mark_output("z")
+    graph.add_edge("a", "u", _delay(10.0))
+    graph.add_edge("u", "z", _delay(10.0))
+    graph.add_edge("a", "v", _delay(7.0))
+    graph.add_edge("v", "z", _delay(7.0))
+    graph.add_edge("a", "z", _delay(5.0))
+    return graph
+
+
+class TestEnumeration:
+    def test_paths_in_decreasing_order(self, diamond):
+        paths = enumerate_critical_paths(diamond, num_paths=3)
+        nominals = [path.delay.nominal for path in paths]
+        assert nominals == sorted(nominals, reverse=True)
+        assert nominals[0] == pytest.approx(20.0)
+        assert nominals[1] == pytest.approx(14.0)
+        assert nominals[2] == pytest.approx(5.0)
+
+    def test_path_structure(self, diamond):
+        paths = enumerate_critical_paths(diamond, num_paths=1)
+        critical = paths[0]
+        assert critical.vertices == ("a", "u", "z")
+        assert critical.start == "a"
+        assert critical.end == "z"
+        assert critical.length == 2
+
+    def test_most_critical_matches_deterministic_longest_path(self, adder_graph):
+        paths = enumerate_critical_paths(adder_graph, num_paths=1)
+        assert paths[0].delay.nominal == pytest.approx(
+            deterministic_longest_path(adder_graph), rel=1e-9
+        )
+
+    def test_requesting_more_paths_than_exist(self, diamond):
+        paths = enumerate_critical_paths(diamond, num_paths=50)
+        assert len(paths) == 3
+
+    def test_path_delay_consistent_with_edges(self, adder_graph):
+        for path in enumerate_critical_paths(adder_graph, num_paths=5):
+            total = sum(edge.delay.nominal for edge in path.edges)
+            assert path.delay.nominal == pytest.approx(total, rel=1e-9)
+            assert path.delay.std > 0.0
+
+    def test_sigma_weight_can_change_ranking(self):
+        graph = TimingGraph("race")
+        graph.mark_input("a")
+        graph.mark_output("z")
+        # Slightly shorter nominal but far more variable path.
+        graph.add_edge("a", "z", CanonicalForm(99.0, 20.0, None, 10.0))
+        graph.add_edge("a", "m", CanonicalForm(50.0, 0.5, None, 0.5))
+        graph.add_edge("m", "z", CanonicalForm(50.0, 0.5, None, 0.5))
+        nominal_first = enumerate_critical_paths(graph, num_paths=1, sigma_weight=0.0)[0]
+        sigma_first = enumerate_critical_paths(graph, num_paths=1, sigma_weight=3.0)[0]
+        assert nominal_first.length == 2
+        assert sigma_first.length == 1
+
+    def test_violation_probability(self, diamond):
+        critical = enumerate_critical_paths(diamond, num_paths=1)[0]
+        assert critical.violation_probability(0.0) == pytest.approx(1.0)
+        assert critical.violation_probability(1e6) == pytest.approx(0.0)
+        at_mean = critical.violation_probability(critical.delay.mean)
+        assert at_mean == pytest.approx(0.5, abs=1e-6)
+
+    def test_circuit_delay_dominates_every_path_mean(self, adder_graph):
+        overall = circuit_delay(adder_graph)
+        for path in enumerate_critical_paths(adder_graph, num_paths=10):
+            assert overall.mean >= path.delay.nominal - 1e-6
+
+
+class TestValidation:
+    def test_requires_io(self):
+        graph = TimingGraph("no_io")
+        graph.add_edge("a", "b", _delay(1.0))
+        with pytest.raises(TimingGraphError):
+            enumerate_critical_paths(graph)
+
+    def test_invalid_count(self, diamond):
+        with pytest.raises(ValueError):
+            enumerate_critical_paths(diamond, num_paths=0)
+
+    def test_unreachable_output_yields_no_paths(self):
+        graph = TimingGraph("island")
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_vertex("z")
+        graph.add_edge("a", "b", _delay(1.0))
+        assert enumerate_critical_paths(graph, num_paths=3) == []

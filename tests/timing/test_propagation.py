@@ -1,0 +1,123 @@
+"""Tests of object-level arrival/required-time propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+from repro.montecarlo.flat import simulate_graph_delay
+from repro.timing.graph import TimingGraph
+from repro.timing.propagation import (
+    circuit_delay,
+    compute_slacks,
+    longest_path_to_outputs,
+    propagate_arrival_times,
+    propagate_required_times,
+)
+from repro.timing.sta import deterministic_longest_path
+
+
+def _delay(value: float, sigma: float = 0.0) -> CanonicalForm:
+    return CanonicalForm(value, sigma, None, 0.0)
+
+
+@pytest.fixture
+def chain() -> TimingGraph:
+    graph = TimingGraph("chain")
+    graph.mark_input("a")
+    graph.mark_output("z")
+    graph.add_edge("a", "m", _delay(10.0))
+    graph.add_edge("m", "z", _delay(5.0))
+    return graph
+
+
+@pytest.fixture
+def diamond() -> TimingGraph:
+    graph = TimingGraph("diamond")
+    graph.mark_input("a")
+    graph.mark_output("z")
+    graph.add_edge("a", "u", _delay(10.0))
+    graph.add_edge("a", "v", _delay(2.0))
+    graph.add_edge("u", "z", _delay(3.0))
+    graph.add_edge("v", "z", _delay(4.0))
+    return graph
+
+
+class TestArrivalTimes:
+    def test_deterministic_chain(self, chain):
+        arrivals = propagate_arrival_times(chain)
+        assert arrivals["m"].nominal == 10.0
+        assert arrivals["z"].nominal == 15.0
+
+    def test_deterministic_diamond_takes_max(self, diamond):
+        arrivals = propagate_arrival_times(diamond)
+        assert arrivals["z"].nominal == 13.0
+
+    def test_input_arrival_offsets(self, chain):
+        arrivals = propagate_arrival_times(chain, {"a": _delay(100.0)})
+        assert arrivals["z"].nominal == 115.0
+
+    def test_unreachable_vertex_absent(self):
+        graph = TimingGraph("partial")
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_edge("a", "z", _delay(1.0))
+        graph.add_edge("orphan", "z", _delay(50.0))
+        arrivals = propagate_arrival_times(graph)
+        assert "orphan" not in arrivals
+        # The orphan vertex must not contribute to the output arrival.
+        assert arrivals["z"].nominal == 1.0
+
+    def test_circuit_delay_matches_output_arrival(self, diamond):
+        assert circuit_delay(diamond).nominal == 13.0
+
+    def test_circuit_delay_requires_reachable_output(self):
+        graph = TimingGraph("broken")
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_vertex("z")
+        with pytest.raises(TimingGraphError):
+            circuit_delay(graph)
+
+    def test_statistical_propagation_matches_monte_carlo(self, adder_graph):
+        analytical = circuit_delay(adder_graph)
+        simulated = simulate_graph_delay(adder_graph, num_samples=4000, seed=3)
+        assert analytical.mean == pytest.approx(simulated.mean, rel=0.03)
+        assert analytical.std == pytest.approx(simulated.std, rel=0.15)
+
+    def test_statistical_mean_at_least_deterministic(self, adder_graph):
+        # The mean of the statistical maximum exceeds the deterministic
+        # longest path through nominal delays.
+        assert circuit_delay(adder_graph).mean >= deterministic_longest_path(adder_graph) - 1e-9
+
+
+class TestBackwardPropagation:
+    def test_longest_path_to_outputs(self, diamond):
+        to_output = longest_path_to_outputs(diamond)
+        assert to_output["z"].nominal == 0.0
+        assert to_output["u"].nominal == 3.0
+        assert to_output["v"].nominal == 4.0
+        assert to_output["a"].nominal == 13.0
+
+    def test_required_times(self, diamond):
+        required = propagate_required_times(
+            diamond, {"z": _delay(20.0)}
+        )
+        assert required["z"].nominal == 20.0
+        assert required["u"].nominal == 17.0
+        assert required["a"].nominal == pytest.approx(7.0)
+
+    def test_slacks(self, diamond):
+        slacks = compute_slacks(diamond, _delay(20.0))
+        # Slack at the output: 20 - 13 = 7.
+        assert slacks["z"].nominal == pytest.approx(7.0)
+        # The non-critical branch has more slack than the critical one.
+        assert slacks["v"].nominal > slacks["u"].nominal
+
+    def test_slack_consistency_with_arrivals(self, adder_graph):
+        constraint = CanonicalForm.constant(10000.0, adder_graph.num_locals)
+        slacks = compute_slacks(adder_graph, constraint)
+        arrivals = propagate_arrival_times(adder_graph)
+        for output in adder_graph.outputs:
+            expected = constraint.nominal - arrivals[output].nominal
+            assert slacks[output].nominal == pytest.approx(expected, rel=1e-9)

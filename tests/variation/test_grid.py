@@ -1,0 +1,98 @@
+"""Tests of die geometry and grid partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.variation.grid import Die, GridCell, GridPartition
+
+
+class TestDie:
+    def test_area_and_bounds(self):
+        die = Die(10.0, 4.0, 1.0, 2.0)
+        assert die.area == 40.0
+        assert die.bounds == (1.0, 2.0, 11.0, 6.0)
+
+    def test_contains(self):
+        die = Die(10.0, 10.0)
+        assert die.contains(0.0, 0.0)
+        assert die.contains(10.0, 10.0)
+        assert not die.contains(10.1, 5.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Die(0.0, 5.0)
+
+    def test_shifted(self):
+        die = Die(2.0, 3.0).shifted(1.0, -1.0)
+        assert die.origin_x == 1.0
+        assert die.origin_y == -1.0
+        assert die.width == 2.0
+
+
+class TestGridCell:
+    def test_center_and_membership(self):
+        cell = GridCell(0, 0.0, 0.0, 2.0, 4.0)
+        assert cell.center == (1.0, 2.0)
+        assert cell.contains(0.0, 0.0)
+        assert not cell.contains(2.0, 1.0)  # half-open upper edge
+        assert cell.contains_closed(2.0, 4.0)
+        assert cell.width == 2.0
+        assert cell.height == 4.0
+
+
+class TestGridPartition:
+    def test_regular_partition_covers_die(self):
+        partition = GridPartition.regular(Die(10.0, 10.0), 4.0)
+        assert partition.num_grids == 9  # 3 x 3 with clipped last row/column
+        cells = partition.cells
+        assert cells[-1].xmax == pytest.approx(10.0)
+        assert cells[-1].ymax == pytest.approx(10.0)
+
+    def test_every_point_maps_to_exactly_one_grid(self):
+        partition = GridPartition.regular(Die(9.0, 9.0), 3.0)
+        rng = np.random.default_rng(1)
+        for _unused in range(200):
+            x, y = rng.uniform(0.0, 9.0, size=2)
+            index = partition.grid_index_at(x, y)
+            assert partition.cells[index].contains_closed(x, y)
+
+    def test_boundary_points_resolve(self):
+        partition = GridPartition.regular(Die(6.0, 6.0), 3.0)
+        assert partition.grid_index_at(6.0, 6.0) == partition.num_grids - 1
+
+    def test_point_outside_raises(self):
+        partition = GridPartition.regular(Die(6.0, 6.0), 3.0)
+        with pytest.raises(ValueError):
+            partition.grid_index_at(7.0, 1.0)
+
+    def test_for_cell_count_respects_limit(self):
+        die = Die(20.0, 20.0)
+        partition = GridPartition.for_cell_count(die, num_cells=950, max_cells_per_grid=100)
+        # At least ceil(950 / 100) = 10 grids are required.
+        assert partition.num_grids >= 10
+
+    def test_for_cell_count_single_grid_for_tiny_module(self):
+        partition = GridPartition.for_cell_count(Die(5.0, 5.0), num_cells=20)
+        assert partition.num_grids == 1
+
+    def test_invalid_grid_size(self):
+        with pytest.raises(ValueError):
+            GridPartition.regular(Die(5.0, 5.0), 0.0)
+
+    def test_distance_matrix_in_grid_units(self):
+        partition = GridPartition.regular(Die(6.0, 3.0), 3.0)
+        distances = partition.distance_matrix()
+        assert distances.shape == (2, 2)
+        assert distances[0, 0] == 0.0
+        assert distances[0, 1] == pytest.approx(1.0)
+
+    def test_centers_and_iteration(self):
+        partition = GridPartition.regular(Die(4.0, 2.0), 2.0)
+        centers = partition.centers()
+        assert len(centers) == len(partition) == 2
+        assert centers[0] == (1.0, 1.0)
+        assert [cell.index for cell in partition] == [0, 1]
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            GridPartition(Die(1.0, 1.0), [], 1.0)

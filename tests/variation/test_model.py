@@ -1,0 +1,119 @@
+"""Tests of the combined variation model (grid + correlation + PCA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import correlation_matrix
+from repro.variation.grid import Die, GridPartition
+from repro.variation.model import VariationModel
+from repro.variation.parameters import nassif_parameters
+from repro.variation.spatial import SpatialCorrelation
+
+
+@pytest.fixture
+def model() -> VariationModel:
+    partition = GridPartition.regular(Die(20.0, 20.0), 5.0)
+    return VariationModel(partition, SpatialCorrelation(), sigma_fraction=0.1,
+                          random_variance_share=0.2)
+
+
+class TestConstruction:
+    def test_invalid_arguments(self):
+        partition = GridPartition.regular(Die(10.0, 10.0), 5.0)
+        with pytest.raises(ValueError):
+            VariationModel(partition, sigma_fraction=-0.1)
+        with pytest.raises(ValueError):
+            VariationModel(partition, random_variance_share=1.5)
+
+    def test_from_parameters_uses_budget(self):
+        partition = GridPartition.regular(Die(10.0, 10.0), 5.0)
+        parameters = nassif_parameters()
+        model = VariationModel.from_parameters(partition, parameters=parameters)
+        assert model.sigma_fraction == pytest.approx(parameters.combined_sigma_fraction())
+        assert 0.0 < model.random_variance_share < 1.0
+
+    def test_for_die_builds_partition(self):
+        model = VariationModel.for_die(Die(30.0, 30.0), num_cells=500, max_cells_per_grid=100)
+        assert model.num_grids >= 5
+
+
+class TestVarianceSplit:
+    def test_split_sums_to_total(self, model):
+        nominal = 100.0
+        global_var, local_var, random_var = model.variance_split(nominal)
+        total = (nominal * model.sigma_fraction) ** 2
+        assert global_var + local_var + random_var == pytest.approx(total)
+
+    def test_random_share_respected(self, model):
+        global_var, local_var, random_var = model.variance_split(50.0)
+        total = global_var + local_var + random_var
+        assert random_var / total == pytest.approx(model.random_variance_share)
+
+    def test_global_share_follows_correlation_floor(self, model):
+        global_var, local_var, _unused = model.variance_split(50.0)
+        correlated = global_var + local_var
+        assert global_var / correlated == pytest.approx(
+            model.correlation.global_variance_share
+        )
+
+
+class TestDelayForms:
+    def test_delay_form_moments(self, model):
+        form = model.delay_form(100.0, 2.0, 2.0)
+        assert form.nominal == 100.0
+        assert form.std == pytest.approx(10.0)
+        assert form.num_locals == model.num_locals
+
+    def test_sigma_scale(self, model):
+        base = model.delay_form(100.0, 2.0, 2.0)
+        scaled = model.delay_form(100.0, 2.0, 2.0, sigma_scale=1.5)
+        assert scaled.std == pytest.approx(1.5 * base.std)
+        assert scaled.nominal == base.nominal
+
+    def test_same_grid_cells_fully_locally_correlated(self, model):
+        a = model.delay_form(100.0, 1.0, 1.0)
+        b = model.delay_form(80.0, 2.0, 2.0)
+        # Same grid: correlation = global share + local share of variance.
+        expected = 1.0 - model.random_variance_share
+        assert a.correlation(b) == pytest.approx(expected, abs=1e-6)
+
+    def test_distant_cells_less_correlated_than_neighbors(self, model):
+        a = model.delay_form(100.0, 1.0, 1.0)
+        near = model.delay_form(100.0, 6.0, 1.0)
+        far = model.delay_form(100.0, 19.0, 19.0)
+        assert a.correlation(near) > a.correlation(far)
+
+    def test_delay_form_for_grid_bounds(self, model):
+        with pytest.raises(IndexError):
+            model.delay_form_for_grid(10.0, model.num_grids)
+
+    def test_constant_form(self, model):
+        form = model.constant_form(5.0)
+        assert form.std == 0.0
+        assert form.num_locals == model.num_locals
+
+    def test_zero_nominal_gives_deterministic_form(self, model):
+        form = model.delay_form(0.0, 1.0, 1.0)
+        assert form.std == 0.0
+
+
+class TestSampling:
+    def test_sample_shapes(self, model):
+        rng = np.random.default_rng(0)
+        locals_ = model.sample_local_components(100, rng)
+        assert locals_.shape == (model.num_locals, 100)
+        assert model.sample_global(100, rng).shape == (100,)
+
+    def test_grid_correlation_reproduced_by_delay_forms(self, model):
+        # Delay forms in neighbouring grids should reproduce the profile's
+        # total correlation (within the correlated variance share).
+        centers = model.partition.centers()
+        forms = [model.delay_form(100.0, x, y) for x, y in centers[:6]]
+        matrix = correlation_matrix(forms)
+        profile = model.correlation
+        share = 1.0 - model.random_variance_share
+        distances = model.partition.distance_matrix()[:6, :6]
+        for i in range(6):
+            for j in range(i + 1, 6):
+                expected = share * profile.total_correlation(distances[i, j])
+                assert matrix[i, j] == pytest.approx(expected, abs=0.05)

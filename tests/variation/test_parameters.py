@@ -1,0 +1,69 @@
+"""Tests of process-parameter budgets."""
+
+import math
+
+import pytest
+
+from repro.variation.parameters import ParameterSet, ProcessParameter, nassif_parameters
+
+
+class TestProcessParameter:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ProcessParameter("L", 0.1, 0.5, 0.5, 0.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParameter("L", -0.1)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParameter("L", 0.1, -0.1, 0.9, 0.2)
+
+    def test_component_sigmas_recombine_to_total(self):
+        parameter = ProcessParameter("L", 0.157, 0.4, 0.4, 0.2)
+        total = math.sqrt(
+            parameter.global_sigma_fraction ** 2
+            + parameter.local_sigma_fraction ** 2
+            + parameter.random_sigma_fraction ** 2
+        )
+        assert total == pytest.approx(0.157)
+
+
+class TestParameterSet:
+    def test_duplicate_names_rejected(self):
+        parameters = ParameterSet([ProcessParameter("L", 0.1)])
+        with pytest.raises(ValueError):
+            parameters.add(ProcessParameter("L", 0.2))
+
+    def test_lookup_and_iteration(self):
+        parameters = nassif_parameters()
+        assert "Leff" in parameters
+        assert parameters["Vth"].sigma_fraction == pytest.approx(0.044)
+        assert len(parameters) == 4
+        assert parameters.names == ("Leff", "Tox", "Vth", "Load")
+
+    def test_combined_sigma_is_root_sum_square(self):
+        parameters = nassif_parameters()
+        expected = math.sqrt(0.157 ** 2 + 0.053 ** 2 + 0.044 ** 2 + 0.15 ** 2)
+        assert parameters.combined_sigma_fraction() == pytest.approx(expected)
+
+    def test_combined_sigma_with_weights(self):
+        parameters = ParameterSet(
+            [ProcessParameter("A", 0.1), ProcessParameter("B", 0.2)]
+        )
+        weighted = parameters.combined_sigma_fraction({"B": 0.0})
+        assert weighted == pytest.approx(0.1)
+
+    def test_component_sigma_fractions_recombine(self):
+        parameters = nassif_parameters()
+        global_frac, local_frac, random_frac = parameters.component_sigma_fractions()
+        total = math.sqrt(global_frac ** 2 + local_frac ** 2 + random_frac ** 2)
+        assert total == pytest.approx(parameters.combined_sigma_fraction())
+
+    def test_paper_quoted_sigmas(self):
+        parameters = nassif_parameters()
+        assert parameters["Leff"].sigma_fraction == pytest.approx(0.157)
+        assert parameters["Tox"].sigma_fraction == pytest.approx(0.053)
+        assert parameters["Vth"].sigma_fraction == pytest.approx(0.044)
+        assert parameters["Load"].sigma_fraction == pytest.approx(0.15)

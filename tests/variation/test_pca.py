@@ -1,0 +1,91 @@
+"""Tests of the PCA decomposition of correlated grid variables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.variation.grid import Die, GridPartition
+from repro.variation.pca import decompose_covariance
+from repro.variation.spatial import SpatialCorrelation
+
+
+def _random_covariance(size: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    factor = rng.standard_normal((size, size))
+    return factor @ factor.T / size
+
+
+class TestDecomposition:
+    def test_reconstructs_covariance_exactly(self):
+        covariance = _random_covariance(6, 1)
+        pca = decompose_covariance(covariance)
+        assert np.allclose(pca.reconstruct_covariance(), covariance, atol=1e-10)
+
+    def test_transform_shapes(self):
+        covariance = _random_covariance(5, 2)
+        pca = decompose_covariance(covariance)
+        assert pca.num_variables == 5
+        assert pca.transform.shape == (5, pca.num_components)
+        assert pca.inverse_transform.shape == (pca.num_components, 5)
+
+    def test_inverse_transform_is_left_inverse_on_component_space(self):
+        covariance = _random_covariance(4, 3)
+        pca = decompose_covariance(covariance)
+        identity = pca.inverse_transform @ pca.transform
+        assert np.allclose(identity, np.eye(pca.num_components), atol=1e-9)
+
+    def test_eigenvalues_sorted_descending(self):
+        covariance = _random_covariance(8, 4)
+        pca = decompose_covariance(covariance)
+        assert np.all(np.diff(pca.eigenvalues) <= 1e-12)
+
+    def test_explained_variance_sums_to_one(self):
+        covariance = _random_covariance(5, 5)
+        pca = decompose_covariance(covariance)
+        assert pca.explained_variance_ratio().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_rank_deficient_covariance_drops_components(self):
+        base = _random_covariance(3, 6)
+        covariance = np.zeros((5, 5))
+        covariance[:3, :3] = base
+        pca = decompose_covariance(covariance)
+        assert pca.num_components == 3
+
+    def test_variance_tolerance_truncates(self):
+        covariance = np.diag([100.0, 1.0, 0.01, 0.0001])
+        pca = decompose_covariance(covariance, variance_tolerance=0.02)
+        assert pca.num_components < 4
+
+    def test_zero_covariance_keeps_one_component(self):
+        pca = decompose_covariance(np.zeros((3, 3)))
+        assert pca.num_components == 1
+        assert np.allclose(pca.transform, 0.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_covariance(np.zeros((2, 3)))
+
+    def test_coefficients_for_row(self):
+        covariance = _random_covariance(4, 7)
+        pca = decompose_covariance(covariance)
+        assert np.allclose(pca.coefficients_for(2), pca.transform[2])
+
+
+class TestStatisticalEquivalence:
+    def test_sampled_components_reproduce_grid_covariance(self):
+        partition = GridPartition.regular(Die(12.0, 12.0), 4.0)
+        correlation = SpatialCorrelation().local_correlation_matrix(partition)
+        pca = decompose_covariance(correlation)
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((pca.num_components, 200000))
+        grid_samples = pca.transform @ x
+        empirical = np.cov(grid_samples)
+        assert np.allclose(empirical, correlation, atol=0.02)
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_reconstruction_property(self, size, seed):
+        covariance = _random_covariance(size, seed)
+        pca = decompose_covariance(covariance)
+        assert np.allclose(pca.reconstruct_covariance(), covariance, atol=1e-8)

@@ -1,0 +1,107 @@
+"""Tests of the distance-based spatial correlation model."""
+
+import numpy as np
+import pytest
+
+from repro.variation.grid import Die, GridPartition
+from repro.variation.spatial import (
+    SpatialCorrelation,
+    exponential_correlation,
+    nearest_positive_semidefinite,
+)
+
+
+class TestProfile:
+    def test_paper_profile_endpoints(self):
+        profile = SpatialCorrelation()
+        assert profile.total_correlation(0.0) == 1.0
+        assert profile.total_correlation(1.0) == pytest.approx(0.92)
+        assert profile.total_correlation(15.0) == pytest.approx(0.42, abs=0.01)
+        assert profile.total_correlation(100.0) == pytest.approx(0.42)
+
+    def test_monotonically_decreasing(self):
+        profile = SpatialCorrelation()
+        distances = np.linspace(0.0, 20.0, 50)
+        values = [profile.total_correlation(d) for d in distances]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_local_correlation_normalization(self):
+        profile = SpatialCorrelation()
+        assert profile.local_correlation(0.0) == pytest.approx(1.0)
+        assert profile.local_correlation(1.0) == pytest.approx((0.92 - 0.42) / 0.58)
+        assert profile.local_correlation(50.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_global_variance_share_is_floor(self):
+        assert SpatialCorrelation().global_variance_share == pytest.approx(0.42)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialCorrelation(neighbor_correlation=0.3, floor_correlation=0.5)
+        with pytest.raises(ValueError):
+            SpatialCorrelation(cutoff_distance=0.5)
+        with pytest.raises(ValueError):
+            SpatialCorrelation(floor_tolerance=2.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialCorrelation().total_correlation(-1.0)
+
+    def test_exponential_correlation_factory(self):
+        profile = exponential_correlation(0.9, 0.4, 10.0)
+        assert profile.neighbor_correlation == 0.9
+        assert profile.floor_correlation == 0.4
+        assert profile.cutoff_distance == 10.0
+
+    def test_flat_profile(self):
+        profile = SpatialCorrelation(neighbor_correlation=0.4, floor_correlation=0.4)
+        assert profile.total_correlation(3.0) == pytest.approx(0.4)
+        assert profile.local_correlation(3.0) == 0.0
+
+
+class TestMatrices:
+    def test_local_matrix_properties(self):
+        partition = GridPartition.regular(Die(12.0, 12.0), 3.0)
+        profile = SpatialCorrelation()
+        matrix = profile.local_correlation_matrix(partition)
+        assert matrix.shape == (16, 16)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+        assert np.linalg.eigvalsh(matrix).min() >= -1e-9
+
+    def test_nearby_grids_more_correlated_than_distant(self):
+        partition = GridPartition.regular(Die(20.0, 4.0), 4.0)
+        matrix = SpatialCorrelation().local_correlation_matrix(partition)
+        assert matrix[0, 1] > matrix[0, 4]
+
+    def test_covariance_matrix_scales_with_sigma(self):
+        partition = GridPartition.regular(Die(8.0, 8.0), 4.0)
+        profile = SpatialCorrelation()
+        covariance = profile.covariance_matrix(partition, local_sigma=2.0)
+        correlation = profile.local_correlation_matrix(partition)
+        assert np.allclose(covariance, 4.0 * correlation)
+
+    def test_negative_sigma_rejected(self):
+        partition = GridPartition.regular(Die(8.0, 8.0), 4.0)
+        with pytest.raises(ValueError):
+            SpatialCorrelation().covariance_matrix(partition, -1.0)
+
+
+class TestPsdProjection:
+    def test_already_psd_matrix_unchanged(self):
+        matrix = np.array([[1.0, 0.5], [0.5, 1.0]])
+        assert np.allclose(nearest_positive_semidefinite(matrix), matrix)
+
+    def test_indefinite_matrix_projected(self):
+        matrix = np.array(
+            [[1.0, 0.9, 0.1], [0.9, 1.0, 0.9], [0.1, 0.9, 1.0]]
+        )
+        projected = nearest_positive_semidefinite(matrix)
+        assert np.linalg.eigvalsh(projected).min() >= 0.0
+        assert np.allclose(projected, projected.T)
+
+    def test_projection_preserves_symmetric_part(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((4, 4))
+        projected = nearest_positive_semidefinite(matrix)
+        assert np.allclose(projected, projected.T)
+        assert np.linalg.eigvalsh(projected).min() >= -1e-12
