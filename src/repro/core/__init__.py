@@ -8,6 +8,7 @@ This subpackage implements Section II of the paper: the general linear form
 Visweswariah et al. / Clark that the rest of the system builds upon.
 """
 
+from repro.core.batch import CanonicalBatch
 from repro.core.canonical import CanonicalForm
 from repro.core.gaussian import normal_cdf, normal_pdf, clark_moments
 from repro.core.ops import (
@@ -19,6 +20,7 @@ from repro.core.ops import (
 from repro.core.correlation import covariance, correlation
 
 __all__ = [
+    "CanonicalBatch",
     "CanonicalForm",
     "normal_cdf",
     "normal_pdf",

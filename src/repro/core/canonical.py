@@ -66,6 +66,29 @@ class CanonicalForm:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _from_owned(
+        cls,
+        nominal: float,
+        global_coeff: float,
+        local_coeffs: np.ndarray,
+        random_coeff: float,
+    ) -> "CanonicalForm":
+        """Internal fast constructor that skips argument normalisation.
+
+        ``local_coeffs`` must be a one-dimensional float array the caller
+        relinquishes ownership of (it is frozen in place, not copied), and
+        ``random_coeff`` must already be non-negative.  Used by the batch
+        engine when materialising many forms from stacked arrays.
+        """
+        self = object.__new__(cls)
+        self._nominal = nominal
+        self._global = global_coeff
+        local_coeffs.setflags(write=False)
+        self._locals = local_coeffs
+        self._random = random_coeff
+        return self
+
+    @classmethod
     def constant(cls, value: Number, num_locals: int = 0) -> "CanonicalForm":
         """A deterministic value expressed as a canonical form."""
         return cls(value, 0.0, np.zeros(num_locals), 0.0)

@@ -3,12 +3,22 @@
 The closed-form expressions implemented here are eqs. (6)-(8) of the paper,
 originally due to Clark (1961): the tightness probability, mean and variance
 of ``max{A, B}`` for two jointly Gaussian random variables.
+
+:func:`normal_pdf` and :func:`normal_cdf` are the single shared
+implementation of the standard normal density/distribution for the whole
+package: they accept either a Python scalar (returning a ``float``) or a
+NumPy array (returning an array), so both the object-level operators of
+:mod:`repro.core.ops` and the vectorized batch kernels of
+:mod:`repro.core.batch` evaluate the identical functions.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Tuple, Union
+
+import numpy as np
+from scipy.special import ndtr
 
 __all__ = ["normal_pdf", "normal_cdf", "clark_theta", "clark_moments"]
 
@@ -19,14 +29,28 @@ _INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
 # the max degenerates to whichever operand has the larger mean.
 DEGENERATE_THETA = 1e-12
 
+ScalarOrArray = Union[float, np.ndarray]
 
-def normal_pdf(x: float) -> float:
-    """Probability density of the standard normal distribution at ``x``."""
+
+def normal_pdf(x: ScalarOrArray) -> ScalarOrArray:
+    """Probability density of the standard normal distribution at ``x``.
+
+    Accepts a scalar or a NumPy array; the return type matches the input.
+    """
+    if isinstance(x, np.ndarray):
+        return _INV_SQRT_2PI * np.exp(-0.5 * x * x)
     return _INV_SQRT_2PI * math.exp(-0.5 * x * x)
 
 
-def normal_cdf(x: float) -> float:
-    """Cumulative distribution of the standard normal distribution at ``x``."""
+def normal_cdf(x: ScalarOrArray) -> ScalarOrArray:
+    """Cumulative distribution of the standard normal distribution at ``x``.
+
+    Accepts a scalar or a NumPy array; the return type matches the input.
+    The array path uses :func:`scipy.special.ndtr`, the scalar path the
+    equivalent ``erfc`` identity, both accurate to full double precision.
+    """
+    if isinstance(x, np.ndarray):
+        return ndtr(x)
     return 0.5 * math.erfc(-x / _SQRT2)
 
 

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.batch import CanonicalBatch
 from repro.core.canonical import CanonicalForm
 from repro.core.gaussian import clark_moments, clark_theta, normal_cdf
 
@@ -98,19 +99,38 @@ def statistical_min(a: CanonicalForm, b: CanonicalForm) -> CanonicalForm:
 
 
 def statistical_max_many(forms: Iterable[CanonicalForm]) -> CanonicalForm:
-    """Iterated pairwise Clark maximum over a sequence of canonical forms.
+    """Balanced tree-reduction Clark maximum over a sequence of forms.
 
-    The forms are combined in the given order; an empty iterable raises
-    ``ValueError`` because the maximum of nothing is undefined.
+    The forms are stacked into a :class:`~repro.core.batch.CanonicalBatch`
+    and reduced with the batched pairwise kernel in ``ceil(log2 n)`` rounds.
+    Compared with the historical sequential left fold this stacks fewer
+    Clark approximations on any operand (order-stable accuracy) and runs
+    each round as one vectorized call.  ``minus_infinity`` identity elements
+    are dropped up front; sequences containing any other non-finite form
+    fall back to the sequential fold, which handles them pairwise.  An empty
+    iterable raises ``ValueError`` because the maximum of nothing is
+    undefined.
     """
-    iterator = iter(forms)
-    try:
-        result = next(iterator)
-    except StopIteration:
-        raise ValueError("statistical_max_many() requires at least one form") from None
-    for form in iterator:
-        result = statistical_max(result, form)
-    return result
+    forms = list(forms)
+    if not forms:
+        raise ValueError("statistical_max_many() requires at least one form")
+    if len(forms) == 1:
+        return forms[0]
+
+    finite = [form for form in forms if form.is_finite]
+    identities = sum(
+        1 for form in forms if not form.is_finite and form.nominal < 0
+    )
+    if len(finite) + identities != len(forms) or not finite:
+        # +inf or NaN operands (or nothing but -inf): sequential pairwise
+        # fold, whose scalar operator defines the degenerate behaviour.
+        result = forms[0]
+        for form in forms[1:]:
+            result = statistical_max(result, form)
+        return result
+    if len(finite) == 1:
+        return finite[0]
+    return CanonicalBatch.from_forms(finite).max_over()
 
 
 def _pad(values: np.ndarray, n: int) -> np.ndarray:

@@ -26,7 +26,6 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.canonical import CanonicalForm
-from repro.core.ops import statistical_max
 from repro.errors import HierarchyError
 from repro.hier.design import HierarchicalDesign
 from repro.hier.grids import DesignGrids, build_design_grids
@@ -36,8 +35,13 @@ from repro.hier.replacement import (
     remap_model_graph,
     replacement_matrix,
 )
+from repro.core.ops import statistical_max_many
 from repro.timing.graph import TimingGraph
-from repro.timing.propagation import propagate_arrival_times
+from repro.timing.propagation import (
+    AUTO_BATCH_MIN_EDGES,
+    propagate_arrival_times,
+    propagate_arrival_times_batch,
+)
 from repro.variation.pca import PCADecomposition
 from repro.variation.spatial import SpatialCorrelation
 
@@ -162,19 +166,45 @@ def analyze_hierarchical_design(
     design: HierarchicalDesign,
     mode: CorrelationMode = CorrelationMode.REPLACEMENT,
 ) -> HierarchicalResult:
-    """Run the full hierarchical analysis of Fig. 5 on ``design``."""
+    """Run the full hierarchical analysis of Fig. 5 on ``design``.
+
+    The design-level graph is propagated with the block-based SSTA engine
+    (the batched levelized engine for large designs, chosen automatically),
+    and the design delay is the balanced tree-reduction Clark maximum over
+    the reachable primary-output arrivals — both built on the shared
+    batched kernels of :mod:`repro.core.batch`.
+    """
     start = time.perf_counter()
     graph, grids, pca = build_design_graph(design, mode)
-    arrivals = propagate_arrival_times(graph)
 
     output_arrivals: Dict[str, CanonicalForm] = {}
-    delay: Optional[CanonicalForm] = None
-    for output in design.primary_outputs:
-        arrival = arrivals.get(output)
-        if arrival is None:
-            continue
-        output_arrivals[output] = arrival
-        delay = arrival if delay is None else statistical_max(delay, arrival)
+    if graph.num_edges >= AUTO_BATCH_MIN_EDGES:
+        # Large design: stay in the SoA representation end to end — only
+        # the primary-output forms are ever materialised as objects.
+        times = propagate_arrival_times_batch(graph)
+        index = times.arrays.vertex_index
+        reachable_rows = []
+        for output in design.primary_outputs:
+            row = index.get(output)
+            if row is not None and times.valid[row]:
+                output_arrivals[output] = times.batch.form(row)
+                reachable_rows.append(row)
+        delay = (
+            times.batch.gather(reachable_rows).max_over()
+            if reachable_rows
+            else None
+        )
+    else:
+        arrivals = propagate_arrival_times(graph, engine="object")
+        for output in design.primary_outputs:
+            arrival = arrivals.get(output)
+            if arrival is not None:
+                output_arrivals[output] = arrival
+        delay = (
+            statistical_max_many(list(output_arrivals.values()))
+            if output_arrivals
+            else None
+        )
     if delay is None:
         raise HierarchyError(
             "no primary output of %r is reachable from a primary input" % design.name

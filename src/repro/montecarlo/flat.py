@@ -1,21 +1,23 @@
 """Vectorized Monte Carlo timing simulation on a statistical timing graph.
 
-The simulator samples the shared global variable, the independent local
-(PCA) variables and a private random variable per edge, evaluates every edge
-delay, and computes per-sample longest paths with a topological dynamic
-program that is vectorized across samples.
+The simulator samples all edge delays jointly straight from the
+:class:`~repro.core.batch.CanonicalBatch` view of the graph's edge arrays —
+one shared standard-normal draw per correlated component (global plus local
+PCA variables) and private noise per edge — then computes per-sample
+longest paths with a topological dynamic program that is vectorized across
+samples.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import TimingGraphError
-from repro.timing.allpairs import GraphArrays
+from repro.timing.arrays import GraphArrays
 from repro.timing.graph import TimingGraph
 
 __all__ = [
@@ -34,11 +36,21 @@ class MonteCarloResult:
 
     samples: np.ndarray
     elapsed_seconds: float
+    _sorted_samples: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_samples(self) -> int:
         """Number of Monte Carlo iterations."""
         return int(self.samples.shape[0])
+
+    @property
+    def sorted_samples(self) -> np.ndarray:
+        """The samples in ascending order (sorted once, then cached)."""
+        if self._sorted_samples is None:
+            self._sorted_samples = np.sort(self.samples)
+        return self._sorted_samples
 
     @property
     def mean(self) -> float:
@@ -55,9 +67,10 @@ class MonteCarloResult:
         return float(np.quantile(self.samples, q))
 
     def cdf(self, values: np.ndarray) -> np.ndarray:
-        """Empirical CDF evaluated at ``values``."""
-        sorted_samples = np.sort(self.samples)
-        ranks = np.searchsorted(sorted_samples, np.asarray(values, dtype=float), side="right")
+        """Empirical CDF evaluated at ``values`` (uses the cached sort)."""
+        ranks = np.searchsorted(
+            self.sorted_samples, np.asarray(values, dtype=float), side="right"
+        )
         return ranks / float(self.num_samples)
 
     def histogram(self, bins: int = 50) -> Tuple[np.ndarray, np.ndarray]:
@@ -89,17 +102,13 @@ class IoDelayStatistics:
 def _sample_edge_delays(
     arrays: GraphArrays, num_samples: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Sample every edge delay; returns an ``(E, num_samples)`` matrix."""
-    num_corr = arrays.num_corr
-    correlated = rng.standard_normal((num_corr, num_samples))
-    delays = arrays.edge_corr @ correlated
-    delays += arrays.edge_mean[:, np.newaxis]
-    random_sigma = np.sqrt(arrays.edge_randvar)
-    nonzero = random_sigma > 0.0
-    if nonzero.any():
-        noise = rng.standard_normal((int(nonzero.sum()), num_samples))
-        delays[nonzero] += random_sigma[nonzero, np.newaxis] * noise
-    return delays
+    """Sample every edge delay; returns an ``(E, num_samples)`` matrix.
+
+    Delegates to the edge delays' :class:`CanonicalBatch` view, which draws
+    one shared standard-normal vector per correlated component and private
+    noise only for edges with a non-zero private variance.
+    """
+    return arrays.edge_batch.sample(rng, num_samples)
 
 
 def _longest_paths(

@@ -12,18 +12,25 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.batch import CanonicalBatch
 from repro.errors import HierarchyError
 from repro.hier.design import HierarchicalDesign
 from repro.liberty.library import Library, standard_library
 from repro.montecarlo.flat import MonteCarloResult, simulate_graph_delay
 from repro.netlist.netlist import Gate, Netlist
 from repro.placement.placer import Placement
+from repro.timing.arrays import GraphArrays
 from repro.timing.builder import build_timing_graph
 from repro.timing.graph import TimingGraph
 from repro.variation.grid import GridPartition
 from repro.variation.model import VariationModel
 
-__all__ = ["flatten_design", "build_flat_timing_graph", "monte_carlo_hierarchical"]
+__all__ = [
+    "flatten_design",
+    "build_flat_timing_graph",
+    "flat_edge_batch",
+    "monte_carlo_hierarchical",
+]
 
 
 def _resolve(alias: Dict[str, str], name: str) -> str:
@@ -120,6 +127,23 @@ def build_flat_timing_graph(
     return build_timing_graph(flat, library, placement, variation, name=flat.name)
 
 
+def flat_edge_batch(
+    design: HierarchicalDesign,
+    library: Optional[Library] = None,
+    grid_size: float = 0.0,
+) -> CanonicalBatch:
+    """The flattened design's edge delays as one :class:`CanonicalBatch`.
+
+    This is the structure-of-arrays population the Monte Carlo simulator
+    samples from — every edge delay of the flattened timing graph stacked
+    into the shared SoA layout, instead of coefficients re-extracted object
+    by object.  Useful for sampling or inspecting the design-wide delay
+    statistics directly.
+    """
+    graph = build_flat_timing_graph(design, library, grid_size)
+    return GraphArrays.from_graph(graph).edge_batch
+
+
 def monte_carlo_hierarchical(
     design: HierarchicalDesign,
     num_samples: int = 10000,
@@ -127,6 +151,10 @@ def monte_carlo_hierarchical(
     chunk_size: int = 2000,
     library: Optional[Library] = None,
 ) -> MonteCarloResult:
-    """Monte Carlo delay distribution of the flattened hierarchical design."""
+    """Monte Carlo delay distribution of the flattened hierarchical design.
+
+    The simulator draws every edge delay jointly from the flattened graph's
+    :class:`CanonicalBatch` view (see :func:`flat_edge_batch`).
+    """
     graph = build_flat_timing_graph(design, library)
     return simulate_graph_delay(graph, num_samples, seed, chunk_size)

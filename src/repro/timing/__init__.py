@@ -2,24 +2,34 @@
 
 The timing graph follows the paper's definition (Section II): a vertex per
 pin/net, a directed edge per pin-to-pin delay, and edge weights that are
-canonical linear forms.  Three engines operate on it:
+canonical linear forms.  All engines share the structure-of-arrays view of
+:mod:`repro.timing.arrays` and the batched Clark kernels of
+:mod:`repro.core.batch`:
 
-* :mod:`repro.timing.propagation` — object-level block-based SSTA used for
-  module-level and design-level arrival-time propagation;
+* :mod:`repro.timing.propagation` — block-based SSTA for module-level and
+  design-level arrival/required/slack propagation; a batched levelized
+  engine by default, with the object-level per-edge loop kept as the
+  reference implementation;
 * :mod:`repro.timing.allpairs` — a vectorized engine that computes, for a
   module, the arrival times from *every* input, the path delays to *every*
   output and the all-pairs input/output delay matrix needed by the
   criticality-based model extraction;
-* :mod:`repro.timing.sta` — a deterministic corner STA baseline.
+* :mod:`repro.timing.sta` — a deterministic corner STA baseline, levelized
+  over the same array view.
 """
 
 from repro.timing.graph import TimingGraph, TimingEdge
+from repro.timing.arrays import GraphArrays
 from repro.timing.builder import build_timing_graph
 from repro.timing.propagation import (
+    VertexTimes,
     propagate_arrival_times,
+    propagate_arrival_times_batch,
     propagate_required_times,
+    propagate_required_times_batch,
     circuit_delay,
     compute_slacks,
+    compute_slacks_batch,
 )
 from repro.timing.allpairs import AllPairsTiming
 from repro.timing.paths import TimingPath, enumerate_critical_paths
@@ -28,11 +38,16 @@ from repro.timing.sta import CornerReport, corner_sta
 __all__ = [
     "TimingGraph",
     "TimingEdge",
+    "GraphArrays",
     "build_timing_graph",
+    "VertexTimes",
     "propagate_arrival_times",
+    "propagate_arrival_times_batch",
     "propagate_required_times",
+    "propagate_required_times_batch",
     "circuit_delay",
     "compute_slacks",
+    "compute_slacks_batch",
     "AllPairsTiming",
     "TimingPath",
     "enumerate_critical_paths",

@@ -14,167 +14,33 @@ output) dimension and performs every Clark maximum simultaneously for all
 inputs (outputs) with numpy, following Sapatnekar's all-pairs propagation
 (ISCAS 1996) lifted to the statistical domain.
 
-Canonical forms are stored column-wise: component 0 of the ``corr`` arrays
-is the global coefficient, components ``1..K`` are the local PCA
-coefficients, and the private random part is tracked as a variance.
+Canonical forms are stored column-wise in the shared structure-of-arrays
+layout of :mod:`repro.core.batch`: component 0 of the ``corr`` arrays is the
+global coefficient, components ``1..K`` are the local PCA coefficients, and
+the private random part is tracked as a variance.  The graph view
+(:class:`~repro.timing.arrays.GraphArrays`) and the batched Clark kernels
+(:func:`~repro.core.batch.clark_max_arrays`,
+:func:`~repro.core.batch.merge_max_with_validity`) are the same ones the
+levelized SSTA propagation uses; they are re-exported here for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
-from scipy.special import ndtr
 
+from repro.core.batch import clark_max_arrays, merge_max_with_validity
 from repro.core.canonical import CanonicalForm
 from repro.errors import TimingGraphError
+from repro.timing.arrays import GraphArrays
 from repro.timing.graph import TimingEdge, TimingGraph
 
 __all__ = ["AllPairsTiming", "GraphArrays", "clark_max_arrays"]
 
-_THETA_EPSILON = 1e-12
-_INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
-
-
-# ----------------------------------------------------------------------
-# Array representation of the graph
-# ----------------------------------------------------------------------
-@dataclass
-class GraphArrays:
-    """Array view of a timing graph used by the vectorized engines."""
-
-    graph: TimingGraph
-    vertex_index: Dict[str, int]
-    topo_order: List[str]
-    edge_rows: Dict[int, int]
-    edge_source: np.ndarray
-    edge_sink: np.ndarray
-    edge_mean: np.ndarray
-    edge_corr: np.ndarray
-    edge_randvar: np.ndarray
-
-    @classmethod
-    def from_graph(cls, graph: TimingGraph) -> "GraphArrays":
-        """Convert a timing graph into flat numpy arrays."""
-        vertices = list(graph.vertices)
-        vertex_index = {name: index for index, name in enumerate(vertices)}
-        topo_order = graph.topological_order()
-
-        num_edges = graph.num_edges
-        num_corr = graph.num_locals + 1
-        edge_source = np.zeros(num_edges, dtype=np.int64)
-        edge_sink = np.zeros(num_edges, dtype=np.int64)
-        edge_mean = np.zeros(num_edges, dtype=float)
-        edge_corr = np.zeros((num_edges, num_corr), dtype=float)
-        edge_randvar = np.zeros(num_edges, dtype=float)
-        edge_rows: Dict[int, int] = {}
-
-        for row, edge in enumerate(graph.edges):
-            edge_rows[edge.edge_id] = row
-            edge_source[row] = vertex_index[edge.source]
-            edge_sink[row] = vertex_index[edge.sink]
-            edge_mean[row] = edge.delay.nominal
-            edge_corr[row, 0] = edge.delay.global_coeff
-            locals_ = edge.delay.local_coeffs
-            edge_corr[row, 1 : 1 + locals_.shape[0]] = locals_
-            edge_randvar[row] = edge.delay.random_coeff ** 2
-
-        return cls(
-            graph=graph,
-            vertex_index=vertex_index,
-            topo_order=topo_order,
-            edge_rows=edge_rows,
-            edge_source=edge_source,
-            edge_sink=edge_sink,
-            edge_mean=edge_mean,
-            edge_corr=edge_corr,
-            edge_randvar=edge_randvar,
-        )
-
-    @property
-    def num_corr(self) -> int:
-        """Number of correlated components (1 global + K locals)."""
-        return int(self.edge_corr.shape[1])
-
-
-# ----------------------------------------------------------------------
-# Vectorized Clark maximum
-# ----------------------------------------------------------------------
-def clark_max_arrays(
-    mean_a: np.ndarray,
-    corr_a: np.ndarray,
-    randvar_a: np.ndarray,
-    mean_b: np.ndarray,
-    corr_b: np.ndarray,
-    randvar_b: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Clark maximum of two batches of canonical forms.
-
-    All inputs are batched along the leading axis; ``corr_*`` additionally
-    has the correlated-coefficient axis last.  Returns the canonical
-    re-approximation ``(mean, corr, randvar)`` of the elementwise maximum.
-    """
-    var_a = np.einsum("...k,...k->...", corr_a, corr_a) + randvar_a
-    var_b = np.einsum("...k,...k->...", corr_b, corr_b) + randvar_b
-    cov = np.einsum("...k,...k->...", corr_a, corr_b)
-
-    theta_sq = np.maximum(var_a + var_b - 2.0 * cov, 0.0)
-    theta = np.sqrt(theta_sq)
-    degenerate = theta <= _THETA_EPSILON
-    safe_theta = np.where(degenerate, 1.0, theta)
-
-    alpha = (mean_a - mean_b) / safe_theta
-    tp = ndtr(alpha)
-    phi = _INV_SQRT_2PI * np.exp(-0.5 * alpha * alpha)
-
-    # Degenerate case: the operands differ deterministically.
-    tp = np.where(degenerate, (mean_a >= mean_b).astype(float), tp)
-    phi = np.where(degenerate, 0.0, phi)
-
-    mean = tp * mean_a + (1.0 - tp) * mean_b + theta * phi
-    second = (
-        tp * (var_a + mean_a * mean_a)
-        + (1.0 - tp) * (var_b + mean_b * mean_b)
-        + (mean_a + mean_b) * theta * phi
-    )
-    variance = np.maximum(second - mean * mean, 0.0)
-
-    corr = tp[..., np.newaxis] * corr_a + (1.0 - tp)[..., np.newaxis] * corr_b
-    linear_variance = np.einsum("...k,...k->...", corr, corr)
-    randvar = np.maximum(variance - linear_variance, 0.0)
-    return mean, corr, randvar
-
-
-def _merge_max_with_validity(
-    mean_a: np.ndarray,
-    corr_a: np.ndarray,
-    randvar_a: np.ndarray,
-    valid_a: np.ndarray,
-    mean_b: np.ndarray,
-    corr_b: np.ndarray,
-    randvar_b: np.ndarray,
-    valid_b: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Clark max that honours per-entry validity masks.
-
-    Entries valid on only one side copy that side; entries valid on neither
-    side stay invalid (their numeric content is meaningless).
-    """
-    mean, corr, randvar = clark_max_arrays(
-        mean_a, corr_a, randvar_a, mean_b, corr_b, randvar_b
-    )
-    both = valid_a & valid_b
-    only_a = valid_a & ~valid_b
-    only_b = valid_b & ~valid_a
-
-    out_mean = np.where(both, mean, np.where(only_a, mean_a, mean_b))
-    out_randvar = np.where(both, randvar, np.where(only_a, randvar_a, randvar_b))
-    both_e = both[..., np.newaxis]
-    only_a_e = only_a[..., np.newaxis]
-    out_corr = np.where(both_e, corr, np.where(only_a_e, corr_a, corr_b))
-    out_valid = valid_a | valid_b
-    return out_mean, out_corr, out_randvar, out_valid
+# Backwards-compatible alias of the shared masked Clark kernel.
+_merge_max_with_validity = merge_max_with_validity
 
 
 # ----------------------------------------------------------------------

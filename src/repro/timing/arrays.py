@@ -1,0 +1,245 @@
+"""Structure-of-arrays view of a timing graph plus levelized schedules.
+
+:class:`GraphArrays` flattens a :class:`~repro.timing.graph.TimingGraph`
+into the canonical-batch layout of :mod:`repro.core.batch`: one row per
+edge, with the edge delay's mean, fused correlated coefficients (global
+coefficient in column 0, local PCA coefficients after it) and private-part
+variance in parallel arrays.  Every vectorized engine — the levelized SSTA
+propagation, the all-pairs analysis, the corner STA and the Monte Carlo
+samplers — shares this one representation.
+
+On top of the flat arrays it provides *levelized* propagation schedules:
+vertices are grouped by longest-path depth from the sources (forward) or to
+the sinks (backward), and each level stores its vertices' fanin (or fanout)
+edge rows as one padded matrix.  A propagation engine then processes a
+whole level at a time: round ``r`` folds the ``r``-th fanin edge of every
+vertex of the level in a single batched Clark reduction, preserving the
+per-vertex edge order of the object-level engine exactly.  Within a level
+the vertices are sorted by descending degree, so the vertices participating
+in round ``r`` are always a prefix — engines fold contiguous array slices
+instead of masked gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import CanonicalBatch
+from repro.timing.graph import TimingGraph
+
+__all__ = ["GraphArrays", "PropagationLevel"]
+
+
+@dataclass(frozen=True)
+class PropagationLevel:
+    """One level of a levelized propagation schedule.
+
+    ``vertex_rows`` lists the vertex rows of this level, sorted by
+    descending degree; ``edge_matrix`` has shape
+    ``(len(vertex_rows), max_degree)`` and holds the edge rows of each
+    vertex's fanin (forward) or fanout (backward) edges in graph order,
+    padded with ``-1``; ``round_counts[r]`` is the number of leading
+    vertices that still have an ``r``-th edge, so round ``r`` of a fold
+    operates on the contiguous prefix ``[:round_counts[r]]``.
+    """
+
+    vertex_rows: np.ndarray
+    edge_matrix: np.ndarray
+    round_counts: np.ndarray
+
+
+@dataclass
+class GraphArrays:
+    """Array view of a timing graph used by the vectorized engines."""
+
+    graph: TimingGraph
+    vertex_index: Dict[str, int]
+    topo_order: List[str]
+    edge_rows: Dict[int, int]
+    edge_source: np.ndarray
+    edge_sink: np.ndarray
+    edge_mean: np.ndarray
+    edge_corr: np.ndarray
+    edge_randvar: np.ndarray
+    _forward_levels: Optional[List[PropagationLevel]] = field(
+        default=None, repr=False, compare=False
+    )
+    _backward_levels: Optional[List[PropagationLevel]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_graph(cls, graph: TimingGraph) -> "GraphArrays":
+        """Convert a timing graph into flat numpy arrays."""
+        vertices = list(graph.vertices)
+        vertex_index = {name: index for index, name in enumerate(vertices)}
+        topo_order = graph.topological_order()
+
+        edges = graph.edges
+        num_edges = len(edges)
+        num_corr = graph.num_locals + 1
+        edge_rows = {edge.edge_id: row for row, edge in enumerate(edges)}
+        edge_source = np.fromiter(
+            (vertex_index[edge.source] for edge in edges), np.int64, num_edges
+        )
+        edge_sink = np.fromiter(
+            (vertex_index[edge.sink] for edge in edges), np.int64, num_edges
+        )
+        edge_mean = np.fromiter(
+            (edge.delay.nominal for edge in edges), float, num_edges
+        )
+        edge_randvar = np.fromiter(
+            (edge.delay.random_coeff for edge in edges), float, num_edges
+        )
+        np.square(edge_randvar, out=edge_randvar)
+
+        edge_corr = np.zeros((num_edges, num_corr), dtype=float)
+        edge_corr[:, 0] = np.fromiter(
+            (edge.delay.global_coeff for edge in edges), float, num_edges
+        )
+        if num_corr > 1 and num_edges:
+            if all(edge.delay.num_locals == num_corr - 1 for edge in edges):
+                edge_corr[:, 1:] = np.stack(
+                    [edge.delay.local_coeffs for edge in edges]
+                )
+            else:  # ragged local widths: pad row by row
+                for row, edge in enumerate(edges):
+                    locals_ = edge.delay.local_coeffs
+                    edge_corr[row, 1 : 1 + locals_.shape[0]] = locals_
+
+        return cls(
+            graph=graph,
+            vertex_index=vertex_index,
+            topo_order=topo_order,
+            edge_rows=edge_rows,
+            edge_source=edge_source,
+            edge_sink=edge_sink,
+            edge_mean=edge_mean,
+            edge_corr=edge_corr,
+            edge_randvar=edge_randvar,
+        )
+
+    @property
+    def num_corr(self) -> int:
+        """Number of correlated components (1 global + K locals)."""
+        return int(self.edge_corr.shape[1])
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return self.graph.num_vertices
+
+    @property
+    def input_rows(self) -> np.ndarray:
+        """Vertex rows of the designated graph inputs."""
+        return np.asarray(
+            [self.vertex_index[name] for name in self.graph.inputs], dtype=np.int64
+        )
+
+    @property
+    def output_rows(self) -> np.ndarray:
+        """Vertex rows of the designated graph outputs."""
+        return np.asarray(
+            [self.vertex_index[name] for name in self.graph.outputs], dtype=np.int64
+        )
+
+    @property
+    def edge_batch(self) -> CanonicalBatch:
+        """Zero-copy :class:`CanonicalBatch` view of all edge delays."""
+        return CanonicalBatch.from_mean_corr_randvar(
+            self.edge_mean, self.edge_corr, self.edge_randvar
+        )
+
+    # ------------------------------------------------------------------
+    # Levelized schedules
+    # ------------------------------------------------------------------
+    def forward_levels(self) -> List[PropagationLevel]:
+        """Levelized forward schedule (fanin edges, ascending source depth)."""
+        if self._forward_levels is None:
+            self._forward_levels = self._build_levels(
+                into=self.edge_sink, out_of=self.edge_source
+            )
+        return self._forward_levels
+
+    def backward_levels(self) -> List[PropagationLevel]:
+        """Levelized backward schedule (fanout edges, ascending sink depth)."""
+        if self._backward_levels is None:
+            self._backward_levels = self._build_levels(
+                into=self.edge_source, out_of=self.edge_sink
+            )
+        return self._backward_levels
+
+    def _build_levels(
+        self, into: np.ndarray, out_of: np.ndarray
+    ) -> List[PropagationLevel]:
+        """Group vertices by longest-path depth along ``out_of -> into``.
+
+        ``into`` holds, per edge, the vertex row that folds the edge
+        (the sink for forward propagation, the source for backward);
+        ``out_of`` the vertex whose time the edge reads.  The depth of a
+        vertex is the longest edge count of any path reaching it, computed
+        with a level-synchronous Kahn sweep: a vertex is released the
+        iteration after its last predecessor, so its release round *is* its
+        longest-path depth, and every round is a handful of vectorized
+        gathers/bincounts over the current frontier's edges.
+        """
+        num_vertices = self.graph.num_vertices
+        num_edges = into.shape[0]
+        if num_edges == 0:
+            return []
+
+        # Per-vertex folded-edge rows, in edge insertion order (the order of
+        # TimingGraph.fanin_edges / fanout_edges): a stable sort by folding
+        # vertex keeps rows of equal vertices in insertion order.
+        order = np.argsort(into, kind="stable")
+        counts = np.bincount(into, minlength=num_vertices)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+        # Outgoing-edge grouping for the frontier sweep.
+        order_out = np.argsort(out_of, kind="stable")
+        counts_out = np.bincount(out_of, minlength=num_vertices)
+        starts_out = np.concatenate(([0], np.cumsum(counts_out)[:-1]))
+
+        depth = np.zeros(num_vertices, dtype=np.int64)
+        remaining = counts.copy()
+        frontier = np.nonzero(remaining == 0)[0]
+        level = 0
+        while frontier.size:
+            degrees = counts_out[frontier]
+            total = int(degrees.sum())
+            if total == 0:
+                break
+            offsets = np.arange(total) - np.repeat(
+                np.cumsum(degrees) - degrees, degrees
+            )
+            leaving = order_out[np.repeat(starts_out[frontier], degrees) + offsets]
+            released = np.bincount(into[leaving], minlength=num_vertices)
+            remaining -= released
+            level += 1
+            newly = (remaining == 0) & (released > 0)
+            depth[newly] = level
+            frontier = np.nonzero(newly)[0]
+
+        levels: List[PropagationLevel] = []
+        positions = None
+        for level in range(1, int(depth.max()) + 1):
+            rows = np.nonzero(depth == level)[0]
+            level_counts = counts[rows]
+            by_degree = np.argsort(-level_counts, kind="stable")
+            rows = rows[by_degree]
+            level_counts = level_counts[by_degree]
+            width = int(level_counts[0])
+            if positions is None or positions.shape[0] < width:
+                positions = np.arange(width, dtype=np.int64)
+            pos = positions[:width]
+            gathered = starts[rows][:, np.newaxis] + pos[np.newaxis, :]
+            present = pos[np.newaxis, :] < level_counts[:, np.newaxis]
+            edge_matrix = np.where(
+                present, order[np.minimum(gathered, num_edges - 1)], -1
+            )
+            round_counts = present.sum(axis=0)
+            levels.append(PropagationLevel(rows, edge_matrix, round_counts))
+        return levels

@@ -1,4 +1,4 @@
-"""Object-level block-based SSTA propagation.
+"""Block-based SSTA propagation: batched levelized engine + object fallback.
 
 These routines implement the classic single-traversal SSTA of Visweswariah
 et al. on a :class:`~repro.timing.graph.TimingGraph`: arrival times are
@@ -6,37 +6,300 @@ propagated from the designated inputs to every vertex with the statistical
 ``sum`` and ``max`` operators, and required times backwards with ``sum`` and
 ``min``.  They are used both for module-level sanity analysis and for the
 design-level hierarchical propagation (Section V, step 4).
+
+Two engines share the public API:
+
+* the **batched levelized engine** (default) keeps all per-vertex times in
+  the structure-of-arrays layout of :class:`~repro.core.batch.CanonicalBatch`
+  and processes each topological level's fanin (or fanout) edges with one
+  batched Clark reduction per fold round — no per-edge Python arithmetic;
+* the **object-level engine** (``engine="object"``) is the original
+  per-edge loop over immutable :class:`~repro.core.canonical.CanonicalForm`
+  operations, kept as the readable reference implementation and as the
+  parity baseline the batched engine is tested against (it also serves the
+  rare non-finite boundary conditions the array kernels do not model).
+
+Both fold a vertex's candidate arrivals in identical order, so their
+results agree to floating-point round-off (asserted to 1e-9 in the tests).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.core.batch import CanonicalBatch, merge_max_with_validity, pad_corr
 from repro.core.canonical import CanonicalForm
 from repro.core.ops import statistical_max, statistical_min
 from repro.errors import TimingGraphError
+from repro.timing.arrays import GraphArrays
 from repro.timing.graph import TimingGraph
 
 __all__ = [
+    "AUTO_BATCH_MIN_EDGES",
+    "VertexTimes",
     "propagate_arrival_times",
+    "propagate_arrival_times_batch",
     "propagate_required_times",
+    "propagate_required_times_batch",
     "circuit_delay",
     "compute_slacks",
+    "compute_slacks_batch",
     "longest_path_to_outputs",
+    "longest_path_to_outputs_batch",
 ]
+
+
+# ----------------------------------------------------------------------
+# Batched vertex-time state
+# ----------------------------------------------------------------------
+@dataclass
+class VertexTimes:
+    """Batched per-vertex canonical times plus a reachability mask.
+
+    ``mean``/``corr``/``randvar`` hold one canonical form per graph vertex
+    in the SoA layout of :mod:`repro.core.batch`; ``valid`` marks the
+    vertices that actually carry a time (the others' numeric content is
+    meaningless, mirroring the absent dictionary entries of the
+    object-level engine).
+    """
+
+    arrays: GraphArrays
+    mean: np.ndarray
+    corr: np.ndarray
+    randvar: np.ndarray
+    valid: np.ndarray
+
+    @property
+    def batch(self) -> CanonicalBatch:
+        """Zero-copy batch view over all vertices (valid or not)."""
+        return CanonicalBatch.from_mean_corr_randvar(self.mean, self.corr, self.randvar)
+
+    def form(self, vertex: str) -> Optional[CanonicalForm]:
+        """The canonical time at ``vertex``; ``None`` if unreachable."""
+        row = self.arrays.vertex_index.get(vertex)
+        if row is None or not self.valid[row]:
+            return None
+        return self.batch.form(row)
+
+    def as_dict(self) -> Dict[str, CanonicalForm]:
+        """Materialise the valid entries as a vertex-to-form dictionary."""
+        batch = self.batch
+        valid = self.valid
+        return {
+            name: batch.form(row)
+            for name, row in self.arrays.vertex_index.items()
+            if valid[row]
+        }
+
+
+def _empty_state(
+    arrays: GraphArrays, width: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    num_vertices = arrays.num_vertices
+    return (
+        np.zeros(num_vertices, dtype=float),
+        np.zeros((num_vertices, width), dtype=float),
+        np.zeros(num_vertices, dtype=float),
+        np.zeros(num_vertices, dtype=bool),
+    )
+
+
+def _seed_form(
+    mean: np.ndarray,
+    corr: np.ndarray,
+    randvar: np.ndarray,
+    valid: np.ndarray,
+    row: int,
+    form: CanonicalForm,
+    negate: bool = False,
+) -> None:
+    sign = -1.0 if negate else 1.0
+    mean[row] = sign * form.nominal
+    corr[row, :] = 0.0
+    corr[row, 0] = sign * form.global_coeff
+    corr[row, 1 : 1 + form.num_locals] = sign * form.local_coeffs
+    randvar[row] = form.random_coeff * form.random_coeff
+    valid[row] = True
+
+
+def _fold_levels(
+    arrays: GraphArrays,
+    levels,
+    neighbor_rows: np.ndarray,
+    edge_corr: np.ndarray,
+    mean: np.ndarray,
+    corr: np.ndarray,
+    randvar: np.ndarray,
+    valid: np.ndarray,
+    seed_first: bool,
+) -> None:
+    """Run the levelized Clark fold over ``levels``, updating state in place.
+
+    Per level, round ``r`` adds the source (or sink) time of every vertex's
+    ``r``-th fanin (fanout) edge to that edge's delay and merges the batch of
+    candidates into the per-vertex accumulators with one masked Clark max —
+    the same left-fold order as the object-level engine, vectorized across
+    the level.  Level vertices are pre-sorted by descending degree, so the
+    participants of round ``r`` are the contiguous prefix
+    ``[:round_counts[r]]`` and every fold operates on array slices.
+    ``seed_first`` controls whether a pre-seeded state value (e.g. the
+    required time at an output) enters the fold before the edge candidates
+    (backward engines) or is merged after them (arrival engine).
+    """
+    edge_mean = arrays.edge_mean
+    edge_randvar = arrays.edge_randvar
+    width = corr.shape[1]
+
+    for level in levels:
+        rows = level.vertex_rows
+        num_level = rows.shape[0]
+        if seed_first:
+            acc_mean = mean[rows]
+            acc_corr = corr[rows]
+            acc_randvar = randvar[rows]
+            acc_valid = valid[rows]
+        else:
+            # Round 0 covers every vertex of the level (degree >= 1), so the
+            # accumulators are fully written before they are first read.
+            acc_mean = np.empty(num_level, dtype=float)
+            acc_corr = np.empty((num_level, width), dtype=float)
+            acc_randvar = np.empty(num_level, dtype=float)
+            acc_valid = np.empty(num_level, dtype=bool)
+
+        for round_index in range(level.edge_matrix.shape[1]):
+            count = level.round_counts[round_index]
+            rows_of_round = level.edge_matrix[:count, round_index]
+            neighbors = neighbor_rows[rows_of_round]
+            cand_mean = mean[neighbors] + edge_mean[rows_of_round]
+            cand_corr = corr[neighbors] + edge_corr[rows_of_round]
+            cand_randvar = randvar[neighbors] + edge_randvar[rows_of_round]
+            cand_valid = valid[neighbors]
+            if round_index == 0 and not seed_first:
+                # First candidate initialises the accumulator, exactly like
+                # the object engine's ``best = candidate`` on the first fold.
+                acc_mean[:count] = cand_mean
+                acc_corr[:count] = cand_corr
+                acc_randvar[:count] = cand_randvar
+                acc_valid[:count] = cand_valid
+                continue
+            merged = merge_max_with_validity(
+                acc_mean[:count], acc_corr[:count], acc_randvar[:count],
+                acc_valid[:count],
+                cand_mean, cand_corr, cand_randvar, cand_valid,
+            )
+            acc_mean[:count], acc_corr[:count] = merged[0], merged[1]
+            acc_randvar[:count], acc_valid[:count] = merged[2], merged[3]
+
+        if seed_first:
+            mean[rows], corr[rows] = acc_mean, acc_corr
+            randvar[rows], valid[rows] = acc_randvar, acc_valid
+        elif valid[rows].any():
+            # Merge a pre-seeded state (an input vertex that also has fanin)
+            # after the fold, matching the object engine's final max.
+            merged = merge_max_with_validity(
+                acc_mean, acc_corr, acc_randvar, acc_valid,
+                mean[rows], corr[rows], randvar[rows], valid[rows],
+            )
+            mean[rows], corr[rows] = merged[0], merged[1]
+            randvar[rows], valid[rows] = merged[2], merged[3]
+        else:
+            mean[rows], corr[rows] = acc_mean, acc_corr
+            randvar[rows], valid[rows] = acc_randvar, acc_valid
+
+
+def _all_finite(forms) -> bool:
+    return all(form.is_finite for form in forms)
+
+
+# Below this edge count the object-level engine tends to win: the batched
+# engine's per-level NumPy call overhead is amortised over too few vertices
+# (deep, narrow graphs such as small ripple-carry chains are the worst case).
+AUTO_BATCH_MIN_EDGES = 768
+
+
+def _use_batch(graph: TimingGraph, engine: str, seeds) -> bool:
+    """Resolve the ``engine`` argument to "use the batched engine or not".
+
+    ``"batch"`` and ``"object"`` force an engine; ``"auto"`` (the default)
+    picks the batched engine for graphs large enough to amortise its fixed
+    per-level cost.  Non-finite seed forms (e.g. ``minus_infinity`` input
+    masks) always fall back to the object engine, whose scalar operators
+    define their algebra.
+    """
+    if engine == "object":
+        return False
+    if engine not in ("batch", "auto"):
+        raise ValueError("unknown propagation engine %r" % engine)
+    if not _all_finite(seeds):
+        return False
+    return engine == "batch" or graph.num_edges >= AUTO_BATCH_MIN_EDGES
+
+
+# ----------------------------------------------------------------------
+# Arrival times
+# ----------------------------------------------------------------------
+def propagate_arrival_times_batch(
+    graph: TimingGraph,
+    input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+    arrays: Optional[GraphArrays] = None,
+) -> VertexTimes:
+    """Levelized batched arrival-time propagation.
+
+    Functionally identical to the object-level engine (same candidate fold
+    order per vertex) but processes each topological level's fanin edges as
+    batched Clark reductions.  ``arrays`` may be passed to reuse a
+    previously built :class:`GraphArrays` view of ``graph``.
+    """
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
+    input_arrivals = dict(input_arrivals or {})
+    seeds = {
+        name: input_arrivals[name] for name in graph.inputs if name in input_arrivals
+    }
+
+    width = max(
+        arrays.num_corr, max((f.num_locals + 1 for f in seeds.values()), default=1)
+    )
+    mean, corr, randvar, valid = _empty_state(arrays, width)
+    index = arrays.vertex_index
+    for name in graph.inputs:
+        form = seeds.get(name)
+        if form is None:
+            valid[index[name]] = True  # deterministic zero arrival
+        else:
+            _seed_form(mean, corr, randvar, valid, index[name], form)
+
+    _fold_levels(
+        arrays, arrays.forward_levels(), arrays.edge_source,
+        pad_corr(arrays.edge_corr, width),
+        mean, corr, randvar, valid, seed_first=False,
+    )
+    return VertexTimes(arrays, mean, corr, randvar, valid)
 
 
 def propagate_arrival_times(
     graph: TimingGraph,
     input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+    engine: str = "auto",
 ) -> Dict[str, CanonicalForm]:
     """Propagate arrival times from the graph inputs to every vertex.
 
     ``input_arrivals`` optionally supplies the arrival time at each input
     vertex (defaults to a deterministic zero).  Vertices unreachable from
-    any input get no entry in the returned mapping.
+    any input get no entry in the returned mapping.  ``engine`` selects the
+    batched levelized engine (``"batch"``), the object-level reference loop
+    (``"object"``) or a size-based choice between them (``"auto"``, the
+    default); non-finite input arrivals (e.g. ``minus_infinity`` masks)
+    always use the object-level engine, whose scalar operators define their
+    algebra.
     """
     input_arrivals = dict(input_arrivals or {})
+    if _use_batch(graph, engine, input_arrivals.values()):
+        return propagate_arrival_times_batch(graph, input_arrivals).as_dict()
+
     arrivals: Dict[str, CanonicalForm] = {}
     zero = CanonicalForm.constant(0.0, graph.num_locals)
 
@@ -64,9 +327,24 @@ def propagate_arrival_times(
 def circuit_delay(
     graph: TimingGraph,
     input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+    engine: str = "auto",
 ) -> CanonicalForm:
-    """Statistical maximum arrival time over the graph outputs."""
-    arrivals = propagate_arrival_times(graph, input_arrivals)
+    """Statistical maximum arrival time over the graph outputs.
+
+    The batched engine reduces the reachable output arrivals with the
+    balanced tree kernel; the object engine folds them sequentially.
+    """
+    input_arrivals = dict(input_arrivals or {})
+    if _use_batch(graph, engine, input_arrivals.values()):
+        times = propagate_arrival_times_batch(graph, input_arrivals)
+        rows = [row for row in times.arrays.output_rows if times.valid[row]]
+        if not rows:
+            raise TimingGraphError(
+                "no output of %r is reachable from any input" % graph.name
+            )
+        return times.batch.gather(rows).max_over()
+
+    arrivals = propagate_arrival_times(graph, input_arrivals, engine="object")
     best: Optional[CanonicalForm] = None
     for vertex in graph.outputs:
         arrival = arrivals.get(vertex)
@@ -80,13 +358,37 @@ def circuit_delay(
     return best
 
 
-def longest_path_to_outputs(graph: TimingGraph) -> Dict[str, CanonicalForm]:
+# ----------------------------------------------------------------------
+# Backward propagation
+# ----------------------------------------------------------------------
+def longest_path_to_outputs_batch(
+    graph: TimingGraph, arrays: Optional[GraphArrays] = None
+) -> VertexTimes:
+    """Levelized batched maximum delay from every vertex to any output."""
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
+    mean, corr, randvar, valid = _empty_state(arrays, arrays.num_corr)
+    valid[arrays.output_rows] = True  # deterministic zero at every output
+
+    _fold_levels(
+        arrays, arrays.backward_levels(), arrays.edge_sink, arrays.edge_corr,
+        mean, corr, randvar, valid, seed_first=True,
+    )
+    return VertexTimes(arrays, mean, corr, randvar, valid)
+
+
+def longest_path_to_outputs(
+    graph: TimingGraph, engine: str = "auto"
+) -> Dict[str, CanonicalForm]:
     """Maximum statistical delay from every vertex to any graph output.
 
     This is the "negative required time with the output required time set to
     zero" used by the paper's criticality computation (eq. 15); it is the
     backward analogue of :func:`propagate_arrival_times`.
     """
+    if _use_batch(graph, engine, ()):
+        return longest_path_to_outputs_batch(graph).as_dict()
+
     zero = CanonicalForm.constant(0.0, graph.num_locals)
     to_output: Dict[str, CanonicalForm] = {vertex: zero for vertex in graph.outputs}
 
@@ -106,10 +408,53 @@ def longest_path_to_outputs(graph: TimingGraph) -> Dict[str, CanonicalForm]:
     return to_output
 
 
+def propagate_required_times_batch(
+    graph: TimingGraph,
+    required_at_outputs: Optional[Mapping[str, CanonicalForm]] = None,
+    default_required: Optional[CanonicalForm] = None,
+    arrays: Optional[GraphArrays] = None,
+) -> VertexTimes:
+    """Levelized batched backward required-time propagation.
+
+    Runs the backward ``min``/``sum`` recursion as a forward-style ``max``
+    fold on the *negated* state (``min(A,B) = -max(-A,-B)``): the state
+    holds ``-required``, a fanout candidate ``required(sink) - delay``
+    becomes ``state(sink) + delay``, and the result is negated back at the
+    end.  Candidate order matches the object-level engine exactly.
+    """
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
+    required_at_outputs = dict(required_at_outputs or {})
+    if default_required is None:
+        default_required = CanonicalForm.constant(0.0, graph.num_locals)
+
+    seeds = {
+        name: required_at_outputs.get(name, default_required)
+        for name in graph.outputs
+    }
+    width = max(
+        arrays.num_corr, max((f.num_locals + 1 for f in seeds.values()), default=1)
+    )
+    mean, corr, randvar, valid = _empty_state(arrays, width)
+    index = arrays.vertex_index
+    for name, form in seeds.items():
+        _seed_form(mean, corr, randvar, valid, index[name], form, negate=True)
+
+    _fold_levels(
+        arrays, arrays.backward_levels(), arrays.edge_sink,
+        pad_corr(arrays.edge_corr, width),
+        mean, corr, randvar, valid, seed_first=True,
+    )
+    np.negative(mean, out=mean)
+    np.negative(corr, out=corr)
+    return VertexTimes(arrays, mean, corr, randvar, valid)
+
+
 def propagate_required_times(
     graph: TimingGraph,
     required_at_outputs: Optional[Mapping[str, CanonicalForm]] = None,
     default_required: Optional[CanonicalForm] = None,
+    engine: str = "auto",
 ) -> Dict[str, CanonicalForm]:
     """Propagate required times backwards from the outputs.
 
@@ -119,6 +464,14 @@ def propagate_required_times(
     entry in ``required_at_outputs``.
     """
     required_at_outputs = dict(required_at_outputs or {})
+    seed_forms = list(required_at_outputs.values())
+    if default_required is not None:
+        seed_forms.append(default_required)
+    if _use_batch(graph, engine, seed_forms):
+        return propagate_required_times_batch(
+            graph, required_at_outputs, default_required
+        ).as_dict()
+
     if default_required is None:
         default_required = CanonicalForm.constant(0.0, graph.num_locals)
 
@@ -142,19 +495,54 @@ def propagate_required_times(
     return required
 
 
+# ----------------------------------------------------------------------
+# Slacks
+# ----------------------------------------------------------------------
+def compute_slacks_batch(
+    graph: TimingGraph,
+    required_time: CanonicalForm,
+    input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+    arrays: Optional[GraphArrays] = None,
+) -> VertexTimes:
+    """Batched statistical slack at every vertex reachable in both passes.
+
+    One forward and one backward levelized pass over a shared
+    :class:`GraphArrays` view, then a single vectorized subtraction
+    ``required - arrival`` (private variances add) across all vertices.
+    """
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
+    arrival = propagate_arrival_times_batch(graph, input_arrivals, arrays=arrays)
+    required = propagate_required_times_batch(
+        graph, {vertex: required_time for vertex in graph.outputs}, arrays=arrays
+    )
+    width = max(arrival.corr.shape[1], required.corr.shape[1])
+    mean = required.mean - arrival.mean
+    corr = pad_corr(required.corr, width) - pad_corr(arrival.corr, width)
+    randvar = required.randvar + arrival.randvar
+    valid = required.valid & arrival.valid
+    return VertexTimes(arrays, mean, corr, randvar, valid)
+
+
 def compute_slacks(
     graph: TimingGraph,
     required_time: CanonicalForm,
     input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
+    engine: str = "auto",
 ) -> Dict[str, CanonicalForm]:
     """Statistical slack (required minus arrival) at every reachable vertex.
 
     ``required_time`` is applied at every output; slack distributions with
     negative means indicate paths that nominally violate the constraint.
     """
-    arrivals = propagate_arrival_times(graph, input_arrivals)
+    input_arrivals = dict(input_arrivals or {})
+    seeds = list(input_arrivals.values()) + [required_time]
+    if _use_batch(graph, engine, seeds):
+        return compute_slacks_batch(graph, required_time, input_arrivals).as_dict()
+
+    arrivals = propagate_arrival_times(graph, input_arrivals, engine="object")
     required = propagate_required_times(
-        graph, {vertex: required_time for vertex in graph.outputs}
+        graph, {vertex: required_time for vertex in graph.outputs}, engine="object"
     )
     slacks: Dict[str, CanonicalForm] = {}
     for vertex, arrival in arrivals.items():

@@ -6,14 +6,24 @@ frequency headroom.  :func:`corner_sta` runs the classic longest-path
 analysis at the nominal, worst (+n sigma) and best (-n sigma) corners of a
 statistical timing graph so examples and benchmarks can quantify that
 pessimism against the SSTA distribution.
+
+The longest-path recursion runs on the shared
+:class:`~repro.timing.arrays.GraphArrays` view with its levelized schedule:
+per-edge corner delays are computed in one vectorized expression
+(``mean + sigma_offset * std`` straight from the edge coefficient arrays)
+and each level folds with plain ``np.maximum`` — the deterministic
+degenerate case of the batched Clark engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
+
+import numpy as np
 
 from repro.errors import TimingGraphError
+from repro.timing.arrays import GraphArrays
 from repro.timing.graph import TimingGraph
 
 __all__ = ["CornerReport", "corner_sta", "deterministic_longest_path"]
@@ -41,24 +51,38 @@ class CornerReport:
         return self.worst - self.best
 
 
-def deterministic_longest_path(graph: TimingGraph, sigma_offset: float = 0.0) -> float:
-    """Longest input-to-output path with every delay at ``mean + sigma_offset * std``."""
-    arrivals: Dict[str, float] = {vertex: 0.0 for vertex in graph.inputs}
-    for vertex in graph.topological_order():
-        for edge in graph.fanin_edges(vertex):
-            if edge.source not in arrivals:
-                continue
-            delay = edge.delay.nominal + sigma_offset * edge.delay.std
-            candidate = arrivals[edge.source] + delay
-            if candidate > arrivals.get(vertex, float("-inf")):
-                arrivals[vertex] = candidate
-    best: Optional[float] = None
-    for vertex in graph.outputs:
-        value = arrivals.get(vertex)
-        if value is None:
-            continue
-        best = value if best is None else max(best, value)
-    if best is None:
+def deterministic_longest_path(
+    graph: TimingGraph,
+    sigma_offset: float = 0.0,
+    arrays: Optional[GraphArrays] = None,
+) -> float:
+    """Longest input-to-output path with every delay at ``mean + sigma_offset * std``.
+
+    ``arrays`` may be passed to reuse a previously built array view (e.g.
+    across the three corners of :func:`corner_sta`).
+    """
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
+    edge_delay = arrays.edge_mean + sigma_offset * np.sqrt(
+        np.einsum("ek,ek->e", arrays.edge_corr, arrays.edge_corr)
+        + arrays.edge_randvar
+    )
+
+    arrival = np.full(arrays.num_vertices, -np.inf)
+    arrival[arrays.input_rows] = 0.0
+    for level in arrays.forward_levels():
+        rows = level.vertex_rows
+        acc = arrival[rows]
+        for round_index in range(level.edge_matrix.shape[1]):
+            count = level.round_counts[round_index]
+            edge_rows = level.edge_matrix[:count, round_index]
+            candidate = arrival[arrays.edge_source[edge_rows]] + edge_delay[edge_rows]
+            np.maximum(acc[:count], candidate, out=acc[:count])
+        arrival[rows] = acc
+
+    output_rows = arrays.output_rows
+    best = float(arrival[output_rows].max()) if output_rows.size else -np.inf
+    if not np.isfinite(best):
         raise TimingGraphError("no output of %r is reachable from any input" % graph.name)
     return best
 
@@ -69,12 +93,14 @@ def corner_sta(graph: TimingGraph, sigma_corner: float = 3.0) -> CornerReport:
     The corners shift every edge independently by ``+/- sigma_corner``
     standard deviations, which is exactly the per-edge worst-casing that
     makes corner STA pessimistic compared with the statistical maximum.
+    The graph is converted to arrays once and shared by the three corners.
     """
     if sigma_corner < 0.0:
         raise ValueError("sigma_corner must be non-negative")
+    arrays = GraphArrays.from_graph(graph)
     return CornerReport(
-        nominal=deterministic_longest_path(graph, 0.0),
-        worst=deterministic_longest_path(graph, sigma_corner),
-        best=deterministic_longest_path(graph, -sigma_corner),
+        nominal=deterministic_longest_path(graph, 0.0, arrays=arrays),
+        worst=deterministic_longest_path(graph, sigma_corner, arrays=arrays),
+        best=deterministic_longest_path(graph, -sigma_corner, arrays=arrays),
         sigma_corner=sigma_corner,
     )

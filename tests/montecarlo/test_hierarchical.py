@@ -8,9 +8,11 @@ from repro.experiments.figure7 import build_multiplier_design, build_multiplier_
 from repro.hier.design import HierarchicalDesign, ModuleInstance
 from repro.montecarlo.hierarchical import (
     build_flat_timing_graph,
+    flat_edge_batch,
     flatten_design,
     monte_carlo_hierarchical,
 )
+from repro.timing.arrays import GraphArrays
 from repro.variation.grid import Die
 
 
@@ -93,3 +95,18 @@ class TestFlatTimingGraph:
         assert result.num_samples == 300
         assert result.mean > 0.0
         assert result.std > 0.0
+
+    def test_flat_edge_batch_matches_graph(self, quad):
+        import numpy as np
+
+        _module, design = quad
+        batch = flat_edge_batch(design)
+        arrays = GraphArrays.from_graph(build_flat_timing_graph(design))
+        assert len(batch) == arrays.edge_mean.shape[0]
+        assert np.array_equal(batch.nominal, arrays.edge_mean)
+        assert np.array_equal(batch.corr, arrays.edge_corr)
+        assert np.array_equal(batch.random_var, arrays.edge_randvar)
+        # The batch is what the simulator samples from.
+        samples = batch.sample(np.random.default_rng(0), 200)
+        assert samples.shape == (len(batch), 200)
+        assert np.allclose(samples.mean(axis=1), batch.nominal, atol=4.0 * batch.std.max())
