@@ -19,8 +19,10 @@ from repro.hier.replacement import (
     replacement_matrix,
     remap_model_graph,
     design_pca,
+    swap_instance_subgraph,
 )
 from repro.hier.analysis import (
+    DesignTimer,
     HierarchicalResult,
     analyze_hierarchical_design,
     CorrelationMode,
@@ -35,6 +37,8 @@ __all__ = [
     "replacement_matrix",
     "remap_model_graph",
     "design_pca",
+    "swap_instance_subgraph",
+    "DesignTimer",
     "HierarchicalResult",
     "analyze_hierarchical_design",
     "CorrelationMode",

@@ -21,22 +21,27 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.canonical import CanonicalForm
 from repro.errors import HierarchyError
-from repro.hier.design import HierarchicalDesign
+from repro.hier.design import HierarchicalDesign, ModuleInstance
 from repro.hier.grids import DesignGrids, build_design_grids
 from repro.hier.replacement import (
     block_diagonal_graph,
     design_pca,
     remap_model_graph,
     replacement_matrix,
+    swap_instance_subgraph,
 )
 from repro.core.ops import statistical_max_many
+from repro.model.timing_model import TimingModel
+from repro.netlist.netlist import Netlist
+from repro.placement.placer import Placement
 from repro.timing.graph import TimingGraph
+from repro.timing.incremental import IncrementalTimer
 from repro.timing.propagation import (
     AUTO_BATCH_MIN_EDGES,
     propagate_arrival_times,
@@ -45,7 +50,13 @@ from repro.timing.propagation import (
 from repro.variation.pca import PCADecomposition
 from repro.variation.spatial import SpatialCorrelation
 
-__all__ = ["CorrelationMode", "HierarchicalResult", "analyze_hierarchical_design", "build_design_graph"]
+__all__ = [
+    "CorrelationMode",
+    "DesignTimer",
+    "HierarchicalResult",
+    "analyze_hierarchical_design",
+    "build_design_graph",
+]
 
 
 class CorrelationMode(enum.Enum):
@@ -87,6 +98,15 @@ class HierarchicalResult:
         return np.asarray(self.circuit_delay.cdf(values))
 
 
+def _profiles_differ(a: SpatialCorrelation, b: SpatialCorrelation) -> bool:
+    """Whether two spatial correlation profiles are materially different."""
+    return (
+        abs(a.neighbor_correlation - b.neighbor_correlation) > 1e-9
+        or abs(a.floor_correlation - b.floor_correlation) > 1e-9
+        or abs(a.cutoff_distance - b.cutoff_distance) > 1e-9
+    )
+
+
 def _correlation_profile(design: HierarchicalDesign) -> SpatialCorrelation:
     """The (shared) spatial correlation profile of the design's modules."""
     instances = design.instances
@@ -94,16 +114,108 @@ def _correlation_profile(design: HierarchicalDesign) -> SpatialCorrelation:
         raise HierarchyError("design %r has no instances" % design.name)
     profile = instances[0].model.correlation
     for instance in instances[1:]:
-        other = instance.model.correlation
-        if (
-            abs(other.neighbor_correlation - profile.neighbor_correlation) > 1e-9
-            or abs(other.floor_correlation - profile.floor_correlation) > 1e-9
-            or abs(other.cutoff_distance - profile.cutoff_distance) > 1e-9
-        ):
+        if _profiles_differ(instance.model.correlation, profile):
             raise HierarchyError(
                 "instance %r uses a different spatial correlation profile" % instance.name
             )
     return profile
+
+
+@dataclass
+class _InstanceMembership:
+    """Which design-graph pieces belong to one instantiated model.
+
+    ``edge_ids``/``vertices`` are the instance's model subgraph inside the
+    design graph; ``ports`` the prefixed port vertices shared with the
+    design connections (they survive a model swap); ``local_offset`` the
+    instance's block offset into the combined independent space
+    (``GLOBAL_ONLY`` mode only, ``-1`` otherwise).
+    """
+
+    edge_ids: List[int]
+    vertices: List[str]
+    ports: Set[str]
+    local_offset: int = -1
+
+
+def _instantiate_model_graph(
+    instance: ModuleInstance,
+    mode: CorrelationMode,
+    grids: Optional[DesignGrids],
+    pca: Optional[PCADecomposition],
+    num_locals: int,
+    local_offset: int,
+) -> TimingGraph:
+    """The instance's model graph re-expressed in the design basis."""
+    if mode is CorrelationMode.REPLACEMENT:
+        replacement = replacement_matrix(instance, grids, pca)
+        return remap_model_graph(instance, replacement, num_locals)
+    return block_diagonal_graph(instance, local_offset, num_locals)
+
+
+def _assemble_design_graph(
+    design: HierarchicalDesign,
+    mode: CorrelationMode = CorrelationMode.REPLACEMENT,
+    grids: Optional[DesignGrids] = None,
+    pca: Optional[PCADecomposition] = None,
+) -> Tuple[
+    TimingGraph,
+    Optional[DesignGrids],
+    Optional[PCADecomposition],
+    Dict[str, _InstanceMembership],
+]:
+    """Assemble the design graph, tracking per-instance membership."""
+    design.validate()
+
+    if mode is CorrelationMode.REPLACEMENT:
+        correlation = _correlation_profile(design)
+        if grids is None:
+            grids = build_design_grids(design)
+        if pca is None:
+            pca = design_pca(grids, correlation)
+        num_locals = pca.num_components
+        offsets = [-1] * len(design.instances)
+    elif mode is CorrelationMode.GLOBAL_ONLY:
+        grids = None
+        pca = None
+        num_locals = sum(instance.model.num_locals for instance in design.instances)
+        offsets = []
+        offset = 0
+        for instance in design.instances:
+            offsets.append(offset)
+            offset += instance.model.num_locals
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError("unknown correlation mode %r" % mode)
+
+    graph = TimingGraph(design.name, num_locals)
+    for pi in design.primary_inputs:
+        graph.mark_input(pi)
+    for po in design.primary_outputs:
+        graph.mark_output(po)
+
+    membership: Dict[str, _InstanceMembership] = {}
+    for instance, local_offset in zip(design.instances, offsets):
+        instance_graph = _instantiate_model_graph(
+            instance, mode, grids, pca, num_locals, local_offset
+        )
+        for vertex in instance_graph.vertices:
+            graph.add_vertex(vertex)
+        edge_ids = [
+            graph.add_edge(edge.source, edge.sink, edge.delay).edge_id
+            for edge in instance_graph.edges
+        ]
+        ports = {instance.port_vertex(port) for port in instance.model.inputs}
+        ports.update(instance.port_vertex(port) for port in instance.model.outputs)
+        membership[instance.name] = _InstanceMembership(
+            edge_ids, list(instance_graph.vertices), ports, local_offset
+        )
+
+    for connection in design.connections:
+        delay = CanonicalForm.constant(connection.delay, num_locals)
+        graph.add_edge(connection.source, connection.sink, delay)
+
+    graph.validate()
+    return graph, grids, pca, membership
 
 
 def build_design_graph(
@@ -117,48 +229,7 @@ def build_design_graph(
     Returns ``(graph, grids, pca)``; the latter two are ``None`` in
     ``GLOBAL_ONLY`` mode (no design-level decomposition is needed there).
     """
-    design.validate()
-
-    if mode is CorrelationMode.REPLACEMENT:
-        correlation = _correlation_profile(design)
-        if grids is None:
-            grids = build_design_grids(design)
-        if pca is None:
-            pca = design_pca(grids, correlation)
-        num_locals = pca.num_components
-        instance_graphs = []
-        for instance in design.instances:
-            replacement = replacement_matrix(instance, grids, pca)
-            instance_graphs.append(remap_model_graph(instance, replacement, num_locals))
-    elif mode is CorrelationMode.GLOBAL_ONLY:
-        grids = None
-        pca = None
-        num_locals = sum(instance.model.num_locals for instance in design.instances)
-        instance_graphs = []
-        offset = 0
-        for instance in design.instances:
-            instance_graphs.append(block_diagonal_graph(instance, offset, num_locals))
-            offset += instance.model.num_locals
-    else:  # pragma: no cover - exhaustive enum
-        raise ValueError("unknown correlation mode %r" % mode)
-
-    graph = TimingGraph(design.name, num_locals)
-    for pi in design.primary_inputs:
-        graph.mark_input(pi)
-    for po in design.primary_outputs:
-        graph.mark_output(po)
-
-    for instance_graph in instance_graphs:
-        for vertex in instance_graph.vertices:
-            graph.add_vertex(vertex)
-        for edge in instance_graph.edges:
-            graph.add_edge(edge.source, edge.sink, edge.delay)
-
-    for connection in design.connections:
-        delay = CanonicalForm.constant(connection.delay, num_locals)
-        graph.add_edge(connection.source, connection.sink, delay)
-
-    graph.validate()
+    graph, grids, pca, _unused = _assemble_design_graph(design, mode, grids, pca)
     return graph, grids, pca
 
 
@@ -221,3 +292,167 @@ def analyze_hierarchical_design(
         pca=pca,
         analysis_seconds=elapsed,
     )
+
+
+class DesignTimer:
+    """Incremental design-level analysis session (block-swap what-ifs).
+
+    Where :func:`analyze_hierarchical_design` rebuilds and repropagates the
+    whole design graph on every call, a ``DesignTimer`` assembles the graph
+    once and keeps an :class:`~repro.timing.incremental.IncrementalTimer`
+    attached to it.  :meth:`swap_instance_model` then replaces one
+    instance's extracted model *in place* — the surgery lands in the
+    graph's change journal and the next query re-times only the swap's
+    fan-out cone, which is what makes rapid ECO/what-if loops over
+    candidate module implementations cheap.
+    """
+
+    def __init__(
+        self,
+        design: HierarchicalDesign,
+        mode: CorrelationMode = CorrelationMode.REPLACEMENT,
+        required_time: Optional[CanonicalForm] = None,
+    ) -> None:
+        graph, grids, pca, membership = _assemble_design_graph(design, mode)
+        self._design = design
+        self._mode = mode
+        self._grids = grids
+        self._pca = pca
+        self._membership = membership
+        self._timer = IncrementalTimer(graph, required_time=required_time)
+
+    # ------------------------------------------------------------------
+    @property
+    def design(self) -> HierarchicalDesign:
+        """The design this session analyses."""
+        return self._design
+
+    @property
+    def mode(self) -> CorrelationMode:
+        """The correlation mode the design graph was assembled in."""
+        return self._mode
+
+    @property
+    def graph(self) -> TimingGraph:
+        """The live design-level timing graph."""
+        return self._timer.graph
+
+    @property
+    def grids(self) -> Optional[DesignGrids]:
+        """Design grid partition (``None`` in ``GLOBAL_ONLY`` mode)."""
+        return self._grids
+
+    @property
+    def pca(self) -> Optional[PCADecomposition]:
+        """Design-level PCA decomposition (``None`` in ``GLOBAL_ONLY`` mode)."""
+        return self._pca
+
+    @property
+    def timer(self) -> IncrementalTimer:
+        """The underlying incremental timing session."""
+        return self._timer
+
+    # ------------------------------------------------------------------
+    def swap_instance_model(
+        self,
+        instance_name: str,
+        model: TimingModel,
+        netlist: Optional[Netlist] = None,
+        placement: Optional[Placement] = None,
+    ) -> ModuleInstance:
+        """Replace one instance's extracted model without a graph rebuild.
+
+        The new model must keep the instance's port interface and die
+        footprint (and, in ``GLOBAL_ONLY`` mode, its local-variable count —
+        the combined independent space is frozen at assembly).  The design
+        object is updated, the model subgraph is spliced into the live
+        design graph, and the swap's timing impact is repropagated
+        incrementally by the next query.
+        """
+        old_instance = self._design.instance(instance_name)
+        entry = self._membership[instance_name]
+        if (
+            self._mode is CorrelationMode.GLOBAL_ONLY
+            and model.num_locals != old_instance.model.num_locals
+        ):
+            raise HierarchyError(
+                "instance %r cannot swap to model %r: GLOBAL_ONLY mode "
+                "freezes the combined local space (%d locals != %d)"
+                % (
+                    instance_name,
+                    model.name,
+                    model.num_locals,
+                    old_instance.model.num_locals,
+                )
+            )
+        if self._mode is CorrelationMode.REPLACEMENT and _profiles_differ(
+            model.correlation, old_instance.model.correlation
+        ):
+            # The frozen design grids/PCA were derived from the shared
+            # profile; a model characterized differently would silently
+            # invalidate them (assembly rejects such mixes too).
+            raise HierarchyError(
+                "instance %r cannot swap to model %r: it uses a different "
+                "spatial correlation profile" % (instance_name, model.name)
+            )
+        # replace_instance validates the port interface and footprint; if
+        # the subgraph instantiation then fails (e.g. grid-count mismatch),
+        # the old instance is restored so a failed swap leaves the design
+        # and the graph untouched.
+        instance = self._design.replace_instance(
+            instance_name, model, netlist=netlist, placement=placement
+        )
+        try:
+            subgraph = _instantiate_model_graph(
+                instance,
+                self._mode,
+                self._grids,
+                self._pca,
+                self.graph.num_locals,
+                entry.local_offset,
+            )
+        except Exception:
+            # Put the exact old instance object back (no re-validation).
+            self._design.restore_instance(old_instance)
+            raise
+        entry.edge_ids, entry.vertices = swap_instance_subgraph(
+            self.graph, entry.edge_ids, entry.vertices, entry.ports, subgraph
+        )
+        return instance
+
+    # ------------------------------------------------------------------
+    def circuit_delay(self) -> CanonicalForm:
+        """Design delay distribution (incrementally re-timed)."""
+        return self._timer.circuit_delay()
+
+    def output_arrivals(self) -> Dict[str, CanonicalForm]:
+        """Arrival times at the reachable primary outputs."""
+        return {
+            output: arrival
+            for output in self._design.primary_outputs
+            if (arrival := self._timer.arrival_at(output)) is not None
+        }
+
+    def analyze(self) -> HierarchicalResult:
+        """A :class:`HierarchicalResult` snapshot of the current state."""
+        start = time.perf_counter()
+        output_arrivals = self.output_arrivals()
+        delay = self._timer.circuit_delay()
+        elapsed = time.perf_counter() - start
+        return HierarchicalResult(
+            design_name=self._design.name,
+            mode=self._mode,
+            graph=self.graph,
+            output_arrivals=output_arrivals,
+            circuit_delay=delay,
+            grids=self._grids,
+            pca=self._pca,
+            analysis_seconds=elapsed,
+        )
+
+    def __repr__(self) -> str:
+        return "DesignTimer(%r, mode=%s, instances=%d)" % (
+            self._design.name,
+            self._mode.value,
+            len(self._membership),
+        )

@@ -168,6 +168,72 @@ class HierarchicalDesign:
         self._instances[instance.name] = instance
         return instance
 
+    def replace_instance(
+        self,
+        name: str,
+        model: TimingModel,
+        netlist: Optional[Netlist] = None,
+        placement: Optional[Placement] = None,
+    ) -> ModuleInstance:
+        """Swap the timing model of an existing instance in place.
+
+        The new model must expose the same input/output ports as the old
+        one (the design connections attach there) and keep the same die
+        footprint so the placement stays valid.  Returns the new
+        :class:`ModuleInstance`; the existing design connections are
+        untouched.
+
+        The old instance's gate-level ``netlist``/``placement`` describe
+        the *old* implementation, so they are deliberately **not** carried
+        over: unless the caller supplies a matching gate-level view for
+        the new model, the instance loses it and a later flattened Monte
+        Carlo run fails loudly instead of silently validating the wrong
+        implementation.
+        """
+        old = self.instance(name)
+        if set(model.inputs) != set(old.model.inputs) or set(
+            model.outputs
+        ) != set(old.model.outputs):
+            raise HierarchyError(
+                "replacement model %r for instance %r changes the port "
+                "interface" % (model.name, name)
+            )
+        old_die = old.model.die
+        new_die = model.die
+        if (
+            abs(new_die.width - old_die.width) > 1e-9
+            or abs(new_die.height - old_die.height) > 1e-9
+        ):
+            raise HierarchyError(
+                "replacement model %r for instance %r changes the die "
+                "footprint" % (model.name, name)
+            )
+        instance = ModuleInstance(
+            name,
+            model,
+            old.origin_x,
+            old.origin_y,
+            netlist=netlist,
+            placement=placement,
+        )
+        self._instances[name] = instance
+        return instance
+
+    def restore_instance(self, instance: ModuleInstance) -> None:
+        """Put a previously displaced instance object back, as-is.
+
+        Rollback hook for callers that replace an instance and then fail a
+        later step (e.g. an incremental model swap whose subgraph
+        instantiation is rejected): the exact old object returns without
+        re-validation or re-defaulting.  The instance name must already
+        exist in the design.
+        """
+        if instance.name not in self._instances:
+            raise HierarchyError(
+                "cannot restore unknown instance %r" % instance.name
+            )
+        self._instances[instance.name] = instance
+
     def add_primary_input(self, name: str) -> None:
         """Declare a design-level primary input vertex."""
         if name not in self._primary_inputs:

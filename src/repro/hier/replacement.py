@@ -17,7 +17,7 @@ restores the spatial correlation *between* modules.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ __all__ = [
     "replacement_matrix",
     "remap_model_graph",
     "subblock_consistency_error",
+    "swap_instance_subgraph",
 ]
 
 
@@ -123,6 +124,42 @@ def remap_model_graph(
         remapped = delay.remap_locals(replacement[: delay.num_locals, :])
         graph.add_edge(prefix + edge.source, prefix + edge.sink, remapped)
     return graph
+
+
+def swap_instance_subgraph(
+    graph: TimingGraph,
+    edge_ids: Sequence[int],
+    vertices: Sequence[str],
+    ports: Iterable[str],
+    subgraph: TimingGraph,
+) -> Tuple[List[int], List[str]]:
+    """Splice a re-instantiated model subgraph into a design graph in place.
+
+    Removes the instance's current model edges (``edge_ids``) and its
+    internal vertices (``vertices`` minus ``ports`` — the port vertices
+    stay because the design connections attach there), then adds the
+    vertices and edges of ``subgraph`` (whose vertex names must already
+    carry the instance prefix).  The design graph object — and therefore
+    every incremental session attached to it — survives the swap: the
+    mutations land in the change journal and re-time as one dirty cone.
+
+    Returns ``(new_edge_ids, new_vertices)`` for the caller's membership
+    bookkeeping.
+    """
+    port_set: Set[str] = set(ports)
+    for edge_id in edge_ids:
+        graph.remove_edge(graph.edge(edge_id))
+    for name in vertices:
+        if name not in port_set:
+            graph.remove_vertex(name)
+    new_vertices = list(subgraph.vertices)
+    for name in new_vertices:
+        graph.add_vertex(name)
+    new_edge_ids = [
+        graph.add_edge(edge.source, edge.sink, edge.delay).edge_id
+        for edge in subgraph.edges
+    ]
+    return new_edge_ids, new_vertices
 
 
 def block_diagonal_graph(

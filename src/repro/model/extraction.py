@@ -87,11 +87,11 @@ def extract_timing_model(
 
     reduced = graph.copy()
     removable = criticalities.below(threshold)
-    # Edge ids are re-assigned by copy(); the copies are created in the same
-    # order as the original edges, so pair them positionally.
-    for original_edge, copied_edge in zip(graph.edges, reduced.edges):
-        if original_edge.edge_id in removable:
-            reduced.remove_edge(copied_edge)
+    # copy() preserves edge ids, so the criticality map addresses the
+    # copied edges directly; the removals (and the merge cascade below)
+    # coalesce in the copy's change journal into one incremental window.
+    for edge_id in removable:
+        reduced.remove_edge(reduced.edge(edge_id))
     removed_edges = len(removable)
 
     reduce_graph(reduced)

@@ -16,10 +16,14 @@ All operations mutate the graph in place and report how much they changed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.ops import statistical_max_many
+from repro.errors import TimingGraphError
 from repro.timing.graph import TimingGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.timing.incremental import IncrementalTimer
 
 __all__ = ["serial_merge", "parallel_merge", "prune_unreachable", "reduce_graph"]
 
@@ -124,13 +128,25 @@ def prune_unreachable(graph: TimingGraph) -> int:
     return removed
 
 
-def reduce_graph(graph: TimingGraph, max_iterations: int = 100) -> TimingGraph:
+def reduce_graph(
+    graph: TimingGraph,
+    max_iterations: int = 100,
+    timer: Optional["IncrementalTimer"] = None,
+) -> TimingGraph:
     """Iterate pruning, serial and parallel merges to a fixpoint (in place).
 
     Returns the same graph object for chaining.  ``max_iterations`` is a
     safety bound; the reduction always terminates much earlier because every
     round strictly shrinks the graph.
+
+    Every removal and re-wiring lands in the graph's change journal, so a
+    session attached to ``graph`` sees the entire multi-edge reduction as
+    one coalesced window.  Pass the session as ``timer`` to synchronise it
+    once at the fixpoint — a single incremental update for the whole run
+    instead of one repropagation per merge.
     """
+    if timer is not None and timer.graph is not graph:
+        raise TimingGraphError("the timer session is attached to a different graph")
     for _unused in range(max_iterations):
         changed = prune_unreachable(graph)
         changed += parallel_merge(graph)
@@ -138,4 +154,6 @@ def reduce_graph(graph: TimingGraph, max_iterations: int = 100) -> TimingGraph:
         changed += parallel_merge(graph)
         if changed == 0:
             break
+    if timer is not None:
+        timer.update()
     return graph

@@ -10,7 +10,8 @@ experiments — only the fact that nearby logic shares grid variables matters.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import PlacementError
 from repro.liberty.library import Library
@@ -46,9 +47,9 @@ class Placement:
         return len(self._locations)
 
     @property
-    def locations(self) -> Dict[str, Tuple[float, float]]:
-        """A copy of the full location map."""
-        return dict(self._locations)
+    def locations(self) -> Mapping[str, Tuple[float, float]]:
+        """A read-only view of the full location map (no per-access copy)."""
+        return MappingProxyType(self._locations)
 
     def shifted(self, dx: float, dy: float, prefix: str = "") -> "Placement":
         """A translated copy, optionally renaming every instance with ``prefix``.

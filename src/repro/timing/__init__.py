@@ -15,12 +15,18 @@ canonical linear forms.  All engines share the structure-of-arrays view of
   output and the all-pairs input/output delay matrix needed by the
   criticality-based model extraction;
 * :mod:`repro.timing.sta` — a deterministic corner STA baseline, levelized
-  over the same array view.
+  over the same array view;
+* :mod:`repro.timing.incremental` — revisioned incremental analysis: the
+  graph journals its mutations, :class:`~repro.timing.arrays.GraphArrays`
+  replays them into the shared array cache, and an
+  :class:`~repro.timing.incremental.IncrementalTimer` session repropagates
+  only the dirty cone of each edit, serving rapid what-if queries.
 """
 
-from repro.timing.graph import TimingGraph, TimingEdge
-from repro.timing.arrays import GraphArrays
+from repro.timing.graph import GraphChange, GraphDelta, TimingGraph, TimingEdge
+from repro.timing.arrays import ArraysRefresh, GraphArrays
 from repro.timing.builder import build_timing_graph
+from repro.timing.incremental import IncrementalTimer, UpdateStats
 from repro.timing.propagation import (
     VertexTimes,
     propagate_arrival_times,
@@ -38,7 +44,12 @@ from repro.timing.sta import CornerReport, corner_sta
 __all__ = [
     "TimingGraph",
     "TimingEdge",
+    "GraphChange",
+    "GraphDelta",
     "GraphArrays",
+    "ArraysRefresh",
+    "IncrementalTimer",
+    "UpdateStats",
     "build_timing_graph",
     "VertexTimes",
     "propagate_arrival_times",

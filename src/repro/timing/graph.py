@@ -6,16 +6,49 @@ edges between the same pair of vertices are allowed (they arise naturally
 during graph reduction and are collapsed by the parallel merge operation).
 The graph is mutable because the model-extraction algorithms remove edges
 and vertices in place.
+
+Revisioning
+-----------
+Every mutation bumps a monotonically increasing **revision counter**; once
+journaling is enabled (see :meth:`TimingGraph.enable_journal` — done
+automatically when an incremental consumer attaches) each mutation also
+appends a :class:`GraphChange` record to an internal change journal.
+Incremental consumers (the array cache of :mod:`repro.timing.arrays`, the
+:class:`~repro.timing.incremental.IncrementalTimer` sessions) remember the
+revision they last synchronised at and ask :meth:`TimingGraph.changes_since`
+for everything that happened in between; the answer is a *coalesced*
+:class:`GraphDelta` (an edge retimed five times appears once, an edge added
+and removed inside the window disappears entirely), so an arbitrarily long
+edit burst — a whole graph-reduction fixpoint run, a block swap — costs one
+incremental update.  The journal is bounded; consumers that fall behind the
+retained window (or synced before journaling was enabled) receive ``None``
+and fall back to a full rebuild.  One-shot graphs — construction,
+extraction copies, Monte Carlo inputs — never enable the journal and pay
+nothing for it.
 """
 
 from __future__ import annotations
 
+import bisect
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.canonical import CanonicalForm
 from repro.errors import TimingGraphError
 
-__all__ = ["TimingEdge", "TimingGraph"]
+__all__ = [
+    "DEFAULT_JOURNAL_LIMIT",
+    "GraphChange",
+    "GraphDelta",
+    "TimingEdge",
+    "TimingGraph",
+]
+
+
+# Retained journal entries before the oldest half is dropped.  Consumers
+# whose sync revision falls behind the retained window do a full rebuild —
+# correct, just not incremental — so the limit only bounds memory.
+DEFAULT_JOURNAL_LIMIT = 65536
 
 
 class TimingEdge:
@@ -38,10 +71,78 @@ class TimingEdge:
         )
 
 
+@dataclass(frozen=True)
+class GraphChange:
+    """One journal entry: a single mutation at a given revision.
+
+    ``kind`` is one of ``"add_edge"``, ``"remove_edge"``, ``"retime"``,
+    ``"add_vertex"``, ``"remove_vertex"``, ``"mark_input"``,
+    ``"mark_output"``; the remaining fields are filled as applicable
+    (removed edges record their endpoints because the edge object is gone
+    by the time a consumer reads the journal).
+    """
+
+    kind: str
+    revision: int
+    edge_id: int = -1
+    source: Optional[str] = None
+    sink: Optional[str] = None
+    vertex: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """Coalesced net effect of all changes in a revision window.
+
+    Transient churn cancels out: an edge added and removed inside the
+    window is absent, repeated retimes of one edge appear once, an edge
+    added and then retimed appears only under ``added_edges``.  A vertex
+    removed and re-added under the same name appears in *both* vertex
+    lists — its cached per-vertex state is stale and must be recomputed.
+    """
+
+    base_revision: int
+    target_revision: int
+    retimed_edges: Tuple[int, ...]
+    added_edges: Tuple[int, ...]
+    removed_edges: Tuple[Tuple[int, str, str], ...]
+    added_vertices: Tuple[str, ...]
+    removed_vertices: Tuple[str, ...]
+    io_changed: bool
+
+    @property
+    def empty(self) -> bool:
+        """Whether the window contains no net change at all."""
+        return not (
+            self.retimed_edges
+            or self.added_edges
+            or self.removed_edges
+            or self.added_vertices
+            or self.removed_vertices
+            or self.io_changed
+        )
+
+    @property
+    def structural(self) -> bool:
+        """Whether anything beyond pure delay retimes changed."""
+        return bool(
+            self.added_edges
+            or self.removed_edges
+            or self.added_vertices
+            or self.removed_vertices
+            or self.io_changed
+        )
+
+
 class TimingGraph:
     """A mutable directed multigraph with statistical edge delays."""
 
-    def __init__(self, name: str = "timing_graph", num_locals: int = 0) -> None:
+    def __init__(
+        self,
+        name: str = "timing_graph",
+        num_locals: int = 0,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> None:
         self._name = name
         self._num_locals = int(num_locals)
         self._vertices: Dict[str, None] = {}
@@ -51,6 +152,14 @@ class TimingGraph:
         self._fanout: Dict[str, List[int]] = {}
         self._fanin: Dict[str, List[int]] = {}
         self._next_edge_id = 0
+        self._revision = 0
+        self._structural_revision = 0
+        self._journal: List[GraphChange] = []
+        self._journal_enabled = False
+        self._journal_base = 0
+        self._journal_limit = max(2, int(journal_limit))
+        self._topo_cache: Optional[List[str]] = None
+        self._topo_structural_revision = -1
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -94,6 +203,16 @@ class TimingGraph:
     def num_edges(self) -> int:
         """Number of edges."""
         return len(self._edges)
+
+    @property
+    def revision(self) -> int:
+        """Monotonically increasing counter bumped by every mutation."""
+        return self._revision
+
+    @property
+    def structural_revision(self) -> int:
+        """Revision of the last *structural* mutation (not a pure retime)."""
+        return self._structural_revision
 
     def has_vertex(self, name: str) -> bool:
         """Whether a vertex exists."""
@@ -161,23 +280,149 @@ class TimingGraph:
             raise TimingGraphError("vertex %r does not exist" % name)
 
     # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def _journal_append(self, change: GraphChange) -> None:
+        self._journal.append(change)
+        if len(self._journal) > self._journal_limit:
+            # Drop the oldest half; consumers synced before the new base
+            # will fall back to a full rebuild.
+            half = len(self._journal) // 2
+            self._journal_base = self._journal[half - 1].revision
+            del self._journal[:half]
+
+    def _record(
+        self,
+        kind: str,
+        structural: bool,
+        edge_id: int = -1,
+        source: Optional[str] = None,
+        sink: Optional[str] = None,
+        vertex: Optional[str] = None,
+    ) -> None:
+        self._revision += 1
+        if structural:
+            self._structural_revision = self._revision
+        if self._journal_enabled:
+            self._journal_append(
+                GraphChange(kind, self._revision, edge_id, source, sink, vertex)
+            )
+        else:
+            # Nothing retains the history: the journal base tracks the
+            # revision so any later window request predating it rebuilds.
+            self._journal_base = self._revision
+
+    def enable_journal(self) -> None:
+        """Start retaining change records for incremental consumers.
+
+        Journaling is off by default so one-shot consumers (construction,
+        extraction copies, Monte Carlo and corner-STA array views) pay no
+        per-mutation record memory; attaching an *incremental* consumer —
+        an :class:`~repro.timing.incremental.IncrementalTimer` session, or
+        the first :meth:`~repro.timing.arrays.GraphArrays.refresh` call —
+        enables it.  Changes made before enabling are not retained:
+        :meth:`changes_since` with an older base returns ``None``.
+        """
+        self._journal_enabled = True
+
+    def changes_since(self, revision: int) -> Optional[GraphDelta]:
+        """The coalesced :class:`GraphDelta` between ``revision`` and now.
+
+        Returns ``None`` when the journal no longer retains the window
+        (the consumer must rebuild from scratch).  Raises
+        :class:`TimingGraphError` when ``revision`` lies *ahead* of this
+        graph — the unmistakable sign of a stale session: a consumer built
+        against a different (or further-evolved) graph object, e.g. after
+        mixing up a graph with one of its copies.
+        """
+        if revision > self._revision:
+            raise TimingGraphError(
+                "stale session: synced at revision %d but graph %r is at "
+                "revision %d — the session was built from a different graph "
+                "(or one of its copies)" % (revision, self._name, self._revision)
+            )
+        if revision < self._journal_base:
+            return None
+        if revision == self._revision:
+            return GraphDelta(revision, self._revision, (), (), (), (), (), False)
+
+        # Coalesce the window.  Edge ids are never reused, so each edge has
+        # a simple lifecycle inside the window; vertex names *can* be
+        # removed and re-added, in which case they land in both lists.
+        edge_added: Dict[int, None] = {}
+        edge_retimed: Dict[int, None] = {}
+        edge_removed: Dict[int, Tuple[str, str]] = {}
+        vertex_added: Dict[str, None] = {}
+        vertex_removed: Dict[str, None] = {}
+        io_changed = False
+        # Entries are revision-sorted: bisect to the window start instead of
+        # scanning the whole retained journal on every sync.
+        start = bisect.bisect_right(
+            self._journal, revision, key=lambda change: change.revision
+        )
+        for change in self._journal[start:]:
+            kind = change.kind
+            if kind == "retime":
+                if change.edge_id not in edge_added:
+                    edge_retimed[change.edge_id] = None
+            elif kind == "add_edge":
+                edge_added[change.edge_id] = None
+            elif kind == "remove_edge":
+                if change.edge_id in edge_added:
+                    del edge_added[change.edge_id]  # transient: cancels out
+                    edge_retimed.pop(change.edge_id, None)
+                else:
+                    edge_retimed.pop(change.edge_id, None)
+                    edge_removed[change.edge_id] = (change.source, change.sink)
+            elif kind == "add_vertex":
+                # A name removed earlier in the window and now re-added stays
+                # in both lists so cached per-vertex state is invalidated.
+                vertex_added[change.vertex] = None
+            elif kind == "remove_vertex":
+                if change.vertex in vertex_added:
+                    # Cancels a window-local add (whether the name was
+                    # transient or a re-add of a base vertex).
+                    del vertex_added[change.vertex]
+                else:
+                    vertex_removed[change.vertex] = None
+            elif kind in ("mark_input", "mark_output"):
+                io_changed = True
+        return GraphDelta(
+            base_revision=revision,
+            target_revision=self._revision,
+            retimed_edges=tuple(edge_retimed),
+            added_edges=tuple(edge_added),
+            removed_edges=tuple(
+                (edge_id, source, sink)
+                for edge_id, (source, sink) in edge_removed.items()
+            ),
+            added_vertices=tuple(vertex_added),
+            removed_vertices=tuple(vertex_removed),
+            io_changed=io_changed,
+        )
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add_vertex(self, name: str) -> None:
         """Add a vertex (no-op if it already exists)."""
-        self._vertices.setdefault(name, None)
+        if name not in self._vertices:
+            self._vertices[name] = None
+            self._record("add_vertex", structural=True, vertex=name)
 
     def mark_input(self, name: str) -> None:
         """Designate an existing or new vertex as a graph input."""
         self.add_vertex(name)
         if name not in self._inputs:
             self._inputs.append(name)
+            self._record("mark_input", structural=False, vertex=name)
 
     def mark_output(self, name: str) -> None:
         """Designate an existing or new vertex as a graph output."""
         self.add_vertex(name)
         if name not in self._outputs:
             self._outputs.append(name)
+            self._record("mark_output", structural=False, vertex=name)
 
     def add_edge(self, source: str, sink: str, delay: CanonicalForm) -> TimingEdge:
         """Add a delay edge; vertices are created on demand."""
@@ -190,6 +435,8 @@ class TimingGraph:
         self._edges[edge.edge_id] = edge
         self._fanout.setdefault(source, []).append(edge.edge_id)
         self._fanin.setdefault(sink, []).append(edge.edge_id)
+        self._record("add_edge", structural=True, edge_id=edge.edge_id,
+                     source=source, sink=sink)
         return edge
 
     def remove_edge(self, edge: TimingEdge) -> None:
@@ -199,6 +446,8 @@ class TimingGraph:
         del self._edges[edge.edge_id]
         self._fanout[edge.source].remove(edge.edge_id)
         self._fanin[edge.sink].remove(edge.edge_id)
+        self._record("remove_edge", structural=True, edge_id=edge.edge_id,
+                     source=edge.source, sink=edge.sink)
 
     def remove_vertex(self, name: str) -> None:
         """Remove a vertex; it must have no remaining edges and not be an I/O."""
@@ -210,12 +459,15 @@ class TimingGraph:
         del self._vertices[name]
         self._fanin.pop(name, None)
         self._fanout.pop(name, None)
+        self._record("remove_vertex", structural=True, vertex=name)
 
     def replace_edge_delay(self, edge: TimingEdge, delay: CanonicalForm) -> None:
-        """Replace the delay of an edge in place."""
+        """Replace the delay of an edge in place (a non-structural *retime*)."""
         if edge.edge_id not in self._edges:
             raise TimingGraphError("edge %d is not in the graph" % edge.edge_id)
         edge.delay = delay
+        self._record("retime", structural=False, edge_id=edge.edge_id,
+                     source=edge.source, sink=edge.sink)
 
     # ------------------------------------------------------------------
     # Analysis helpers
@@ -223,8 +475,16 @@ class TimingGraph:
     def topological_order(self) -> List[str]:
         """Vertices ordered so that every edge goes forward.
 
-        Raises :class:`TimingGraphError` if the graph has a cycle.
+        The order is cached against the structural revision, so repeated
+        calls between structural edits (including after pure retimes) are
+        O(V) list copies instead of full Kahn sweeps.  Raises
+        :class:`TimingGraphError` if the graph has a cycle.
         """
+        if (
+            self._topo_cache is not None
+            and self._topo_structural_revision == self._structural_revision
+        ):
+            return list(self._topo_cache)
         in_degree = {vertex: 0 for vertex in self._vertices}
         for edge in self._edges.values():
             in_degree[edge.sink] += 1
@@ -242,7 +502,9 @@ class TimingGraph:
                     ready.append(sink)
         if len(order) != len(self._vertices):
             raise TimingGraphError("timing graph %r contains a cycle" % self._name)
-        return order
+        self._topo_cache = order
+        self._topo_structural_revision = self._structural_revision
+        return list(order)
 
     def validate(self) -> None:
         """Structural checks: acyclic, inputs have no fanin, outputs exist."""
@@ -255,16 +517,30 @@ class TimingGraph:
             self._require_vertex(vertex)
 
     def copy(self, name: Optional[str] = None) -> "TimingGraph":
-        """A deep-enough copy (edges are new objects; delays are shared, immutable)."""
-        clone = TimingGraph(name or self._name, self._num_locals)
+        """A deep-enough copy (edges are new objects; delays are shared, immutable).
+
+        Edge ids and the revision counter are preserved, so bookkeeping
+        keyed on edge ids (criticality maps, array caches) transfers to the
+        copy unchanged and an incremental session can verify it is attached
+        to the graph state it was built from.  The copy starts with an
+        empty journal based at the current revision: sessions synced at
+        exactly this revision can continue incrementally, older ones fall
+        back to a full rebuild.
+        """
+        clone = TimingGraph(name or self._name, self._num_locals, self._journal_limit)
         for vertex in self._vertices:
-            clone.add_vertex(vertex)
-        for vertex in self._inputs:
-            clone.mark_input(vertex)
-        for vertex in self._outputs:
-            clone.mark_output(vertex)
+            clone._vertices[vertex] = None
+        clone._inputs = list(self._inputs)
+        clone._outputs = list(self._outputs)
         for edge in self._edges.values():
-            clone.add_edge(edge.source, edge.sink, edge.delay)
+            copied = TimingEdge(edge.edge_id, edge.source, edge.sink, edge.delay)
+            clone._edges[copied.edge_id] = copied
+            clone._fanout.setdefault(copied.source, []).append(copied.edge_id)
+            clone._fanin.setdefault(copied.sink, []).append(copied.edge_id)
+        clone._next_edge_id = self._next_edge_id
+        clone._revision = self._revision
+        clone._structural_revision = self._structural_revision
+        clone._journal_base = self._revision
         return clone
 
     def internal_vertices(self) -> Tuple[str, ...]:

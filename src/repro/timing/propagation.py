@@ -125,6 +125,62 @@ def _seed_form(
     valid[row] = True
 
 
+def _fold_rounds(
+    edge_matrix: np.ndarray,
+    round_counts: np.ndarray,
+    neighbor_rows: np.ndarray,
+    edge_mean: np.ndarray,
+    edge_corr: np.ndarray,
+    edge_randvar: np.ndarray,
+    mean: np.ndarray,
+    corr: np.ndarray,
+    randvar: np.ndarray,
+    valid: np.ndarray,
+    acc_mean: np.ndarray,
+    acc_corr: np.ndarray,
+    acc_randvar: np.ndarray,
+    acc_valid: np.ndarray,
+    init_round0: bool,
+) -> None:
+    """Fold each round's edge candidates into the accumulators, in place.
+
+    Round ``r`` adds the neighbor time of every vertex's ``r``-th edge to
+    that edge's delay and merges the candidate batch into the accumulator
+    prefix ``[:round_counts[r]]`` with one masked Clark max — the same
+    left-fold order per vertex as the object-level engine.  This is the
+    single shared round body of the full levelized engines *and* the
+    incremental dirty-cone sweep: their bit-identical candidate fold order
+    (the invariant the incremental 1e-9 parity rests on) lives here and
+    nowhere else.  ``init_round0`` makes round 0 initialise the
+    accumulators (the arrival engines' ``best = candidate``); otherwise
+    round 0 merges into pre-seeded accumulators (the backward engines'
+    seed-first fold).
+    """
+    for round_index in range(edge_matrix.shape[1]):
+        count = int(round_counts[round_index])
+        if count == 0:
+            break  # counts are non-increasing: later rounds are empty too
+        edge_rows = edge_matrix[:count, round_index]
+        neighbors = neighbor_rows[edge_rows]
+        cand_mean = mean[neighbors] + edge_mean[edge_rows]
+        cand_corr = corr[neighbors] + edge_corr[edge_rows]
+        cand_randvar = randvar[neighbors] + edge_randvar[edge_rows]
+        cand_valid = valid[neighbors]
+        if round_index == 0 and init_round0:
+            acc_mean[:count] = cand_mean
+            acc_corr[:count] = cand_corr
+            acc_randvar[:count] = cand_randvar
+            acc_valid[:count] = cand_valid
+            continue
+        merged = merge_max_with_validity(
+            acc_mean[:count], acc_corr[:count], acc_randvar[:count],
+            acc_valid[:count],
+            cand_mean, cand_corr, cand_randvar, cand_valid,
+        )
+        acc_mean[:count], acc_corr[:count] = merged[0], merged[1]
+        acc_randvar[:count], acc_valid[:count] = merged[2], merged[3]
+
+
 def _fold_levels(
     arrays: GraphArrays,
     levels,
@@ -138,16 +194,13 @@ def _fold_levels(
 ) -> None:
     """Run the levelized Clark fold over ``levels``, updating state in place.
 
-    Per level, round ``r`` adds the source (or sink) time of every vertex's
-    ``r``-th fanin (fanout) edge to that edge's delay and merges the batch of
-    candidates into the per-vertex accumulators with one masked Clark max —
-    the same left-fold order as the object-level engine, vectorized across
-    the level.  Level vertices are pre-sorted by descending degree, so the
-    participants of round ``r`` are the contiguous prefix
-    ``[:round_counts[r]]`` and every fold operates on array slices.
-    ``seed_first`` controls whether a pre-seeded state value (e.g. the
-    required time at an output) enters the fold before the edge candidates
-    (backward engines) or is merged after them (arrival engine).
+    Per level, the shared :func:`_fold_rounds` body merges the fanin (or
+    fanout) candidates round by round.  Level vertices are pre-sorted by
+    descending degree, so the participants of round ``r`` are the
+    contiguous prefix ``[:round_counts[r]]`` and every fold operates on
+    array slices.  ``seed_first`` controls whether a pre-seeded state value
+    (e.g. the required time at an output) enters the fold before the edge
+    candidates (backward engines) or is merged after them (arrival engine).
     """
     edge_mean = arrays.edge_mean
     edge_randvar = arrays.edge_randvar
@@ -169,29 +222,13 @@ def _fold_levels(
             acc_randvar = np.empty(num_level, dtype=float)
             acc_valid = np.empty(num_level, dtype=bool)
 
-        for round_index in range(level.edge_matrix.shape[1]):
-            count = level.round_counts[round_index]
-            rows_of_round = level.edge_matrix[:count, round_index]
-            neighbors = neighbor_rows[rows_of_round]
-            cand_mean = mean[neighbors] + edge_mean[rows_of_round]
-            cand_corr = corr[neighbors] + edge_corr[rows_of_round]
-            cand_randvar = randvar[neighbors] + edge_randvar[rows_of_round]
-            cand_valid = valid[neighbors]
-            if round_index == 0 and not seed_first:
-                # First candidate initialises the accumulator, exactly like
-                # the object engine's ``best = candidate`` on the first fold.
-                acc_mean[:count] = cand_mean
-                acc_corr[:count] = cand_corr
-                acc_randvar[:count] = cand_randvar
-                acc_valid[:count] = cand_valid
-                continue
-            merged = merge_max_with_validity(
-                acc_mean[:count], acc_corr[:count], acc_randvar[:count],
-                acc_valid[:count],
-                cand_mean, cand_corr, cand_randvar, cand_valid,
-            )
-            acc_mean[:count], acc_corr[:count] = merged[0], merged[1]
-            acc_randvar[:count], acc_valid[:count] = merged[2], merged[3]
+        _fold_rounds(
+            level.edge_matrix, level.round_counts, neighbor_rows,
+            edge_mean, edge_corr, edge_randvar,
+            mean, corr, randvar, valid,
+            acc_mean, acc_corr, acc_randvar, acc_valid,
+            init_round0=not seed_first,
+        )
 
         if seed_first:
             mean[rows], corr[rows] = acc_mean, acc_corr

@@ -18,13 +18,16 @@ degenerate case of the batched Clark engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.errors import TimingGraphError
 from repro.timing.arrays import GraphArrays
 from repro.timing.graph import TimingGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.timing.incremental import IncrementalTimer
 
 __all__ = ["CornerReport", "corner_sta", "deterministic_longest_path"]
 
@@ -87,17 +90,42 @@ def deterministic_longest_path(
     return best
 
 
-def corner_sta(graph: TimingGraph, sigma_corner: float = 3.0) -> CornerReport:
+def corner_sta(
+    graph: Optional[TimingGraph] = None,
+    sigma_corner: float = 3.0,
+    timer: Optional["IncrementalTimer"] = None,
+) -> CornerReport:
     """Run nominal / worst / best corner analysis on a statistical graph.
 
     The corners shift every edge independently by ``+/- sigma_corner``
     standard deviations, which is exactly the per-edge worst-casing that
     makes corner STA pessimistic compared with the statistical maximum.
     The graph is converted to arrays once and shared by the three corners.
+
+    Pass ``timer`` (an :class:`~repro.timing.incremental.IncrementalTimer`
+    session) instead of — or along with — ``graph`` to reuse the session's
+    incrementally maintained array view: the session synchronises with the
+    graph's change journal and the corner analysis pays no per-call
+    graph-to-array conversion.
     """
     if sigma_corner < 0.0:
         raise ValueError("sigma_corner must be non-negative")
-    arrays = GraphArrays.from_graph(graph)
+    if timer is not None:
+        if graph is not None and graph is not timer.graph:
+            raise TimingGraphError(
+                "corner_sta was given both a graph and a session attached "
+                "to a different graph"
+            )
+        # Structure-only sync: replays the journal into the array cache but
+        # leaves the session's statistical dirty cones pending (corner STA
+        # never reads them).
+        timer.sync()
+        graph = timer.graph
+        arrays = timer.arrays
+    elif graph is None:
+        raise TimingGraphError("corner_sta needs a graph or a timer session")
+    else:
+        arrays = GraphArrays.from_graph(graph)
     return CornerReport(
         nominal=deterministic_longest_path(graph, 0.0, arrays=arrays),
         worst=deterministic_longest_path(graph, sigma_corner, arrays=arrays),

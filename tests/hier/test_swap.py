@@ -1,0 +1,157 @@
+"""Tests of the incremental block-swap path (DesignTimer.swap_instance_model).
+
+A :class:`~repro.hier.analysis.DesignTimer` keeps the assembled design graph
+and an incremental session alive across model swaps; replacing one
+instance's extracted model must re-time the design to the same result as a
+full from-scratch rebuild and repropagation.
+"""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure7 import build_multiplier_design, build_multiplier_module
+from repro.hier.analysis import (
+    CorrelationMode,
+    DesignTimer,
+    analyze_hierarchical_design,
+)
+from repro.liberty.library import standard_library
+from repro.model.extraction import extract_timing_model
+from repro.timing.builder import build_timing_graph
+from repro.timing.propagation import propagate_arrival_times_batch
+
+
+@pytest.fixture(scope="module")
+def module_pair():
+    """One 4x4 multiplier module plus an alternate (smaller) model of it."""
+    config = ExperimentConfig(monte_carlo_samples=400, monte_carlo_chunk=200)
+    module = build_multiplier_module(bits=4, config=config)
+    library = standard_library()
+    full_graph = build_timing_graph(
+        module.netlist, library, module.placement, module.variation,
+        name=module.netlist.name,
+    )
+    alternate = extract_timing_model(
+        full_graph, module.variation, threshold=0.2, name="mult4_t20"
+    )
+    return module, alternate
+
+
+@pytest.fixture
+def quad_design(module_pair):
+    module, _unused = module_pair
+    return build_multiplier_design(module)
+
+
+class TestSwapInstanceModel:
+    def test_swap_matches_full_rebuild(self, module_pair, quad_design):
+        module, alternate = module_pair
+        session = DesignTimer(quad_design)
+        session.circuit_delay()  # establish the baseline state
+
+        session.swap_instance_model("m0_0", alternate)
+        incremental = session.circuit_delay()
+
+        # Ground truth 1: a full batch pass over the *same* live graph.
+        times = propagate_arrival_times_batch(session.graph)
+        for vertex, form in session.timer.arrival_times().items():
+            assert form.is_close(times.form(vertex), rtol=1e-9, atol=1e-9), vertex
+
+        # Ground truth 2: rebuilding the modified design from scratch.
+        fresh = analyze_hierarchical_design(quad_design)
+        assert incremental.mean == pytest.approx(fresh.mean, rel=1e-9)
+        assert incremental.std == pytest.approx(fresh.std, rel=1e-9)
+        assert quad_design.instance("m0_0").model is alternate
+        # The old gate-level view described the old implementation; it must
+        # not be silently carried over to the swapped model.
+        assert quad_design.instance("m0_0").netlist is None
+        assert quad_design.instance("m0_0").placement is None
+
+    def test_swap_back_restores_the_distribution(self, module_pair, quad_design):
+        module, alternate = module_pair
+        session = DesignTimer(quad_design)
+        before = session.circuit_delay()
+        session.swap_instance_model("m0_0", alternate)
+        session.circuit_delay()
+        session.swap_instance_model("m0_0", module.model)
+        after = session.circuit_delay()
+        assert after.mean == pytest.approx(before.mean, rel=1e-12)
+        assert after.std == pytest.approx(before.std, rel=1e-12)
+
+    def test_swap_works_in_global_only_mode(self, module_pair, quad_design):
+        _module, alternate = module_pair
+        session = DesignTimer(quad_design, CorrelationMode.GLOBAL_ONLY)
+        session.circuit_delay()
+        session.swap_instance_model("m1_1", alternate)
+        incremental = session.circuit_delay()
+        fresh = analyze_hierarchical_design(quad_design, CorrelationMode.GLOBAL_ONLY)
+        assert incremental.mean == pytest.approx(fresh.mean, rel=1e-9)
+        assert incremental.std == pytest.approx(fresh.std, rel=1e-9)
+
+    def test_analyze_snapshot(self, module_pair, quad_design):
+        module, alternate = module_pair
+        session = DesignTimer(quad_design)
+        result = session.analyze()
+        assert result.design_name == quad_design.name
+        assert set(result.output_arrivals) == set(quad_design.primary_outputs)
+        fresh = analyze_hierarchical_design(quad_design)
+        assert result.mean == pytest.approx(fresh.mean, rel=1e-9)
+
+
+class TestReplaceInstanceValidation:
+    def test_foreign_port_interface_rejected(self, module_pair, quad_design):
+        """A model with a different port interface cannot be swapped in."""
+        from repro.netlist.netlist import Gate, Netlist
+        from repro.placement.placer import place_netlist
+        from repro.timing.builder import default_variation_for
+
+        gates = [Gate("u1", "NAND", ("p", "q"), "r")]
+        netlist = Netlist("alien", ["p", "q"], ["r"], gates)
+        netlist.validate()
+        library = standard_library()
+        placement = place_netlist(netlist, library)
+        variation = default_variation_for(netlist, placement)
+        graph = build_timing_graph(netlist, library, placement, variation)
+        foreign = extract_timing_model(graph, variation, threshold=0.0)
+
+        session = DesignTimer(quad_design)
+        before = session.circuit_delay()
+        with pytest.raises(HierarchyError, match="port"):
+            session.swap_instance_model("m0_0", foreign)
+        # The failed swap left design and graph untouched.
+        assert quad_design.instance("m0_0").model is module_pair[0].model
+        after = session.circuit_delay()
+        assert after.mean == pytest.approx(before.mean, rel=1e-12)
+
+    def test_unknown_instance_rejected(self, module_pair, quad_design):
+        _module, alternate = module_pair
+        session = DesignTimer(quad_design)
+        with pytest.raises(HierarchyError):
+            session.swap_instance_model("ghost", alternate)
+
+    def test_mismatched_correlation_profile_rejected(self, module_pair, quad_design):
+        """The frozen design grids/PCA assume the shared spatial profile."""
+        from repro.variation.model import VariationModel
+        from repro.variation.spatial import SpatialCorrelation
+
+        module, _alternate = module_pair
+        library = standard_library()
+        variation = VariationModel(
+            module.variation.partition,
+            SpatialCorrelation(neighbor_correlation=0.6, floor_correlation=0.1),
+            0.12,
+            0.2,
+        )
+        graph = build_timing_graph(
+            module.netlist, library, module.placement, variation,
+            name=module.netlist.name,
+        )
+        foreign_profile = extract_timing_model(
+            graph, variation, threshold=0.0, name="mult4_other_profile"
+        )
+        session = DesignTimer(quad_design)
+        session.circuit_delay()
+        with pytest.raises(HierarchyError, match="correlation profile"):
+            session.swap_instance_model("m0_0", foreign_profile)
+        assert quad_design.instance("m0_0").model is module.model

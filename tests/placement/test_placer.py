@@ -41,6 +41,16 @@ class TestPlacement:
         with pytest.raises(PlacementError):
             placement.location("ghost")
 
+    def test_locations_view_is_read_only_and_live(self, tiny_netlist, library):
+        placement = place_netlist(tiny_netlist, library)
+        view = placement.locations
+        with pytest.raises(TypeError):
+            view["ghost"] = (0.0, 0.0)
+        # The view is a zero-copy window, not a snapshot copy.
+        assert placement.locations is not None
+        assert len(view) == len(placement)
+        assert dict(view) == dict(placement.locations)
+
     def test_connected_gates_are_nearby(self, small_random_netlist, library):
         # Topological row placement keeps drivers and loads in nearby rows.
         placement = place_netlist(small_random_netlist, library)

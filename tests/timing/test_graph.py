@@ -135,3 +135,111 @@ class TestAnalysis:
 
     def test_repr(self, diamond):
         assert "diamond" in repr(diamond)
+
+
+class TestRevisionJournal:
+    def test_every_mutation_bumps_revision(self, diamond):
+        revision = diamond.revision
+        edge = diamond.add_edge("u", "w", _delay(2.0))
+        assert diamond.revision > revision
+        revision = diamond.revision
+        diamond.replace_edge_delay(edge, _delay(3.0))
+        assert diamond.revision == revision + 1
+        diamond.remove_edge(edge)
+        diamond.remove_vertex("w")
+        assert diamond.revision == revision + 3
+
+    def test_retime_is_not_structural(self, diamond):
+        structural = diamond.structural_revision
+        edge = diamond.edges[0]
+        diamond.replace_edge_delay(edge, _delay(42.0))
+        assert diamond.structural_revision == structural
+        diamond.remove_edge(edge)
+        assert diamond.structural_revision == diamond.revision
+
+    def test_topological_order_is_cached_across_retimes(self, diamond):
+        first = diamond.topological_order()
+        edge = diamond.edges[0]
+        diamond.replace_edge_delay(edge, _delay(42.0))
+        second = diamond.topological_order()
+        assert first == second
+        second.append("mutated")  # callers get a private copy
+        assert diamond.topological_order() == first
+        diamond.add_edge("u", "v", _delay(1.0))
+        assert diamond.topological_order().index("u") < diamond.topological_order().index("v")
+
+    def test_journal_is_lazy_by_default(self, diamond):
+        # Without a consumer, mutations bump the revision but retain no
+        # history: an old window can only be answered with "rebuild".
+        base = diamond.revision
+        diamond.replace_edge_delay(diamond.edges[0], _delay(9.0))
+        assert diamond.changes_since(base) is None
+        assert diamond.changes_since(diamond.revision).empty
+
+    def test_changes_since_coalesces(self, diamond):
+        diamond.enable_journal()
+        base = diamond.revision
+        edge = diamond.edges[0]
+        diamond.replace_edge_delay(edge, _delay(1.0))
+        diamond.replace_edge_delay(edge, _delay(2.0))
+        transient = diamond.add_edge("u", "w", _delay(3.0))
+        diamond.remove_edge(transient)
+        diamond.remove_vertex("w")
+        removed = diamond.edges[1]
+        diamond.remove_edge(removed)
+        delta = diamond.changes_since(base)
+        assert delta.retimed_edges == (edge.edge_id,)
+        assert delta.added_edges == ()
+        assert delta.removed_edges == ((removed.edge_id, removed.source, removed.sink),)
+        assert delta.added_vertices == ()
+        assert delta.removed_vertices == ()
+        assert not delta.io_changed
+
+    def test_removed_and_readded_vertex_is_in_both_lists(self, diamond):
+        diamond.enable_journal()
+        base = diamond.revision
+        for edge in list(diamond.fanin_edges("u")) + list(diamond.fanout_edges("u")):
+            diamond.remove_edge(edge)
+        diamond.remove_vertex("u")
+        diamond.add_edge("a", "u", _delay(1.0))
+        delta = diamond.changes_since(base)
+        assert "u" in delta.removed_vertices
+        assert "u" in delta.added_vertices
+
+    def test_empty_window(self, diamond):
+        delta = diamond.changes_since(diamond.revision)
+        assert delta.empty
+        assert not delta.structural
+
+    def test_ahead_revision_raises(self, diamond):
+        with pytest.raises(TimingGraphError, match="stale"):
+            diamond.changes_since(diamond.revision + 1)
+
+    def test_journal_overflow_returns_none(self):
+        graph = TimingGraph("tiny", 0, journal_limit=4)
+        graph.enable_journal()
+        base = graph.revision
+        for index in range(10):
+            graph.add_edge("a", "b%d" % index, _delay(1.0))
+        assert graph.changes_since(base) is None
+        assert graph.changes_since(graph.revision).empty
+
+    def test_copy_preserves_edge_ids_and_revision(self, diamond):
+        edge = diamond.edges[0]
+        diamond.replace_edge_delay(edge, _delay(7.0))
+        clone = diamond.copy()
+        assert clone.revision == diamond.revision
+        assert [e.edge_id for e in clone.edges] == [e.edge_id for e in diamond.edges]
+        assert clone.edge(edge.edge_id).delay.nominal == 7.0
+        # The copy's journal starts at the preserved revision: a consumer
+        # synced exactly there sees an empty window...
+        assert clone.changes_since(diamond.revision).empty
+        # ...and new ids never collide with preserved ones.
+        new_edge = clone.add_edge("u", "v", _delay(1.0))
+        assert new_edge.edge_id not in {e.edge_id for e in diamond.edges}
+
+    def test_copy_journal_does_not_cover_older_revisions(self, diamond):
+        base = diamond.revision
+        diamond.add_edge("u", "w", _delay(1.0))
+        clone = diamond.copy()
+        assert clone.changes_since(base) is None  # pre-copy history dropped

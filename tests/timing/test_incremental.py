@@ -1,0 +1,425 @@
+"""Incremental-vs-full parity tests for the revisioned timing sessions.
+
+The :class:`~repro.timing.incremental.IncrementalTimer` repropagates only
+the dirty cone of each edit but folds candidates in exactly the order of
+the full batched engine, so after any edit sequence its state must match a
+from-scratch batch pass to 1e-9 — asserted here on randomized sequences of
+retime / remove / add edits over the real ISCAS c17 circuit, a generated
+4x4 array multiplier and the c432 surrogate.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+from repro.liberty.library import standard_library
+from repro.model.reduction import reduce_graph
+from repro.netlist.iscas85 import iscas85_surrogate
+from repro.netlist.multiplier import array_multiplier
+from repro.netlist.netlist import Gate, Netlist
+from repro.placement.placer import place_netlist
+from repro.timing.builder import build_timing_graph, default_variation_for
+from repro.timing.graph import TimingGraph
+from repro.timing.incremental import IncrementalTimer
+from repro.timing.propagation import (
+    compute_slacks_batch,
+    propagate_arrival_times_batch,
+)
+from repro.timing.sta import corner_sta
+
+
+def c17_netlist() -> Netlist:
+    """The textbook ISCAS c17 circuit: six NAND2 gates, five PIs, two POs."""
+    gates = [
+        Gate("g10", "NAND", ("i1", "i3"), "n10"),
+        Gate("g11", "NAND", ("i3", "i4"), "n11"),
+        Gate("g16", "NAND", ("i2", "n11"), "n16"),
+        Gate("g19", "NAND", ("n11", "i5"), "n19"),
+        Gate("g22", "NAND", ("n10", "n16"), "o22"),
+        Gate("g23", "NAND", ("n16", "n19"), "o23"),
+    ]
+    netlist = Netlist("c17", ["i1", "i2", "i3", "i4", "i5"], ["o22", "o23"], gates)
+    netlist.validate()
+    return netlist
+
+
+def _graph_for(netlist: Netlist) -> TimingGraph:
+    library = standard_library()
+    placement = place_netlist(netlist, library)
+    variation = default_variation_for(netlist, placement)
+    return build_timing_graph(netlist, library, placement, variation)
+
+
+@pytest.fixture(scope="module", params=["c17", "mult4", "c432"])
+def pristine_graph(request) -> TimingGraph:
+    if request.param == "c17":
+        return _graph_for(c17_netlist())
+    if request.param == "mult4":
+        return _graph_for(array_multiplier(4))
+    return _graph_for(iscas85_surrogate("c432"))
+
+
+@pytest.fixture
+def edit_graph(pristine_graph) -> TimingGraph:
+    """A fresh mutable copy per test (copy() preserves edge ids)."""
+    return pristine_graph.copy()
+
+
+def _constraint(graph: TimingGraph) -> CanonicalForm:
+    return CanonicalForm.constant(5000.0, graph.num_locals)
+
+
+def _assert_dicts_close(incremental, reference, what, rtol=1e-9, atol=1e-9):
+    assert set(incremental) == set(reference), what
+    for vertex, form in incremental.items():
+        assert form.is_close(reference[vertex], rtol=rtol, atol=atol), (
+            what,
+            vertex,
+        )
+
+
+def _assert_parity(timer: IncrementalTimer, graph: TimingGraph, what: str):
+    _assert_dicts_close(
+        timer.arrival_times(),
+        propagate_arrival_times_batch(graph).as_dict(),
+        ("arrivals", what),
+    )
+    _assert_dicts_close(
+        timer.slacks(),
+        compute_slacks_batch(graph, timer.required_time).as_dict(),
+        ("slacks", what),
+    )
+
+
+def _random_edit(graph: TimingGraph, rng: random.Random) -> str:
+    """Apply one random retime / remove / add edit; returns its kind."""
+    kind = rng.choice(["retime", "retime", "retime", "remove", "add"])
+    if kind == "retime":
+        edge = rng.choice(graph.edges)
+        graph.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.7, 1.3)))
+    elif kind == "remove":
+        graph.remove_edge(rng.choice(graph.edges))
+    else:
+        # An acyclic addition: connect a topologically earlier vertex to a
+        # later one with a fresh statistical delay.
+        order = graph.topological_order()
+        i = rng.randrange(0, len(order) - 1)
+        j = rng.randrange(i + 1, len(order))
+        graph.add_edge(
+            order[i],
+            order[j],
+            CanonicalForm(rng.uniform(5.0, 40.0), rng.uniform(0.1, 1.0), None, 0.2),
+        )
+    return kind
+
+
+class TestRandomizedEditParity:
+    def test_single_edit_kinds(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.update()
+
+        edge = graph.edges[len(graph.edges) // 2]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.25))
+        _assert_parity(timer, graph, "retime")
+
+        graph.remove_edge(graph.edges[len(graph.edges) // 3])
+        _assert_parity(timer, graph, "remove")
+
+        order = graph.topological_order()
+        graph.add_edge(
+            order[1], order[-1], CanonicalForm(12.0, 0.5, None, 0.25)
+        )
+        _assert_parity(timer, graph, "add")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_sequences(self, edit_graph, seed):
+        graph = edit_graph
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.update()
+        rng = random.Random(seed)
+        for step in range(18):
+            _random_edit(graph, rng)
+            if step % 3 == 2:  # also exercises multi-edit coalescing
+                _assert_parity(timer, graph, "step %d" % step)
+        _assert_parity(timer, graph, "final")
+
+    def test_edit_burst_coalesces_into_one_update(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.update()
+        rng = random.Random(11)
+        for _unused in range(10):
+            edge = rng.choice(graph.edges)
+            graph.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.8, 1.2)))
+        stats = timer.update()
+        assert stats.mode == "incremental"
+        assert stats.revision == graph.revision
+        _assert_parity(timer, graph, "burst")
+
+    def test_convergence_tolerance_stays_within_budget(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(
+            graph,
+            required_time=_constraint(graph),
+            convergence_tolerance=1e-12,
+        )
+        timer.update()
+        rng = random.Random(5)
+        for _unused in range(12):
+            edge = rng.choice(graph.edges)
+            graph.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.9, 1.1)))
+        _assert_parity(timer, graph, "tolerance")  # still within 1e-9
+
+    def test_input_arrival_offsets(self, edit_graph):
+        graph = edit_graph
+        offsets = {
+            name: CanonicalForm(5.0 + position, 0.4, [0.2], 0.1)
+            for position, name in enumerate(graph.inputs)
+        }
+        timer = IncrementalTimer(
+            graph, input_arrivals=offsets, required_time=_constraint(graph)
+        )
+        timer.update()
+        edge = graph.edges[0]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.4))
+        _assert_dicts_close(
+            timer.arrival_times(),
+            propagate_arrival_times_batch(graph, offsets).as_dict(),
+            "seeded arrivals",
+        )
+
+
+class TestLazyQueries:
+    def test_point_queries_match_dictionaries(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        graph.replace_edge_delay(graph.edges[2], graph.edges[2].delay.scale(1.1))
+        arrivals = timer.arrival_times()
+        slacks = timer.slacks()
+        for vertex in graph.vertices:
+            arrival = timer.arrival_at(vertex)
+            if arrival is None:
+                assert vertex not in arrivals
+            else:
+                assert arrival == arrivals[vertex]
+            slack = timer.slack_at(vertex)
+            if slack is not None:
+                assert slack.is_close(slacks[vertex], rtol=1e-12, atol=1e-12)
+        assert timer.arrival_at("__ghost__") is None
+
+    def test_circuit_delay_matches_full_reduction(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(graph)
+        graph.replace_edge_delay(graph.edges[1], graph.edges[1].delay.scale(1.2))
+        times = propagate_arrival_times_batch(graph)
+        rows = [
+            int(row) for row in times.arrays.output_rows if times.valid[row]
+        ]
+        expected = times.batch.gather(rows).max_over()
+        assert timer.circuit_delay().is_close(expected, rtol=1e-9, atol=1e-9)
+
+    def test_criticalities_are_probabilities(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(graph)
+        delay_mean = timer.circuit_delay().mean
+        timer.set_required_time(timer.circuit_delay())
+        criticalities = timer.criticalities()
+        assert set(criticalities) == {edge.edge_id for edge in graph.edges}
+        values = np.asarray(list(criticalities.values()))
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+        # The constraint sits at the (soft-max) circuit delay, so the most
+        # critical edges hover just below the 50/50 tightness point.
+        assert values.max() > 0.3
+        # A constraint far below the circuit delay makes the critical path
+        # violate almost surely; far above, every edge is safely uncritical.
+        timer.set_required_time(
+            CanonicalForm.constant(0.25 * delay_mean, graph.num_locals)
+        )
+        assert max(timer.criticalities().values()) > 0.95
+        timer.set_required_time(
+            CanonicalForm.constant(4.0 * delay_mean, graph.num_locals)
+        )
+        assert max(timer.criticalities().values()) < 0.05
+
+    def test_set_required_time_updates_slacks(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.slacks()
+        tighter = CanonicalForm.constant(100.0, graph.num_locals)
+        timer.set_required_time(tighter)
+        _assert_dicts_close(
+            timer.slacks(),
+            compute_slacks_batch(graph, tighter).as_dict(),
+            "retimed constraint",
+        )
+
+
+class TestNoOpProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_edits=st.integers(min_value=0, max_value=6),
+    )
+    def test_update_after_empty_journal_is_noop(self, seed, num_edits):
+        graph = _small_diamond()
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        rng = random.Random(seed)
+        for _unused in range(num_edits):
+            if graph.num_edges == 0:
+                break
+            _random_edit(graph, rng)
+        timer.update()  # drains everything the edits produced
+        snapshot = (
+            timer._fwd.mean.copy(),
+            timer._fwd.valid.copy(),
+            timer._bwd.mean.copy(),
+            timer._bwd.valid.copy(),
+        )
+        stats = timer.update()  # journal is now empty
+        assert stats.mode == "noop"
+        assert stats.forward_recomputed == 0
+        assert stats.backward_recomputed == 0
+        np.testing.assert_array_equal(timer._fwd.mean, snapshot[0])
+        np.testing.assert_array_equal(timer._fwd.valid, snapshot[1])
+        np.testing.assert_array_equal(timer._bwd.mean, snapshot[2])
+        np.testing.assert_array_equal(timer._bwd.valid, snapshot[3])
+
+
+def _small_diamond() -> TimingGraph:
+    graph = TimingGraph("diamond", 0)
+    graph.mark_input("a")
+    graph.mark_output("z")
+    graph.add_edge("a", "u", CanonicalForm(10.0, 1.0, None, 0.5))
+    graph.add_edge("a", "v", CanonicalForm(20.0, 0.5, None, 0.25))
+    graph.add_edge("u", "z", CanonicalForm(5.0, 0.2, None, 0.1))
+    graph.add_edge("v", "z", CanonicalForm(1.0, 0.1, None, 0.05))
+    return graph
+
+
+class TestStaleSessionsAndJournal:
+    def test_stale_session_raises(self):
+        graph = _small_diamond()
+        stale_copy = graph.copy()
+        edge = graph.edges[0]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.1))
+        timer = IncrementalTimer(graph)
+        timer.update()
+        # A session synced against the evolved graph is stale for the
+        # earlier copy: the revision it remembers lies in the copy's future.
+        with pytest.raises(TimingGraphError, match="stale session"):
+            stale_copy.changes_since(timer.revision)
+
+    def test_journal_overflow_falls_back_to_full(self):
+        netlist = c17_netlist()
+        library = standard_library()
+        placement = place_netlist(netlist, library)
+        variation = default_variation_for(netlist, placement)
+        graph = build_timing_graph(netlist, library, placement, variation)
+        small = TimingGraph(graph.name, graph.num_locals, journal_limit=8)
+        for vertex in graph.inputs:
+            small.mark_input(vertex)
+        for vertex in graph.outputs:
+            small.mark_output(vertex)
+        for edge in graph.edges:
+            small.add_edge(edge.source, edge.sink, edge.delay)
+        timer = IncrementalTimer(small, required_time=_constraint(small))
+        timer.update()
+        rng = random.Random(3)
+        for _unused in range(30):  # far beyond the retained window
+            edge = rng.choice(small.edges)
+            small.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.9, 1.1)))
+        stats = timer.update()
+        assert stats.mode == "full"
+        _assert_parity(timer, small, "overflow")
+
+    def test_reduction_coalesces_through_session(self):
+        graph = _graph_for(c17_netlist())
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.update()
+        reduce_graph(graph, timer=timer)
+        assert timer.revision == graph.revision
+        _assert_parity(timer, graph, "reduction")
+
+    def test_one_shot_array_views_do_not_enable_journaling(self):
+        from repro.timing.arrays import GraphArrays
+
+        graph = _small_diamond()
+        GraphArrays.from_graph(graph)  # e.g. corner STA / Monte Carlo view
+        base = graph.revision
+        edge = graph.edges[0]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.1))
+        # No incremental consumer attached: history is not retained.
+        assert graph.changes_since(base) is None
+        # A session attach turns journaling on from that point.
+        timer = IncrementalTimer(graph)
+        base = graph.revision
+        graph.replace_edge_delay(edge, edge.delay.scale(1.1))
+        assert graph.changes_since(base).retimed_edges == (edge.edge_id,)
+        timer.update()
+
+    def test_reduction_rejects_foreign_timer(self):
+        graph = _small_diamond()
+        other = _small_diamond()
+        timer = IncrementalTimer(other)
+        with pytest.raises(TimingGraphError):
+            reduce_graph(graph, timer=timer)
+
+
+class TestCornerStaSessionReuse:
+    def test_corner_sta_accepts_session(self, edit_graph):
+        graph = edit_graph
+        timer = IncrementalTimer(graph)
+        timer.update()
+        edge = graph.edges[0]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.3))
+        from_session = corner_sta(timer=timer, sigma_corner=3.0)
+        from_scratch = corner_sta(graph, sigma_corner=3.0)
+        assert from_session.nominal == pytest.approx(from_scratch.nominal, rel=1e-12)
+        assert from_session.worst == pytest.approx(from_scratch.worst, rel=1e-12)
+        assert from_session.best == pytest.approx(from_scratch.best, rel=1e-12)
+
+    def test_corner_sta_sync_defers_statistical_work(self):
+        # A structure-only sync must not run the statistical passes even
+        # when the window forces a rebuild (journal overflow): the cached
+        # state is dropped and the next timing query repropagates.
+        graph = _small_diamond()
+        small = TimingGraph(graph.name, 0, journal_limit=4)
+        small.mark_input("a")
+        small.mark_output("z")
+        for edge in graph.edges:
+            small.add_edge(edge.source, edge.sink, edge.delay)
+        timer = IncrementalTimer(small)
+        timer.update()
+        rng = random.Random(1)
+        for _unused in range(12):  # overflow the tiny journal
+            edge = rng.choice(small.edges)
+            small.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.9, 1.1)))
+        report = corner_sta(timer=timer)
+        assert timer._fwd is None  # state dropped, not repropagated
+        assert report.worst == pytest.approx(corner_sta(small).worst, rel=1e-12)
+        stats = timer.update()  # next timing sync rebuilds the state
+        assert stats.mode == "full"
+        _assert_parity(timer, small, "post-sync rebuild")
+
+    def test_corner_sta_rejects_mismatched_graph(self, edit_graph):
+        timer = IncrementalTimer(edit_graph)
+        with pytest.raises(TimingGraphError):
+            corner_sta(_small_diamond(), timer=timer)
+
+    def test_corner_sta_requires_some_input(self):
+        with pytest.raises(TimingGraphError):
+            corner_sta()
+
+
+class TestNonFiniteSeedsRejected:
+    def test_minus_infinity_input_rejected(self):
+        graph = _small_diamond()
+        masks = {"a": CanonicalForm.minus_infinity(0)}
+        with pytest.raises(ValueError):
+            IncrementalTimer(graph, input_arrivals=masks)
