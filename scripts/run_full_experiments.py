@@ -36,7 +36,7 @@ def main() -> None:
     output.mkdir(parents=True, exist_ok=True)
     config = DEFAULT_CONFIG.with_overrides(monte_carlo_samples=args.samples)
 
-    start = time.time()
+    start = time.perf_counter()
     print("== Table I ==", flush=True)
     table1 = run_table1(circuits=args.circuits, config=config)
     print(table1.render(), flush=True)
@@ -62,7 +62,7 @@ def main() -> None:
     print(correlation.render(), flush=True)
     (output / "ablation_correlation.txt").write_text(correlation.render() + "\n")
 
-    print("total runtime: %.1f s" % (time.time() - start), flush=True)
+    print("total runtime: %.1f s" % (time.perf_counter() - start), flush=True)
 
 
 if __name__ == "__main__":

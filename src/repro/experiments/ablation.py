@@ -24,9 +24,7 @@ from repro.experiments.figure7 import build_multiplier_design, build_multiplier_
 from repro.experiments.table1 import characterize_circuit
 from repro.hier.analysis import CorrelationMode, analyze_hierarchical_design
 from repro.liberty.library import Library, standard_library
-from repro.model.criticality import compute_edge_criticalities
-from repro.model.extraction import extract_timing_model
-from repro.timing.allpairs import AllPairsTiming
+from repro.model.extraction import ExtractionSession, extract_timing_model
 
 __all__ = [
     "ThresholdSweepPoint",
@@ -89,10 +87,12 @@ def run_threshold_sweep(
     """
     library = standard_library() if library is None else library
     characterized = characterize_circuit(circuit, config, library)
-    analysis = AllPairsTiming.analyze(characterized.graph)
-    criticalities = compute_edge_criticalities(characterized.graph, analysis)
-    reference_means = analysis.matrix_means()
-    reference_stds = analysis.matrix_std()
+    # One incremental extraction session drives the whole sweep: the
+    # all-pairs tensors and criticalities are computed once and every
+    # threshold pays only the copy-and-merge tail of the pipeline.
+    session = ExtractionSession(characterized.graph, characterized.variation)
+    reference_means = session.analysis.matrix_means()
+    reference_stds = session.analysis.matrix_std()
 
     points: List[ThresholdSweepPoint] = []
     for threshold in thresholds:
@@ -100,8 +100,7 @@ def run_threshold_sweep(
             characterized.graph,
             characterized.variation,
             threshold,
-            analysis=analysis,
-            criticalities=criticalities,
+            session=session,
         )
         points.append(
             ThresholdSweepPoint(

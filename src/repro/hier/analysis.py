@@ -37,7 +37,12 @@ from repro.hier.replacement import (
     swap_instance_subgraph,
 )
 from repro.core.ops import statistical_max_many
+from repro.model.extraction import (
+    DEFAULT_CRITICALITY_THRESHOLD,
+    ExtractionSession,
+)
 from repro.model.timing_model import TimingModel
+from repro.variation.model import VariationModel
 from repro.netlist.netlist import Netlist
 from repro.placement.placer import Placement
 from repro.timing.graph import TimingGraph
@@ -320,6 +325,7 @@ class DesignTimer:
         self._pca = pca
         self._membership = membership
         self._timer = IncrementalTimer(graph, required_time=required_time)
+        self._module_sessions: Dict[str, ExtractionSession] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -419,6 +425,65 @@ class DesignTimer:
             self.graph, entry.edge_ids, entry.vertices, entry.ports, subgraph
         )
         return instance
+
+    # ------------------------------------------------------------------
+    # Per-instance extraction sessions (warm module re-extraction)
+    # ------------------------------------------------------------------
+    def attach_module_source(
+        self,
+        instance_name: str,
+        graph: TimingGraph,
+        variation: VariationModel,
+    ) -> ExtractionSession:
+        """Attach the full (pre-extraction) timing graph of one instance.
+
+        Creates — and keeps, one per instance — an
+        :class:`~repro.model.extraction.ExtractionSession` on the module's
+        full graph, so ECO edits to the module (retimes, edge surgery) can
+        be turned into a fresh extracted model *without a cold start*:
+        :meth:`reextract_instance` refreshes only the dirty cone of the
+        session's all-pairs tensors and re-evaluates only the
+        criticalities that moved.  Returns the session (also available via
+        :meth:`extraction_session`); re-attaching replaces it.
+        """
+        self._design.instance(instance_name)  # validates the name
+        session = ExtractionSession(graph, variation)
+        self._module_sessions[instance_name] = session
+        return session
+
+    def extraction_session(self, instance_name: str) -> ExtractionSession:
+        """The extraction session attached to ``instance_name``."""
+        try:
+            return self._module_sessions[instance_name]
+        except KeyError:
+            raise HierarchyError(
+                "no module source attached for instance %r "
+                "(call attach_module_source first)" % instance_name
+            ) from None
+
+    def reextract_instance(
+        self,
+        instance_name: str,
+        threshold: float = DEFAULT_CRITICALITY_THRESHOLD,
+        name: Optional[str] = None,
+        netlist: Optional[Netlist] = None,
+        placement: Optional[Placement] = None,
+    ) -> ModuleInstance:
+        """Re-extract an instance's model from its attached module source
+        and splice it into the live design graph.
+
+        The extraction runs through the instance's persistent
+        :class:`~repro.model.extraction.ExtractionSession` — after a module
+        ECO only the affected all-pairs cone and the moved criticalities
+        are recomputed — and the resulting model is installed with
+        :meth:`swap_instance_model`, so the design re-times only the
+        swap's fan-out cone on the next query.
+        """
+        session = self.extraction_session(instance_name)
+        model = session.extract(threshold, name=name)
+        return self.swap_instance_model(
+            instance_name, model, netlist=netlist, placement=placement
+        )
 
     # ------------------------------------------------------------------
     def circuit_delay(self) -> CanonicalForm:

@@ -18,6 +18,7 @@ from repro.model.criticality import (
     CriticalityResult,
     compute_edge_criticalities,
     edge_criticality_matrix,
+    update_edge_criticalities,
 )
 from repro.model.reduction import (
     parallel_merge,
@@ -26,7 +27,12 @@ from repro.model.reduction import (
     reduce_graph,
 )
 from repro.model.timing_model import TimingModel, ExtractionStats
-from repro.model.extraction import extract_timing_model
+from repro.model.extraction import (
+    DEFAULT_CRITICALITY_THRESHOLD,
+    ExtractionSession,
+    extract_timing_model,
+    sweep_thresholds,
+)
 from repro.model.serialization import (
     load_timing_model,
     save_timing_model,
@@ -38,6 +44,10 @@ __all__ = [
     "CriticalityResult",
     "compute_edge_criticalities",
     "edge_criticality_matrix",
+    "update_edge_criticalities",
+    "DEFAULT_CRITICALITY_THRESHOLD",
+    "ExtractionSession",
+    "sweep_thresholds",
     "serial_merge",
     "parallel_merge",
     "prune_unreachable",

@@ -18,16 +18,21 @@ The per-pair computation is fully vectorized: for a fixed edge all
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.special import ndtr
 
-from repro.timing.allpairs import AllPairsTiming
+from repro.timing.allpairs import AllPairsTiming, AllPairsUpdate
 from repro.timing.graph import TimingEdge, TimingGraph
 
-__all__ = ["CriticalityResult", "compute_edge_criticalities", "edge_criticality_matrix"]
+__all__ = [
+    "CriticalityResult",
+    "compute_edge_criticalities",
+    "edge_criticality_matrix",
+    "update_edge_criticalities",
+]
 
 _THETA_EPSILON = 1e-12
 _MEAN_EPSILON = 1e-9
@@ -42,9 +47,21 @@ class CriticalityResult:
     max_criticality:
         ``edge_id -> c_m`` (eq. of Definition 2); edges lying on no
         input-to-output path have criticality 0.
+    argmax_pairs:
+        ``edge_id -> (i, j)``: one input/output pair attaining the maximum
+        (``(-1, -1)`` when the pair matrix is empty).  Bookkeeping for the
+        incremental update (:func:`update_edge_criticalities`): as long as
+        the attaining pair lies outside an update's changed region, the
+        stored maximum bounds every untouched pair exactly and only the
+        changed rectangle needs re-evaluation.  ``None`` on results built
+        without it, which makes the incremental update fall back to a full
+        recompute.
     """
 
     max_criticality: Dict[int, float]
+    argmax_pairs: Optional[Dict[int, "tuple[int, int]"]] = field(
+        default=None, compare=False
+    )
 
     def values(self) -> np.ndarray:
         """All maximum criticalities as an array (for histograms)."""
@@ -71,6 +88,24 @@ def edge_criticality_matrix(
     Returns an ``(I, O)`` array; pairs with no path through the edge (or no
     path at all) have criticality 0.
     """
+    return _criticality_block(analysis, edge, None, None)
+
+
+def _criticality_block(
+    analysis: AllPairsTiming,
+    edge: TimingEdge,
+    rows: Optional[np.ndarray],
+    cols: Optional[np.ndarray],
+) -> np.ndarray:
+    """``c_ij`` of one edge restricted to input ``rows`` x output ``cols``.
+
+    ``None`` selects the full axis.  Every entry is computed with the same
+    expressions as the full-matrix evaluation, so a sub-block matches the
+    corresponding slice of the full matrix to floating-point round-off
+    (the BLAS/einsum contractions may block sliced operands differently,
+    so agreement is at the ulp level, not bitwise — which is why the
+    incremental update's parity contract is 1e-9, not bit-identity).
+    """
     arrays = analysis.arrays
     edge_row = arrays.edge_rows[edge.edge_id]
     source_row = int(arrays.edge_source[edge_row])
@@ -87,6 +122,27 @@ def edge_criticality_matrix(
     r_corr = analysis.to_output_corr[sink_row]
     r_randvar = analysis.to_output_randvar[sink_row]
     r_valid = analysis.to_output_valid[sink_row]
+
+    m_corr_full = analysis.matrix_corr
+    m_randvar_full = analysis.matrix_randvar
+    m_mean_full = analysis.matrix_mean
+    m_valid_full = analysis.matrix_valid
+    if rows is not None:
+        a_mean, a_corr, a_randvar, a_valid = (
+            a_mean[rows], a_corr[rows], a_randvar[rows], a_valid[rows],
+        )
+        m_corr_full = m_corr_full[rows]
+        m_randvar_full = m_randvar_full[rows]
+        m_mean_full = m_mean_full[rows]
+        m_valid_full = m_valid_full[rows]
+    if cols is not None:
+        r_mean, r_corr, r_randvar, r_valid = (
+            r_mean[cols], r_corr[cols], r_randvar[cols], r_valid[cols],
+        )
+        m_corr_full = m_corr_full[:, cols]
+        m_randvar_full = m_randvar_full[:, cols]
+        m_mean_full = m_mean_full[:, cols]
+        m_valid_full = m_valid_full[:, cols]
 
     # d_e statistics for every pair (i, j).
     de_mean = a_mean[:, np.newaxis] + r_mean[np.newaxis, :]
@@ -114,14 +170,14 @@ def edge_criticality_matrix(
     # criticality 1 (shared bound) while balanced parallel paths correctly
     # split the criticality (independent bound), and edge removal errs on
     # the conservative side.
-    m_corr = analysis.matrix_corr
-    m_randvar = analysis.matrix_randvar
+    m_corr = m_corr_full
+    m_randvar = m_randvar_full
     cov_correlated = np.einsum("ik,ijk->ij", a_corr, m_corr) + np.einsum(
         "jk,ijk->ij", r_corr, m_corr
     )
     shared_randvar = np.minimum(de_randvar, m_randvar)
 
-    m_mean = analysis.matrix_mean
+    m_mean = m_mean_full
     m_var = np.einsum("ijk,ijk->ij", m_corr, m_corr) + m_randvar
     mean_tolerance = _MEAN_EPSILON * np.maximum(1.0, np.abs(m_mean))
 
@@ -140,9 +196,7 @@ def edge_criticality_matrix(
         )
         criticality = np.maximum(criticality, probability)
 
-    pair_valid = (
-        a_valid[:, np.newaxis] & r_valid[np.newaxis, :] & analysis.matrix_valid
-    )
+    pair_valid = a_valid[:, np.newaxis] & r_valid[np.newaxis, :] & m_valid_full
     return np.where(pair_valid, criticality, 0.0)
 
 
@@ -157,7 +211,161 @@ def compute_edge_criticalities(
     if analysis is None:
         analysis = AllPairsTiming.analyze(graph)
     max_criticality: Dict[int, float] = {}
+    argmax_pairs: Dict[int, Tuple[int, int]] = {}
     for edge in graph.edges:
-        matrix = edge_criticality_matrix(analysis, edge)
-        max_criticality[edge.edge_id] = float(matrix.max()) if matrix.size else 0.0
-    return CriticalityResult(max_criticality)
+        value, pair = _edge_max_with_argmax(analysis, edge)
+        max_criticality[edge.edge_id] = value
+        argmax_pairs[edge.edge_id] = pair
+    return CriticalityResult(max_criticality, argmax_pairs)
+
+
+def _edge_max_with_argmax(
+    analysis: AllPairsTiming, edge: TimingEdge
+) -> Tuple[float, Tuple[int, int]]:
+    """Maximum criticality of one edge plus one pair attaining it."""
+    matrix = edge_criticality_matrix(analysis, edge)
+    if not matrix.size:
+        return 0.0, (-1, -1)
+    flat = int(np.argmax(matrix))
+    i, j = np.unravel_index(flat, matrix.shape)
+    return float(matrix[i, j]), (int(i), int(j))
+
+
+def update_edge_criticalities(
+    graph: TimingGraph,
+    analysis: AllPairsTiming,
+    previous: CriticalityResult,
+    update: AllPairsUpdate,
+) -> CriticalityResult:
+    """Incrementally refreshed criticalities after one all-pairs update.
+
+    ``c_ij`` of an edge depends on four inputs only: the per-input arrival
+    row of its source, the per-output delay row of its sink, the edge's own
+    delay, and the matrix entry ``M_ij``.  The change masks of an
+    :class:`~repro.timing.allpairs.AllPairsUpdate` pin the moved inputs
+    down to a *cross* of the pair space — a few changed input rows (the
+    inputs that reach the edit) times all outputs, plus all inputs times a
+    few changed output columns — so for every edge whose stored attaining
+    pair lies outside that cross, the exact new maximum is
+    ``max(stored_max, max over the recomputed cross)``: every untouched
+    pair kept its old value, all of which were bounded by the stored
+    maximum, whose own pair did not move.  Only edges whose attaining pair
+    falls inside the cross (or whose delay itself was retimed) pay a full
+    re-evaluation, which is what makes post-ECO re-extraction fast even
+    when the matrix moves almost everywhere by round-off-sized amounts.
+
+    Results match :func:`compute_edge_criticalities` on the refreshed
+    analysis to floating-point round-off (carried-over entries are
+    bit-identical; re-evaluated cross blocks agree to the ulp level, see
+    :func:`_criticality_block`).  A ``"full"`` update (or a ``previous``
+    without argmax bookkeeping) falls back to the full recompute.
+
+    The caller is responsible for continuity: ``previous`` must have been
+    computed (or updated) against the session state *immediately before*
+    ``update`` — :class:`repro.model.extraction.ExtractionSession` enforces
+    this with the update serial.
+    """
+    if update.mode == "noop":
+        return previous
+    if (
+        update.mode == "full"
+        or update.arrival_changed is None
+        or update.to_output_changed is None
+        or previous.argmax_pairs is None
+    ):
+        return compute_edge_criticalities(graph, analysis)
+
+    arrays = analysis.arrays
+    arrival_changed = update.arrival_changed
+    to_output_changed = update.to_output_changed
+    num_inputs = analysis.num_inputs
+    num_outputs = analysis.num_outputs
+
+    # Matrix entry (i, j) is the arrival at output j's vertex from input i,
+    # so the changed entries live inside changed-input-rows x changed-
+    # output-columns; cover them with whichever side of the cross is
+    # cheaper to re-evaluate across all edges.
+    matrix_block = arrival_changed[arrays.output_rows]  # (O, I)
+    m_rows_changed = matrix_block.any(axis=0)  # inputs appearing in changes
+    m_cols_changed = matrix_block.any(axis=1)  # outputs whose column moved
+    cover_m_with_rows = (
+        int(m_rows_changed.sum()) * num_outputs
+        <= num_inputs * int(m_cols_changed.sum())
+    )
+    m_has_changes = bool(m_cols_changed.any())
+
+    a_any = arrival_changed.any(axis=1)  # per-vertex row summaries
+    r_any = to_output_changed.any(axis=1)
+    touched = set(update.touched_edges)
+    pair_budget = num_inputs * num_outputs
+
+    max_criticality: Dict[int, float] = {}
+    argmax_pairs: Dict[int, Tuple[int, int]] = {}
+    for edge in graph.edges:
+        edge_id = edge.edge_id
+        row = arrays.edge_rows[edge_id]
+        source_row = int(arrays.edge_source[row])
+        sink_row = int(arrays.edge_sink[row])
+        previous_value = previous.max_criticality.get(edge_id)
+        previous_pair = previous.argmax_pairs.get(edge_id)
+
+        clean = not (
+            a_any[source_row] or r_any[sink_row] or m_has_changes
+        ) and edge_id not in touched
+        if clean and previous_value is not None and previous_pair is not None:
+            max_criticality[edge_id] = previous_value
+            argmax_pairs[edge_id] = previous_pair
+            continue
+        if edge_id in touched or previous_value is None or previous_pair is None:
+            value, pair = _edge_max_with_argmax(analysis, edge)
+            max_criticality[edge_id] = value
+            argmax_pairs[edge_id] = pair
+            continue
+
+        # The changed pairs of this edge lie inside rows x all + all x cols.
+        dirty_rows = arrival_changed[source_row]
+        if cover_m_with_rows and m_has_changes:
+            dirty_rows = dirty_rows | m_rows_changed
+        dirty_cols = to_output_changed[sink_row]
+        if not cover_m_with_rows and m_has_changes:
+            dirty_cols = dirty_cols | m_cols_changed
+
+        best_i, best_j = previous_pair
+        rows_idx = np.nonzero(dirty_rows)[0]
+        cols_idx = np.nonzero(dirty_cols)[0]
+        cost = rows_idx.size * num_outputs + num_inputs * cols_idx.size
+        if (
+            cost >= pair_budget
+            or best_i < 0
+            or dirty_rows[best_i]
+            or dirty_cols[best_j]
+        ):
+            # No savings, or the attaining pair itself moved: the stored
+            # maximum no longer bounds the untouched pairs.
+            value, pair = _edge_max_with_argmax(analysis, edge)
+            max_criticality[edge_id] = value
+            argmax_pairs[edge_id] = pair
+            continue
+
+        value, pair = previous_value, previous_pair
+        if rows_idx.size:
+            block = _criticality_block(analysis, edge, rows_idx, None)
+            flat = int(np.argmax(block))
+            i, j = np.unravel_index(flat, block.shape)
+            if block[i, j] > value:
+                value = float(block[i, j])
+                pair = (int(rows_idx[i]), int(j))
+        if cols_idx.size:
+            # The dirty rows already covered their full extent, so the
+            # column block only needs the complementary rows.
+            rest_rows = np.nonzero(~dirty_rows)[0]
+            if rest_rows.size:
+                block = _criticality_block(analysis, edge, rest_rows, cols_idx)
+                flat = int(np.argmax(block))
+                i, j = np.unravel_index(flat, block.shape)
+                if block[i, j] > value:
+                    value = float(block[i, j])
+                    pair = (int(rest_rows[i]), int(cols_idx[j]))
+        max_criticality[edge_id] = value
+        argmax_pairs[edge_id] = pair
+    return CriticalityResult(max_criticality, argmax_pairs)

@@ -104,6 +104,9 @@ def timing_model_to_dict(model: TimingModel) -> Dict[str, Any]:
                 ],
             },
         },
+        # Wall-clock timings (extraction_seconds) are deliberately not
+        # serialized: they are measurement noise, not model content, and
+        # excluding them keeps saved payloads byte-stable across runs.
         "stats": {
             "original_edges": model.stats.original_edges,
             "original_vertices": model.stats.original_vertices,
@@ -111,7 +114,6 @@ def timing_model_to_dict(model: TimingModel) -> Dict[str, Any]:
             "model_vertices": model.stats.model_vertices,
             "removed_edges": model.stats.removed_edges,
             "threshold": model.stats.threshold,
-            "extraction_seconds": model.stats.extraction_seconds,
         },
     }
 
@@ -178,7 +180,9 @@ def timing_model_from_dict(payload: Dict[str, Any]) -> TimingModel:
         model_vertices=int(stats_data["model_vertices"]),
         removed_edges=int(stats_data["removed_edges"]),
         threshold=float(stats_data["threshold"]),
-        extraction_seconds=float(stats_data["extraction_seconds"]),
+        # Older payloads carried the wall-clock timing; current ones omit
+        # it (it is informational and excluded from equality anyway).
+        extraction_seconds=float(stats_data.get("extraction_seconds", 0.0)),
     )
     return TimingModel(payload["name"], graph, variation, stats)
 

@@ -12,7 +12,7 @@ design-level analysis needs to instantiate the module:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
@@ -29,7 +29,15 @@ __all__ = ["ExtractionStats", "TimingModel"]
 
 @dataclass(frozen=True)
 class ExtractionStats:
-    """Size and runtime statistics of one model extraction (Table I row)."""
+    """Size and runtime statistics of one model extraction (Table I row).
+
+    ``extraction_seconds`` is a measured wall-clock duration
+    (``time.perf_counter`` based): it is informational only and excluded
+    from equality — two extractions of the same module at the same
+    threshold compare equal even though their runtimes differ, which keeps
+    model round-trip comparisons (serialize, reload, compare) deterministic.
+    It is likewise not serialized (see :mod:`repro.model.serialization`).
+    """
 
     original_edges: int
     original_vertices: int
@@ -37,7 +45,7 @@ class ExtractionStats:
     model_vertices: int
     removed_edges: int
     threshold: float
-    extraction_seconds: float
+    extraction_seconds: float = field(default=0.0, compare=False)
 
     @property
     def edge_ratio(self) -> float:

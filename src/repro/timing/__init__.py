@@ -37,7 +37,7 @@ from repro.timing.propagation import (
     compute_slacks,
     compute_slacks_batch,
 )
-from repro.timing.allpairs import AllPairsTiming
+from repro.timing.allpairs import AllPairsSession, AllPairsTiming, AllPairsUpdate
 from repro.timing.paths import TimingPath, enumerate_critical_paths
 from repro.timing.sta import CornerReport, corner_sta
 
@@ -59,7 +59,9 @@ __all__ = [
     "circuit_delay",
     "compute_slacks",
     "compute_slacks_batch",
+    "AllPairsSession",
     "AllPairsTiming",
+    "AllPairsUpdate",
     "TimingPath",
     "enumerate_critical_paths",
     "CornerReport",

@@ -23,11 +23,20 @@ the private random part is tracked as a variance.  The graph view
 :func:`~repro.core.batch.merge_max_with_validity`) are the same ones the
 levelized SSTA propagation uses; they are re-exported here for backwards
 compatibility.
+
+Two entry points share the tensors:
+
+* :class:`AllPairsTiming` — the one-shot from-scratch analysis;
+* :class:`AllPairsSession` — an incremental session keyed to the graph's
+  revisioned change journal that refreshes the tensors by repropagating
+  only the dirty cone of each edit burst, serving threshold sweeps and
+  repeated model extraction at what-if speed.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -35,9 +44,15 @@ from repro.core.batch import clark_max_arrays, merge_max_with_validity
 from repro.core.canonical import CanonicalForm
 from repro.errors import TimingGraphError
 from repro.timing.arrays import GraphArrays
-from repro.timing.graph import TimingEdge, TimingGraph
+from repro.timing.graph import GraphDelta, TimingEdge, TimingGraph
 
-__all__ = ["AllPairsTiming", "GraphArrays", "clark_max_arrays"]
+__all__ = [
+    "AllPairsSession",
+    "AllPairsTiming",
+    "AllPairsUpdate",
+    "GraphArrays",
+    "clark_max_arrays",
+]
 
 # Backwards-compatible alias of the shared masked Clark kernel.
 _merge_max_with_validity = merge_max_with_validity
@@ -221,3 +236,467 @@ class AllPairsTiming:
     def matrix_means(self) -> np.ndarray:
         """Mean of every ``M_ij`` (invalid pairs are NaN)."""
         return np.where(self.matrix_valid, self.matrix_mean, np.nan)
+
+
+# ----------------------------------------------------------------------
+# Incremental all-pairs sessions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AllPairsUpdate:
+    """What one :meth:`AllPairsSession.refresh` call actually did.
+
+    ``mode`` is ``"noop"`` (empty journal), ``"incremental"`` (dirty-cone
+    repropagation of the tensors) or ``"full"`` (first pass, journal
+    overflow, or an input/output designation change, which moves the tensor
+    dimensions themselves).  ``serial`` counts the session's non-noop
+    refreshes, so a consumer caching state derived from the tensors (e.g.
+    the incremental criticality map of :mod:`repro.model.criticality`) can
+    detect refreshes it did not observe and fall back to a recompute.
+
+    The change masks drive downstream incrementality: ``arrival_changed``
+    is a ``(V, I)`` boolean with the per-input arrival entries that moved,
+    ``to_output_changed`` the ``(V, O)`` analogue for the to-output delays,
+    and ``touched_edges``/``removed_edges`` the edge ids retimed-or-added /
+    removed by the consumed journal window.  Both masks are ``None`` for a
+    ``"full"`` refresh (everything must be assumed changed) and for a
+    ``"noop"``.
+    """
+
+    mode: str
+    revision: int
+    serial: int
+    forward_recomputed: int
+    backward_recomputed: int
+    arrival_changed: Optional[np.ndarray] = None
+    to_output_changed: Optional[np.ndarray] = None
+    touched_edges: Tuple[int, ...] = ()
+    removed_edges: Tuple[int, ...] = ()
+
+
+class AllPairsSession:
+    """An incrementally maintained all-pairs analysis of an evolving module.
+
+    Where :meth:`AllPairsTiming.analyze` rebuilds the per-input arrival and
+    per-output delay tensors from scratch on every call, a session attaches
+    to one graph, runs the full propagation once, and afterwards keeps the
+    tensors alive as a cache keyed to the graph's revision: every
+    :meth:`refresh` replays the coalesced change journal through the shared
+    :class:`~repro.timing.arrays.GraphArrays` cache (delay-only retimes are
+    patched in place, structural windows migrate the tensors through the
+    refresh row map), seeds a dirty frontier from the edited edges and
+    recomputes **only the affected cone** — per vertex, across all inputs
+    (or outputs) at once, with exactly the candidate fold order of the
+    from-scratch engine, so the refreshed tensors match a fresh
+    :meth:`AllPairsTiming.analyze` to floating-point round-off (asserted at
+    1e-9 by the randomized edit-sequence tests).
+
+    Only an input/output designation change or a journal overflow forces a
+    full recompute: the tensor dimensions are keyed to the I/O sets, which
+    therefore stay frozen between full passes.
+    """
+
+    def __init__(self, graph: TimingGraph) -> None:
+        if not graph.inputs or not graph.outputs:
+            raise TimingGraphError(
+                "all-pairs analysis needs designated inputs and outputs"
+            )
+        self._graph = graph
+        graph.enable_journal()  # sessions sync incrementally from here on
+        self._arrays = GraphArrays.from_graph(graph)
+        self._analysis: Optional[AllPairsTiming] = None
+        self._serial = 0
+        # Dirty vertex frontiers (V,) and per-entry changed masks, kept
+        # across a failed sweep (e.g. a cycle surfacing mid-refresh) so the
+        # next refresh retries the queued work instead of losing it.
+        self._dirty_fwd: Optional[np.ndarray] = None
+        self._dirty_bwd: Optional[np.ndarray] = None
+        self._changed_fwd: Optional[np.ndarray] = None
+        self._changed_bwd: Optional[np.ndarray] = None
+        self._pending_touched: Dict[int, None] = {}
+        self._pending_removed: Dict[int, None] = {}
+        self.last_update: Optional[AllPairsUpdate] = None
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Session accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TimingGraph:
+        """The graph this session is attached to."""
+        return self._graph
+
+    @property
+    def arrays(self) -> GraphArrays:
+        """The session's (incrementally maintained) array view."""
+        return self._arrays
+
+    @property
+    def revision(self) -> int:
+        """Graph revision the session tensors currently reflect."""
+        return self._arrays.revision
+
+    @property
+    def serial(self) -> int:
+        """Number of non-noop refreshes the session has performed."""
+        return self._serial
+
+    @property
+    def analysis(self) -> AllPairsTiming:
+        """The maintained :class:`AllPairsTiming` view, synchronised first.
+
+        The returned object is replaced (not patched) by a full refresh, so
+        consumers should re-read this property after editing the graph
+        rather than holding on to a stale reference.
+        """
+        self.refresh()
+        return self._analysis
+
+    @property
+    def state(self) -> AllPairsTiming:
+        """The tensors as of the last :meth:`refresh` (no synchronisation).
+
+        For consumers that just called :meth:`refresh` themselves and need
+        the matching state without risking the consumption of a newer
+        journal window (e.g. the incremental criticality update, whose
+        change masks must line up with the tensors they describe).
+        """
+        return self._analysis
+
+    def matrix_means(self) -> np.ndarray:
+        """Mean of every ``M_ij`` (synchronised; invalid pairs are NaN)."""
+        return self.analysis.matrix_means()
+
+    def matrix_std(self) -> np.ndarray:
+        """Std of every ``M_ij`` (synchronised; invalid pairs are NaN)."""
+        return self.analysis.matrix_std()
+
+    def delay_form(self, input_name: str, output_name: str) -> Optional[CanonicalForm]:
+        """The canonical input/output delay ``M_ij`` (synchronised)."""
+        return self.analysis.delay_form(input_name, output_name)
+
+    # ------------------------------------------------------------------
+    # The refresh engine
+    # ------------------------------------------------------------------
+    def refresh(self) -> AllPairsUpdate:
+        """Synchronise the tensors with the graph's current revision.
+
+        Returns an :class:`AllPairsUpdate` describing what was done; raises
+        :class:`~repro.errors.TimingGraphError` when the session is stale
+        (attached to a graph behind its sync revision) or when an edit
+        introduced a cycle.
+        """
+        if self._analysis is None:
+            self._arrays.refresh()
+            return self._full_pass()
+
+        refresh = self._arrays.refresh()
+        delta = refresh.delta
+        if refresh.kind == "rebuild" or (delta is not None and delta.io_changed):
+            return self._full_pass()
+
+        if refresh.kind == "structure" and refresh.row_map is not None:
+            self._migrate(refresh.row_map)
+
+        if delta is not None and not delta.empty:
+            fwd_dirty, bwd_dirty = self._dirty_from_delta(delta)
+            self._dirty_fwd = _merge_dirty(self._dirty_fwd, fwd_dirty)
+            self._dirty_bwd = _merge_dirty(self._dirty_bwd, bwd_dirty)
+            for edge_id in delta.retimed_edges:
+                self._pending_touched[edge_id] = None
+            for edge_id in delta.added_edges:
+                self._pending_touched[edge_id] = None
+            for edge_id, _source, _sink in delta.removed_edges:
+                self._pending_touched.pop(edge_id, None)
+                self._pending_removed[edge_id] = None
+
+        if self._dirty_fwd is None and self._dirty_bwd is None:
+            update = AllPairsUpdate("noop", self.revision, self._serial, 0, 0)
+            self.last_update = update
+            return update
+
+        forward = self._sweep(backward=False)
+        backward = self._sweep(backward=True)
+        self._patch_matrix_columns()
+
+        self._serial += 1
+        num_vertices = self._arrays.num_vertices
+        arrival_changed = (
+            self._changed_fwd
+            if self._changed_fwd is not None
+            else np.zeros((num_vertices, self.analysis_num_inputs), dtype=bool)
+        )
+        to_output_changed = (
+            self._changed_bwd
+            if self._changed_bwd is not None
+            else np.zeros((num_vertices, self.analysis_num_outputs), dtype=bool)
+        )
+        update = AllPairsUpdate(
+            "incremental",
+            self.revision,
+            self._serial,
+            forward,
+            backward,
+            arrival_changed,
+            to_output_changed,
+            tuple(self._pending_touched),
+            tuple(self._pending_removed),
+        )
+        self._changed_fwd = None
+        self._changed_bwd = None
+        self._pending_touched = {}
+        self._pending_removed = {}
+        self.last_update = update
+        return update
+
+    @property
+    def analysis_num_inputs(self) -> int:
+        """Number of module inputs of the maintained tensors."""
+        return self._analysis.num_inputs
+
+    @property
+    def analysis_num_outputs(self) -> int:
+        """Number of module outputs of the maintained tensors."""
+        return self._analysis.num_outputs
+
+    def _full_pass(self) -> AllPairsUpdate:
+        graph = self._graph
+        if not graph.inputs or not graph.outputs:
+            raise TimingGraphError(
+                "all-pairs analysis needs designated inputs and outputs"
+            )
+        analysis = AllPairsTiming(self._arrays)
+        analysis._propagate_forward()
+        analysis._propagate_backward()
+        analysis._extract_matrix()
+        self._analysis = analysis
+        self._input_position = {
+            self._arrays.vertex_index[name]: position
+            for position, name in enumerate(analysis.inputs)
+        }
+        self._output_position = {
+            self._arrays.vertex_index[name]: position
+            for position, name in enumerate(analysis.outputs)
+        }
+        self._dirty_fwd = None
+        self._dirty_bwd = None
+        self._changed_fwd = None
+        self._changed_bwd = None
+        self._pending_touched = {}
+        self._pending_removed = {}
+        self._serial += 1
+        num_vertices = self._arrays.num_vertices
+        update = AllPairsUpdate(
+            "full", self.revision, self._serial, num_vertices, num_vertices
+        )
+        self.last_update = update
+        return update
+
+    def _migrate(self, row_map: np.ndarray) -> None:
+        """Re-index the tensors and bookkeeping through a vertex row map."""
+        analysis = self._analysis
+        num_vertices = self._arrays.num_vertices
+        keep = row_map >= 0
+        dest = row_map[keep]
+
+        def _move(tensor: np.ndarray) -> np.ndarray:
+            shape = (num_vertices,) + tensor.shape[1:]
+            moved = np.zeros(shape, dtype=tensor.dtype)
+            moved[dest] = tensor[keep]
+            return moved
+
+        analysis.arrival_mean = _move(analysis.arrival_mean)
+        analysis.arrival_corr = _move(analysis.arrival_corr)
+        analysis.arrival_randvar = _move(analysis.arrival_randvar)
+        analysis.arrival_valid = _move(analysis.arrival_valid)
+        analysis.to_output_mean = _move(analysis.to_output_mean)
+        analysis.to_output_corr = _move(analysis.to_output_corr)
+        analysis.to_output_randvar = _move(analysis.to_output_randvar)
+        analysis.to_output_valid = _move(analysis.to_output_valid)
+        if self._dirty_fwd is not None:
+            self._dirty_fwd = _move(self._dirty_fwd)
+        if self._dirty_bwd is not None:
+            self._dirty_bwd = _move(self._dirty_bwd)
+        if self._changed_fwd is not None:
+            self._changed_fwd = _move(self._changed_fwd)
+        if self._changed_bwd is not None:
+            self._changed_bwd = _move(self._changed_bwd)
+        index = self._arrays.vertex_index
+        self._input_position = {
+            index[name]: position
+            for position, name in enumerate(analysis.inputs)
+            if name in index
+        }
+        self._output_position = {
+            index[name]: position
+            for position, name in enumerate(analysis.outputs)
+            if name in index
+        }
+
+    def _dirty_from_delta(self, delta: GraphDelta) -> Tuple[np.ndarray, np.ndarray]:
+        """Seed dirty frontiers: sinks forward, sources backward."""
+        arrays = self._arrays
+        index = arrays.vertex_index
+        fwd_dirty = np.zeros(arrays.num_vertices, dtype=bool)
+        bwd_dirty = np.zeros(arrays.num_vertices, dtype=bool)
+        for edge_id in delta.retimed_edges:
+            edge = self._graph.edge(edge_id)
+            fwd_dirty[index[edge.sink]] = True
+            bwd_dirty[index[edge.source]] = True
+        for edge_id in delta.added_edges:
+            edge = self._graph.edge(edge_id)
+            fwd_dirty[index[edge.sink]] = True
+            bwd_dirty[index[edge.source]] = True
+        for _edge_id, source, sink in delta.removed_edges:
+            row = index.get(sink)
+            if row is not None:
+                fwd_dirty[row] = True
+            row = index.get(source)
+            if row is not None:
+                bwd_dirty[row] = True
+        for name in delta.added_vertices:
+            row = index.get(name)
+            if row is not None:
+                fwd_dirty[row] = True
+                bwd_dirty[row] = True
+        return fwd_dirty, bwd_dirty
+
+    # ------------------------------------------------------------------
+    # Dirty-cone sweeps (per-vertex, all inputs/outputs at once)
+    # ------------------------------------------------------------------
+    def _sweep(self, backward: bool) -> int:
+        """Repropagate one direction's dirty cone; returns its vertex count.
+
+        Vertices are visited in (reverse) topological order; a dirty vertex
+        is recomputed from its seed row by folding its fanin (fanout) edges
+        in graph order with the same masked Clark kernel as the from-scratch
+        engine — candidate order per vertex is bit-identical, which is what
+        the 1e-9 parity of the randomized edit tests rests on.  A vertex
+        only dirties its dependents when one of its tensor entries actually
+        moved (early termination on convergence).
+        """
+        dirty = self._dirty_bwd if backward else self._dirty_fwd
+        if dirty is None:
+            return 0
+        analysis = self._analysis
+        arrays = self._arrays
+        graph = self._graph
+        index = arrays.vertex_index
+        order = arrays.topo_order  # raises on a cycle before any state write
+        if backward:
+            order = list(reversed(order))
+            tensor_mean = analysis.to_output_mean
+            tensor_corr = analysis.to_output_corr
+            tensor_randvar = analysis.to_output_randvar
+            tensor_valid = analysis.to_output_valid
+            positions = self._output_position
+            width = analysis.num_outputs
+        else:
+            tensor_mean = analysis.arrival_mean
+            tensor_corr = analysis.arrival_corr
+            tensor_randvar = analysis.arrival_randvar
+            tensor_valid = analysis.arrival_valid
+            positions = self._input_position
+            width = analysis.num_inputs
+        num_corr = arrays.num_corr
+
+        changed_mask = self._changed_bwd if backward else self._changed_fwd
+        if changed_mask is None:
+            changed_mask = np.zeros((arrays.num_vertices, width), dtype=bool)
+
+        processed = 0
+        for vertex in order:
+            vertex_row = index[vertex]
+            if not dirty[vertex_row]:
+                continue
+            processed += 1
+            # Seed row: zeros everywhere, valid only at the vertex's own
+            # input (output) position — exactly the pre-loop state of the
+            # from-scratch propagation.
+            mean = np.zeros(width, dtype=float)
+            corr = np.zeros((width, num_corr), dtype=float)
+            randvar = np.zeros(width, dtype=float)
+            valid = np.zeros(width, dtype=bool)
+            position = positions.get(vertex_row)
+            if position is not None:
+                valid[position] = True
+            edges = (
+                graph.fanout_edges(vertex) if backward else graph.fanin_edges(vertex)
+            )
+            for edge in edges:
+                edge_row = arrays.edge_rows[edge.edge_id]
+                neighbor_row = (
+                    arrays.edge_sink[edge_row] if backward
+                    else arrays.edge_source[edge_row]
+                )
+                cand_mean = tensor_mean[neighbor_row] + arrays.edge_mean[edge_row]
+                cand_corr = tensor_corr[neighbor_row] + arrays.edge_corr[edge_row]
+                cand_randvar = (
+                    tensor_randvar[neighbor_row] + arrays.edge_randvar[edge_row]
+                )
+                cand_valid = tensor_valid[neighbor_row]
+                mean, corr, randvar, valid = _merge_max_with_validity(
+                    mean, corr, randvar, valid,
+                    cand_mean, cand_corr, cand_randvar, cand_valid,
+                )
+
+            old_valid = tensor_valid[vertex_row]
+            entry_changed = (old_valid != valid) | (
+                old_valid
+                & valid
+                & (
+                    (tensor_mean[vertex_row] != mean)
+                    | (tensor_randvar[vertex_row] != randvar)
+                    | np.any(tensor_corr[vertex_row] != corr, axis=-1)
+                )
+            )
+            if not entry_changed.any():
+                continue
+            tensor_mean[vertex_row] = mean
+            tensor_corr[vertex_row] = corr
+            tensor_randvar[vertex_row] = randvar
+            tensor_valid[vertex_row] = valid
+            changed_mask[vertex_row] |= entry_changed
+            dependents = (
+                graph.fanin_edges(vertex) if backward else graph.fanout_edges(vertex)
+            )
+            for edge in dependents:
+                dirty[index[edge.source if backward else edge.sink]] = True
+
+        if backward:
+            self._changed_bwd = changed_mask
+            self._dirty_bwd = None
+        else:
+            self._changed_fwd = changed_mask
+            self._dirty_fwd = None
+        return processed
+
+    def _patch_matrix_columns(self) -> None:
+        """Re-extract the matrix columns of outputs whose arrivals moved."""
+        if self._changed_fwd is None:
+            return
+        analysis = self._analysis
+        for output_row, position in self._output_position.items():
+            if not self._changed_fwd[output_row].any():
+                continue
+            analysis.matrix_mean[:, position] = analysis.arrival_mean[output_row]
+            analysis.matrix_corr[:, position, :] = analysis.arrival_corr[output_row]
+            analysis.matrix_randvar[:, position] = analysis.arrival_randvar[output_row]
+            analysis.matrix_valid[:, position] = analysis.arrival_valid[output_row]
+
+    def __repr__(self) -> str:
+        return "AllPairsSession(%r, revision=%d, serial=%d)" % (
+            self._graph.name,
+            self.revision,
+            self._serial,
+        )
+
+
+def _merge_dirty(
+    pending: Optional[np.ndarray], dirty: np.ndarray
+) -> Optional[np.ndarray]:
+    if not dirty.any():
+        return pending
+    if pending is None:
+        return dirty
+    pending |= dirty
+    return pending

@@ -38,14 +38,87 @@ from repro.core.canonical import CanonicalForm
 from repro.errors import TimingGraphError
 from repro.timing.arrays import GraphArrays
 from repro.timing.graph import GraphDelta, TimingGraph
+from scipy.special import ndtr
+
+from repro.core.gaussian import DEGENERATE_THETA
 from repro.timing.propagation import (
+    AUTO_BATCH_MIN_EDGES,
     _fold_rounds,
     _seed_form,
     propagate_arrival_times_batch,
     propagate_required_times_batch,
 )
 
-__all__ = ["IncrementalTimer", "UpdateStats"]
+__all__ = ["IncrementalTimer", "SCALAR_SWEEP_MAX_LEVEL_EDGES", "UpdateStats"]
+
+
+# Dirty-cone analogue of AUTO_BATCH_MIN_EDGES: the batched fold launches a
+# fixed number of numpy kernels per level regardless of how few dirty
+# vertices it actually updates, so when a level's dirty subset folds only a
+# handful of edges the scalar reference fold (the object engine's per-edge
+# loop, on single state rows) is cheaper.  The crossover derives from the
+# full-pass heuristic: AUTO_BATCH_MIN_EDGES edges spread over the order of
+# a hundred levels of a typical deep graph put the per-level break-even at
+# roughly AUTO_BATCH_MIN_EDGES / 64 folded edges (measured crossover on
+# deep chain graphs of width two to three).  This is what makes
+# mid-pipeline block swaps — dirty cones that snake through many two-to-
+# three-vertex levels — stop paying per-level numpy overhead.
+SCALAR_SWEEP_MAX_LEVEL_EDGES = max(4, AUTO_BATCH_MIN_EDGES // 64)
+
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def _scalar_clark_merge(
+    mean_a: float,
+    corr_a: np.ndarray,
+    var_a: float,
+    randvar_a: float,
+    valid_a: bool,
+    mean_b: float,
+    corr_b: np.ndarray,
+    var_b: float,
+    randvar_b: float,
+    valid_b: bool,
+) -> Tuple[float, np.ndarray, float, float, bool]:
+    """Scalar transcription of :func:`~repro.core.batch.merge_max_with_validity`.
+
+    Operates on one canonical form per side (``corr_*`` are the fused
+    ``(width,)`` coefficient rows; ``var_*`` the precomputed total
+    variances, carried between merges so the accumulator's is not
+    re-derived per fold).  The formula sequence — including the
+    degenerate-theta cutoff, the variance clamps and the exact
+    ``ndtr``/``np.exp`` special-function implementations — mirrors the
+    batched kernel step for step: the residual private variance is a
+    cancellation-prone difference whose square root amplifies even
+    ulp-level divergence, so the scalar path must reproduce the batched
+    arithmetic bit for bit, not merely closely.  Returns
+    ``(mean, corr, var, randvar, valid)``.
+    """
+    if not valid_b:
+        return mean_a, corr_a, var_a, randvar_a, valid_a
+    if not valid_a:
+        return mean_b, corr_b, var_b, randvar_b, True
+    cov = float(np.einsum("k,k->", corr_a, corr_b))
+    theta_sq = var_a + var_b - 2.0 * cov
+    theta = math.sqrt(theta_sq) if theta_sq > 0.0 else 0.0
+    if theta <= DEGENERATE_THETA:
+        tp = 1.0 if mean_a >= mean_b else 0.0
+        phi = 0.0
+    else:
+        alpha = (mean_a - mean_b) / theta
+        tp = float(ndtr(alpha))
+        phi = float(_INV_SQRT_2PI * np.exp(-0.5 * alpha * alpha))
+    mean = tp * mean_a + (1.0 - tp) * mean_b + theta * phi
+    second = (
+        tp * (var_a + mean_a * mean_a)
+        + (1.0 - tp) * (var_b + mean_b * mean_b)
+        + (mean_a + mean_b) * theta * phi
+    )
+    variance = max(second - mean * mean, 0.0)
+    corr = tp * corr_a + (1.0 - tp) * corr_b
+    linear = float(np.einsum("k,k->", corr, corr))
+    randvar = max(variance - linear, 0.0)
+    return mean, corr, linear + randvar, randvar, True
 
 
 @dataclass(frozen=True)
@@ -189,6 +262,11 @@ class IncrementalTimer:
         self._pending_bwd: Optional[np.ndarray] = None
         self._delay_cache: Optional[Tuple[int, CanonicalForm]] = None
         self.last_update: Optional[UpdateStats] = None
+        # Cumulative engine-choice counters of the dirty sweeps (levels
+        # folded by the scalar reference engine vs the batched one) —
+        # observability for benchmarks and the engine-switch tests.
+        self.scalar_level_folds = 0
+        self.batched_level_folds = 0
 
     # ------------------------------------------------------------------
     # Session accessors
@@ -545,6 +623,23 @@ class IncrementalTimer:
             # the participants of round ``r`` remain a contiguous prefix.
             sub_counts = (sub_matrix >= 0).sum(axis=0)
 
+            if int(sub_counts.sum()) <= SCALAR_SWEEP_MAX_LEVEL_EDGES:
+                # Narrow dirty level: the per-level numpy overhead of the
+                # batched fold dominates — use the scalar reference fold
+                # (same candidate order, same kernel formulas).
+                self.scalar_level_folds += 1
+                acc_mean, acc_corr, acc_randvar, acc_valid = self._scalar_level_fold(
+                    state, sub_rows, sub_matrix, neighbor_rows,
+                    edge_mean, edge_corr, edge_randvar, backward,
+                )
+                changed = self._scalar_write_back(
+                    state, sub_rows, acc_mean, acc_corr, acc_randvar, acc_valid
+                )
+                self._mark_dependents(dirty, changed, backward, dependents)
+                processed += num
+                continue
+            self.batched_level_folds += 1
+
             if backward:
                 # seed-first fold: boundary conditions enter before the
                 # edge candidates, as in the full backward engine (the
@@ -584,6 +679,90 @@ class IncrementalTimer:
             processed += num
         return processed
 
+    def _scalar_level_fold(
+        self,
+        state: _PassState,
+        sub_rows: np.ndarray,
+        sub_matrix: np.ndarray,
+        neighbor_rows: np.ndarray,
+        edge_mean: np.ndarray,
+        edge_corr: np.ndarray,
+        edge_randvar: np.ndarray,
+        backward: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Object-engine fold of one level's dirty subset, vertex by vertex.
+
+        Replicates the batched fold exactly — seed-first backward, first
+        candidate initialises forward with the seed merged after — but
+        processes each vertex's edges as scalar Clark merges on single
+        state rows, skipping the per-level batched kernel launches.
+        """
+        num = sub_rows.shape[0]
+        width = state.width
+        acc_mean = np.empty(num, dtype=float)
+        acc_corr = np.empty((num, width), dtype=float)
+        acc_randvar = np.empty(num, dtype=float)
+        acc_valid = np.empty(num, dtype=bool)
+        state_mean = state.mean
+        state_corr = state.corr
+        state_randvar = state.randvar
+        state_valid = state.valid
+        for position in range(num):
+            row = int(sub_rows[position])
+            if backward:
+                mean = float(state.seed_mean[row])
+                corr = state.seed_corr[row]
+                randvar = float(state.seed_randvar[row])
+                var = float(np.einsum("k,k->", corr, corr)) + randvar
+                valid = bool(state.seed_valid[row])
+            else:
+                mean = randvar = var = 0.0
+                corr = acc_corr[position]  # placeholder, overwritten below
+                valid = False
+            first = not backward
+            for edge_row in sub_matrix[position]:
+                if edge_row < 0:
+                    break  # padding: this vertex has no further edges
+                neighbor = int(neighbor_rows[edge_row])
+                cand_mean = float(state_mean[neighbor]) + float(edge_mean[edge_row])
+                cand_corr = state_corr[neighbor] + edge_corr[edge_row]
+                cand_randvar = (
+                    float(state_randvar[neighbor]) + float(edge_randvar[edge_row])
+                )
+                cand_valid = bool(state_valid[neighbor])
+                if first:
+                    mean, corr, randvar, valid = (
+                        cand_mean, cand_corr, cand_randvar, cand_valid,
+                    )
+                    var = float(np.einsum("k,k->", corr, corr)) + randvar
+                    first = False
+                    continue
+                cand_var = (
+                    float(np.einsum("k,k->", cand_corr, cand_corr)) + cand_randvar
+                )
+                mean, corr, var, randvar, valid = _scalar_clark_merge(
+                    mean, corr, var, randvar, valid,
+                    cand_mean, cand_corr, cand_var, cand_randvar, cand_valid,
+                )
+            if not backward and state.seed_valid[row]:
+                # An input vertex that also has fanin merges its seed after
+                # the fold, matching the full arrival engine.
+                seed_corr = state.seed_corr[row]
+                seed_randvar = float(state.seed_randvar[row])
+                seed_var = (
+                    float(np.einsum("k,k->", seed_corr, seed_corr)) + seed_randvar
+                )
+                mean, corr, var, randvar, valid = _scalar_clark_merge(
+                    mean, corr, var, randvar, valid,
+                    float(state.seed_mean[row]), seed_corr, seed_var,
+                    seed_randvar, True,
+                )
+            acc_mean[position] = mean
+            acc_corr[position] = corr
+            acc_randvar[position] = randvar
+            acc_valid[position] = valid
+        return acc_mean, acc_corr, acc_randvar, acc_valid
+
     def _mark_dependents(
         self,
         dirty: np.ndarray,
@@ -594,11 +773,79 @@ class IncrementalTimer:
         if changed.size == 0:
             return
         arrays = self._arrays
+        if changed.size <= 4:
+            # Small changed sets (the scalar-sweep regime): per-row CSR
+            # slices beat the generic vectorized multi-row gather.
+            order, starts, counts = (
+                arrays._sink_adjacency() if backward else arrays._source_adjacency()
+            )
+            for row in changed:
+                start = starts[row]
+                edges = order[start : start + counts[row]]
+                if edges.size:
+                    dirty[dependents[edges]] = True
+            return
         edges = (
             arrays.in_edges_of(changed) if backward else arrays.out_edges_of(changed)
         )
         if edges.size:
             dirty[dependents[edges]] = True
+
+    def _scalar_write_back(
+        self,
+        state: _PassState,
+        rows: np.ndarray,
+        new_mean: np.ndarray,
+        new_corr: np.ndarray,
+        new_randvar: np.ndarray,
+        new_valid: np.ndarray,
+    ) -> np.ndarray:
+        """Row-by-row variant of :meth:`_write_back` for tiny level subsets.
+
+        Identical change semantics (exact comparison at tolerance 0, the
+        relative test otherwise); per-row scalar compares beat the fancy-
+        indexed array expressions when only a handful of rows were folded.
+        """
+        tolerance = self._tolerance
+        changed = []
+        for position in range(rows.shape[0]):
+            row = int(rows[position])
+            old_valid = bool(state.valid[row])
+            valid = bool(new_valid[position])
+            if old_valid == valid:
+                if not valid:
+                    continue
+                if tolerance == 0.0:
+                    if (
+                        state.mean[row] == new_mean[position]
+                        and state.randvar[row] == new_randvar[position]
+                        and bool(
+                            np.array_equal(state.corr[row], new_corr[position])
+                        )
+                    ):
+                        continue
+                else:
+                    old_mean = float(state.mean[row])
+                    old_randvar = float(state.randvar[row])
+                    if (
+                        abs(old_mean - new_mean[position])
+                        <= tolerance * (1.0 + abs(old_mean))
+                        and abs(old_randvar - new_randvar[position])
+                        <= tolerance * (1.0 + abs(old_randvar))
+                        and not bool(
+                            np.any(
+                                np.abs(state.corr[row] - new_corr[position])
+                                > tolerance * (1.0 + np.abs(state.corr[row]))
+                            )
+                        )
+                    ):
+                        continue
+            state.mean[row] = new_mean[position]
+            state.corr[row] = new_corr[position]
+            state.randvar[row] = new_randvar[position]
+            state.valid[row] = valid
+            changed.append(row)
+        return np.asarray(changed, dtype=np.int64)
 
     def _write_back(
         self,

@@ -7,6 +7,8 @@ Carlo sample counts) for the same reason.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,8 @@ from repro.core.canonical import CanonicalForm
 from repro.experiments.config import ExperimentConfig
 from repro.liberty.library import Library, standard_library
 from repro.netlist.generators import layered_random_circuit, ripple_carry_adder
+from repro.netlist.iscas85 import iscas85_surrogate
+from repro.netlist.multiplier import array_multiplier
 from repro.netlist.netlist import Gate, Netlist
 from repro.placement.placer import Placement, place_netlist
 from repro.timing.builder import build_timing_graph, default_variation_for
@@ -105,3 +109,83 @@ def make_form(
 ) -> CanonicalForm:
     """Shorthand canonical-form constructor used across test modules."""
     return CanonicalForm(nominal, global_coeff, local_coeffs, random_coeff)
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures of the incremental parity suites
+# ----------------------------------------------------------------------
+def _c17_netlist() -> Netlist:
+    """The textbook ISCAS c17 circuit: six NAND2 gates, five PIs, two POs."""
+    gates = [
+        Gate("g10", "NAND", ("i1", "i3"), "n10"),
+        Gate("g11", "NAND", ("i3", "i4"), "n11"),
+        Gate("g16", "NAND", ("i2", "n11"), "n16"),
+        Gate("g19", "NAND", ("n11", "i5"), "n19"),
+        Gate("g22", "NAND", ("n10", "n16"), "o22"),
+        Gate("g23", "NAND", ("n16", "n19"), "o23"),
+    ]
+    netlist = Netlist("c17", ["i1", "i2", "i3", "i4", "i5"], ["o22", "o23"], gates)
+    netlist.validate()
+    return netlist
+
+
+def _placed_graph_and_variation(netlist: Netlist, library: Library):
+    placement = place_netlist(netlist, library)
+    variation = default_variation_for(netlist, placement)
+    return build_timing_graph(netlist, library, placement, variation), variation
+
+
+@pytest.fixture(scope="session")
+def c17_graph(library) -> TimingGraph:
+    """Pristine timing graph of the real c17 circuit (tests copy() it)."""
+    return _placed_graph_and_variation(_c17_netlist(), library)[0]
+
+
+@pytest.fixture(scope="session", params=["c17", "mult4", "c432"])
+def parity_module(request, library):
+    """Pristine ``(graph, variation)`` of the incremental-parity circuits.
+
+    The three acceptance circuits of the incremental subsystem: the real
+    ISCAS c17, a generated 4x4 array multiplier and the c432 surrogate.
+    The graph is shared across tests — always ``copy()`` before editing.
+    """
+    if request.param == "c17":
+        netlist = _c17_netlist()
+    elif request.param == "mult4":
+        netlist = array_multiplier(4)
+    else:
+        netlist = iscas85_surrogate("c432")
+    return _placed_graph_and_variation(netlist, library)
+
+
+@pytest.fixture(scope="session")
+def random_graph_edit():
+    """One random retime / remove / add edit, shared by the parity suites.
+
+    Returns ``apply(graph, rng) -> kind`` so every randomized edit-sequence
+    test exercises the same edit mix.
+    """
+
+    def _apply(graph: TimingGraph, rng: random.Random) -> str:
+        kind = rng.choice(["retime", "retime", "retime", "remove", "add"])
+        if kind == "retime":
+            edge = rng.choice(graph.edges)
+            graph.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.7, 1.3)))
+        elif kind == "remove":
+            graph.remove_edge(rng.choice(graph.edges))
+        else:
+            # An acyclic addition: connect a topologically earlier vertex
+            # to a later one with a fresh statistical delay.
+            order = graph.topological_order()
+            i = rng.randrange(0, len(order) - 1)
+            j = rng.randrange(i + 1, len(order))
+            graph.add_edge(
+                order[i],
+                order[j],
+                CanonicalForm(
+                    rng.uniform(5.0, 40.0), rng.uniform(0.1, 1.0), None, 0.2
+                ),
+            )
+        return kind
+
+    return _apply

@@ -99,6 +99,84 @@ class TestSwapInstanceModel:
         assert result.mean == pytest.approx(fresh.mean, rel=1e-9)
 
 
+class TestReextractInstance:
+    """Warm re-extraction of a swapped block through its module session."""
+
+    def test_reextract_matches_cold_pipeline(self, module_pair, quad_design):
+        module, _unused = module_pair
+        library = standard_library()
+        full_graph = build_timing_graph(
+            module.netlist, library, module.placement, module.variation,
+            name=module.netlist.name,
+        )
+        session = DesignTimer(quad_design)
+        session.circuit_delay()
+        session.attach_module_source("m0_0", full_graph, module.variation)
+
+        # Module-level ECO: slow one edge of the block's full graph down.
+        edge = full_graph.edges[len(full_graph.edges) // 2]
+        full_graph.replace_edge_delay(edge, edge.delay.scale(1.4))
+
+        instance = session.reextract_instance("m0_0", threshold=0.05)
+        incremental = session.circuit_delay()
+
+        # Ground truth: cold extraction of the edited module plus a full
+        # design rebuild (the design object already holds the new model).
+        cold_model = extract_timing_model(
+            full_graph, module.variation, threshold=0.05
+        )
+        cold_edges = sorted(
+            (e.source, e.sink, e.delay.nominal) for e in cold_model.graph.edges
+        )
+        warm_edges = sorted(
+            (e.source, e.sink, e.delay.nominal) for e in instance.model.graph.edges
+        )
+        assert len(warm_edges) == len(cold_edges)
+        for warm, cold in zip(warm_edges, cold_edges):
+            assert warm[:2] == cold[:2]
+            assert warm[2] == pytest.approx(cold[2], abs=1e-9)
+        fresh = analyze_hierarchical_design(quad_design)
+        assert incremental.mean == pytest.approx(fresh.mean, rel=1e-9)
+        assert incremental.std == pytest.approx(fresh.std, rel=1e-9)
+
+    def test_repeated_reextraction_is_warm(self, module_pair, quad_design):
+        module, _unused = module_pair
+        library = standard_library()
+        full_graph = build_timing_graph(
+            module.netlist, library, module.placement, module.variation,
+            name=module.netlist.name,
+        )
+        session = DesignTimer(quad_design)
+        extraction = session.attach_module_source(
+            "m1_1", full_graph, module.variation
+        )
+        assert session.extraction_session("m1_1") is extraction
+        session.reextract_instance("m1_1")
+        serial_before = extraction.allpairs.serial
+        edge = full_graph.edges[0]
+        full_graph.replace_edge_delay(edge, edge.delay.scale(1.05))
+        session.reextract_instance("m1_1")
+        # One incremental refresh, not a rebuilt session.
+        assert extraction.allpairs.serial == serial_before + 1
+        assert extraction.allpairs.last_update.mode == "incremental"
+
+    def test_reextract_without_source_raises(self, module_pair, quad_design):
+        session = DesignTimer(quad_design)
+        with pytest.raises(HierarchyError, match="attach_module_source"):
+            session.reextract_instance("m0_0")
+
+    def test_attach_validates_instance_name(self, module_pair, quad_design):
+        module, _unused = module_pair
+        library = standard_library()
+        full_graph = build_timing_graph(
+            module.netlist, library, module.placement, module.variation,
+            name=module.netlist.name,
+        )
+        session = DesignTimer(quad_design)
+        with pytest.raises(HierarchyError):
+            session.attach_module_source("ghost", full_graph, module.variation)
+
+
 class TestReplaceInstanceValidation:
     def test_foreign_port_interface_rejected(self, module_pair, quad_design):
         """A model with a different port interface cannot be swapped in."""

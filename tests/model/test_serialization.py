@@ -88,3 +88,37 @@ class TestValidation:
         payload["graph"]["edges"][0]["delay"] = [1.0]
         with pytest.raises(ModelExtractionError):
             timing_model_from_dict(payload)
+
+
+class TestTimingStatsExcluded:
+    """Wall-clock timings are measurement noise, not model content."""
+
+    def test_payload_has_no_wall_clock_timing(self, model):
+        payload = timing_model_to_dict(model)
+        assert "extraction_seconds" not in payload["stats"]
+
+    def test_payloads_are_stable_across_repeated_extraction(
+        self, random_graph_and_variation
+    ):
+        graph, variation = random_graph_and_variation
+        first = extract_timing_model(graph, variation, threshold=0.05)
+        second = extract_timing_model(graph, variation, threshold=0.05)
+        assert first.stats.extraction_seconds != second.stats.extraction_seconds
+        # ... yet the stats compare equal and the payloads are identical.
+        assert first.stats == second.stats
+        assert json.dumps(timing_model_to_dict(first)) == json.dumps(
+            timing_model_to_dict(second)
+        )
+
+    def test_roundtrip_stats_compare_equal(self, model):
+        assert model.stats.extraction_seconds > 0.0
+        rebuilt = timing_model_from_dict(timing_model_to_dict(model))
+        assert rebuilt.stats.extraction_seconds == 0.0
+        assert rebuilt.stats == model.stats
+
+    def test_legacy_payload_with_timing_still_loads(self, model):
+        payload = timing_model_to_dict(model)
+        payload["stats"]["extraction_seconds"] = 12.5  # version-1 era field
+        rebuilt = timing_model_from_dict(payload)
+        assert rebuilt.stats.extraction_seconds == 12.5
+        assert rebuilt.stats == model.stats

@@ -1,0 +1,212 @@
+"""Incremental-vs-full parity tests of the all-pairs extraction sessions.
+
+An :class:`~repro.timing.allpairs.AllPairsSession` repropagates only the
+dirty cone of each edit burst but folds candidates in exactly the order of
+the from-scratch engine, so after any edit sequence its per-input arrival
+tensors, per-output delay tensors and input/output delay matrix must match
+a fresh :meth:`AllPairsTiming.analyze` to 1e-9 — asserted here on
+randomized sequences of retime / remove / add edits over the real ISCAS c17
+circuit, a generated 4x4 array multiplier and the c432 surrogate (the
+acceptance circuits of the incremental-extraction refactor).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+from repro.model.reduction import reduce_graph
+from repro.timing.allpairs import AllPairsSession, AllPairsTiming
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture
+def edit_graph(parity_module) -> TimingGraph:
+    """A fresh mutable copy per test (copy() preserves edge ids)."""
+    return parity_module[0].copy()
+
+
+def _assert_tensor_parity(session: AllPairsSession, graph: TimingGraph, what: str):
+    fresh = AllPairsTiming.analyze(graph)
+    analysis = session.analysis
+    for prefix in ("arrival", "to_output", "matrix"):
+        valid = getattr(analysis, prefix + "_valid")
+        reference_valid = getattr(fresh, prefix + "_valid")
+        np.testing.assert_array_equal(
+            valid, reference_valid, err_msg="%s %s validity" % (what, prefix)
+        )
+        for component in ("mean", "corr", "randvar"):
+            value = getattr(analysis, "%s_%s" % (prefix, component))
+            reference = getattr(fresh, "%s_%s" % (prefix, component))
+            mask = reference_valid if component != "corr" else reference_valid[..., None]
+            np.testing.assert_allclose(
+                np.where(mask, value, 0.0),
+                np.where(mask, reference, 0.0),
+                rtol=1e-9,
+                atol=1e-9,
+                err_msg="%s %s %s" % (what, prefix, component),
+            )
+
+
+class TestRandomizedEditParity:
+    def test_single_edit_kinds(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+
+        edge = graph.edges[len(graph.edges) // 2]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.25))
+        _assert_tensor_parity(session, graph, "retime")
+        assert session.last_update.mode == "incremental"
+
+        graph.remove_edge(graph.edges[len(graph.edges) // 3])
+        _assert_tensor_parity(session, graph, "remove")
+
+        order = graph.topological_order()
+        graph.add_edge(order[1], order[-1], CanonicalForm(12.0, 0.5, None, 0.25))
+        _assert_tensor_parity(session, graph, "add")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_sequences(self, edit_graph, random_graph_edit, seed):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        rng = random.Random(seed)
+        for step in range(18):
+            random_graph_edit(graph, rng)
+            if step % 3 == 2:  # also exercises multi-edit coalescing
+                _assert_tensor_parity(session, graph, "step %d" % step)
+        _assert_tensor_parity(session, graph, "final")
+
+    def test_edit_burst_coalesces_into_one_update(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        rng = random.Random(11)
+        for _unused in range(10):
+            edge = rng.choice(graph.edges)
+            graph.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.8, 1.2)))
+        update = session.refresh()
+        assert update.mode == "incremental"
+        assert update.revision == graph.revision
+        assert 0 < update.forward_recomputed
+        _assert_tensor_parity(session, graph, "burst")
+
+    def test_noop_refresh(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        serial = session.serial
+        update = session.refresh()
+        assert update.mode == "noop"
+        assert update.forward_recomputed == 0
+        assert session.serial == serial  # noops do not consume a serial
+
+    def test_dirty_cone_is_smaller_than_the_graph(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        # Retiming an edge near the outputs leaves most of the forward
+        # tensor untouched.
+        order = graph.topological_order()
+        for vertex in reversed(order):
+            fanin = graph.fanin_edges(vertex)
+            if fanin:
+                edge = fanin[0]
+                break
+        graph.replace_edge_delay(edge, edge.delay.scale(1.1))
+        update = session.refresh()
+        assert update.mode == "incremental"
+        assert update.forward_recomputed < graph.num_vertices / 2
+
+
+class TestChangeMasks:
+    def test_retime_reports_changed_entries(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        edge = graph.edges[0]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.5))
+        update = session.refresh()
+        assert update.touched_edges == (edge.edge_id,)
+        assert update.arrival_changed is not None
+        assert update.arrival_changed.shape == (
+            graph.num_vertices,
+            len(graph.inputs),
+        )
+        assert update.arrival_changed.any()
+
+    def test_transient_add_remove_cancels(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        order = graph.topological_order()
+        edge = graph.add_edge(order[0], order[-1], CanonicalForm(1.0, 0.0, None, 0.0))
+        graph.remove_edge(edge)
+        update = session.refresh()
+        assert edge.edge_id not in update.touched_edges
+        assert edge.edge_id not in update.removed_edges
+        _assert_tensor_parity(session, graph, "transient")
+
+
+class TestFullFallbacks:
+    def test_io_change_forces_full(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        internal = next(iter(graph.internal_vertices()))
+        graph.mark_output(internal)
+        update = session.refresh()
+        assert update.mode == "full"
+        assert update.arrival_changed is None
+        _assert_tensor_parity(session, graph, "io change")
+
+    def test_journal_overflow_forces_full(self, c17_graph):
+        graph = c17_graph
+        small = TimingGraph(graph.name, graph.num_locals, journal_limit=8)
+        for vertex in graph.inputs:
+            small.mark_input(vertex)
+        for vertex in graph.outputs:
+            small.mark_output(vertex)
+        for edge in graph.edges:
+            small.add_edge(edge.source, edge.sink, edge.delay)
+        session = AllPairsSession(small)
+        rng = random.Random(3)
+        for _unused in range(30):  # far beyond the retained window
+            edge = rng.choice(small.edges)
+            small.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.9, 1.1)))
+        update = session.refresh()
+        assert update.mode == "full"
+        _assert_tensor_parity(session, small, "overflow")
+
+    def test_requires_inputs_and_outputs(self):
+        graph = TimingGraph("empty")
+        graph.add_edge("a", "b", CanonicalForm(1.0, 0.0, None, 0.0))
+        with pytest.raises(TimingGraphError):
+            AllPairsSession(graph)
+
+    def test_stale_session_raises(self, edit_graph):
+        graph = edit_graph
+        stale_copy = graph.copy()
+        session = AllPairsSession(graph)
+        edge = graph.edges[0]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.1))
+        session.refresh()
+        with pytest.raises(TimingGraphError, match="stale session"):
+            stale_copy.changes_since(session.revision)
+
+
+class TestReductionThroughSession:
+    def test_reduction_keeps_the_matrix_live(self, edit_graph):
+        graph = edit_graph
+        session = AllPairsSession(graph)
+        reference = session.analysis.matrix_means().copy()
+        reduce_graph(graph, session=session)
+        assert session.revision == graph.revision
+        _assert_tensor_parity(session, graph, "reduction fixpoint")
+        # The merges preserve the input/output delay matrix up to the
+        # re-stacked Clark approximations of the merged forms.
+        np.testing.assert_allclose(
+            session.analysis.matrix_means(), reference, rtol=0.03, equal_nan=True
+        )
+
+    def test_reduction_rejects_foreign_session(self, edit_graph):
+        graph = edit_graph
+        other = graph.copy()
+        session = AllPairsSession(other)
+        with pytest.raises(TimingGraphError):
+            reduce_graph(graph, session=session)

@@ -17,13 +17,7 @@ from hypothesis import strategies as st
 
 from repro.core.canonical import CanonicalForm
 from repro.errors import TimingGraphError
-from repro.liberty.library import standard_library
 from repro.model.reduction import reduce_graph
-from repro.netlist.iscas85 import iscas85_surrogate
-from repro.netlist.multiplier import array_multiplier
-from repro.netlist.netlist import Gate, Netlist
-from repro.placement.placer import place_netlist
-from repro.timing.builder import build_timing_graph, default_variation_for
 from repro.timing.graph import TimingGraph
 from repro.timing.incremental import IncrementalTimer
 from repro.timing.propagation import (
@@ -33,41 +27,10 @@ from repro.timing.propagation import (
 from repro.timing.sta import corner_sta
 
 
-def c17_netlist() -> Netlist:
-    """The textbook ISCAS c17 circuit: six NAND2 gates, five PIs, two POs."""
-    gates = [
-        Gate("g10", "NAND", ("i1", "i3"), "n10"),
-        Gate("g11", "NAND", ("i3", "i4"), "n11"),
-        Gate("g16", "NAND", ("i2", "n11"), "n16"),
-        Gate("g19", "NAND", ("n11", "i5"), "n19"),
-        Gate("g22", "NAND", ("n10", "n16"), "o22"),
-        Gate("g23", "NAND", ("n16", "n19"), "o23"),
-    ]
-    netlist = Netlist("c17", ["i1", "i2", "i3", "i4", "i5"], ["o22", "o23"], gates)
-    netlist.validate()
-    return netlist
-
-
-def _graph_for(netlist: Netlist) -> TimingGraph:
-    library = standard_library()
-    placement = place_netlist(netlist, library)
-    variation = default_variation_for(netlist, placement)
-    return build_timing_graph(netlist, library, placement, variation)
-
-
-@pytest.fixture(scope="module", params=["c17", "mult4", "c432"])
-def pristine_graph(request) -> TimingGraph:
-    if request.param == "c17":
-        return _graph_for(c17_netlist())
-    if request.param == "mult4":
-        return _graph_for(array_multiplier(4))
-    return _graph_for(iscas85_surrogate("c432"))
-
-
 @pytest.fixture
-def edit_graph(pristine_graph) -> TimingGraph:
+def edit_graph(parity_module) -> TimingGraph:
     """A fresh mutable copy per test (copy() preserves edge ids)."""
-    return pristine_graph.copy()
+    return parity_module[0].copy()
 
 
 def _constraint(graph: TimingGraph) -> CanonicalForm:
@@ -96,28 +59,6 @@ def _assert_parity(timer: IncrementalTimer, graph: TimingGraph, what: str):
     )
 
 
-def _random_edit(graph: TimingGraph, rng: random.Random) -> str:
-    """Apply one random retime / remove / add edit; returns its kind."""
-    kind = rng.choice(["retime", "retime", "retime", "remove", "add"])
-    if kind == "retime":
-        edge = rng.choice(graph.edges)
-        graph.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.7, 1.3)))
-    elif kind == "remove":
-        graph.remove_edge(rng.choice(graph.edges))
-    else:
-        # An acyclic addition: connect a topologically earlier vertex to a
-        # later one with a fresh statistical delay.
-        order = graph.topological_order()
-        i = rng.randrange(0, len(order) - 1)
-        j = rng.randrange(i + 1, len(order))
-        graph.add_edge(
-            order[i],
-            order[j],
-            CanonicalForm(rng.uniform(5.0, 40.0), rng.uniform(0.1, 1.0), None, 0.2),
-        )
-    return kind
-
-
 class TestRandomizedEditParity:
     def test_single_edit_kinds(self, edit_graph):
         graph = edit_graph
@@ -138,13 +79,13 @@ class TestRandomizedEditParity:
         _assert_parity(timer, graph, "add")
 
     @pytest.mark.parametrize("seed", [1, 2, 3])
-    def test_randomized_sequences(self, edit_graph, seed):
+    def test_randomized_sequences(self, edit_graph, random_graph_edit, seed):
         graph = edit_graph
         timer = IncrementalTimer(graph, required_time=_constraint(graph))
         timer.update()
         rng = random.Random(seed)
         for step in range(18):
-            _random_edit(graph, rng)
+            random_graph_edit(graph, rng)
             if step % 3 == 2:  # also exercises multi-edit coalescing
                 _assert_parity(timer, graph, "step %d" % step)
         _assert_parity(timer, graph, "final")
@@ -266,14 +207,16 @@ class TestNoOpProperty:
         seed=st.integers(min_value=0, max_value=2**16),
         num_edits=st.integers(min_value=0, max_value=6),
     )
-    def test_update_after_empty_journal_is_noop(self, seed, num_edits):
+    def test_update_after_empty_journal_is_noop(
+        self, random_graph_edit, seed, num_edits
+    ):
         graph = _small_diamond()
         timer = IncrementalTimer(graph, required_time=_constraint(graph))
         rng = random.Random(seed)
         for _unused in range(num_edits):
             if graph.num_edges == 0:
                 break
-            _random_edit(graph, rng)
+            random_graph_edit(graph, rng)
         timer.update()  # drains everything the edits produced
         snapshot = (
             timer._fwd.mean.copy(),
@@ -315,12 +258,8 @@ class TestStaleSessionsAndJournal:
         with pytest.raises(TimingGraphError, match="stale session"):
             stale_copy.changes_since(timer.revision)
 
-    def test_journal_overflow_falls_back_to_full(self):
-        netlist = c17_netlist()
-        library = standard_library()
-        placement = place_netlist(netlist, library)
-        variation = default_variation_for(netlist, placement)
-        graph = build_timing_graph(netlist, library, placement, variation)
+    def test_journal_overflow_falls_back_to_full(self, c17_graph):
+        graph = c17_graph
         small = TimingGraph(graph.name, graph.num_locals, journal_limit=8)
         for vertex in graph.inputs:
             small.mark_input(vertex)
@@ -338,8 +277,8 @@ class TestStaleSessionsAndJournal:
         assert stats.mode == "full"
         _assert_parity(timer, small, "overflow")
 
-    def test_reduction_coalesces_through_session(self):
-        graph = _graph_for(c17_netlist())
+    def test_reduction_coalesces_through_session(self, c17_graph):
+        graph = c17_graph.copy()
         timer = IncrementalTimer(graph, required_time=_constraint(graph))
         timer.update()
         reduce_graph(graph, timer=timer)
@@ -415,6 +354,75 @@ class TestCornerStaSessionReuse:
     def test_corner_sta_requires_some_input(self):
         with pytest.raises(TimingGraphError):
             corner_sta()
+
+
+class TestObjectEngineDirtySweep:
+    """The scalar reference fold takes over on narrow dirty levels."""
+
+    @staticmethod
+    def _deep_chain(stages: int = 60, width: int = 2) -> TimingGraph:
+        graph = TimingGraph("chain", 1)
+        graph.mark_input("v0_0")
+        previous = ["v0_0"]
+        rng = random.Random(9)
+        for stage in range(1, stages):
+            current = ["v%d_%d" % (stage, lane) for lane in range(width)]
+            for sink in current:
+                for source in previous:
+                    graph.add_edge(
+                        source, sink,
+                        CanonicalForm(rng.uniform(5.0, 15.0), 0.3, [0.1], 0.2),
+                    )
+            previous = current
+        for sink in previous:
+            graph.mark_output(sink)
+        return graph
+
+    def test_scalar_engine_selected_on_deep_narrow_cones(self):
+        from repro.timing.incremental import SCALAR_SWEEP_MAX_LEVEL_EDGES
+
+        graph = self._deep_chain()
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.update()
+        assert timer.scalar_level_folds == 0  # the first pass is batched
+        edge = graph.edges[0]  # near-input edge: the cone spans every level
+        graph.replace_edge_delay(edge, edge.delay.scale(1.2))
+        timer.update()
+        # Every dirty level of the chain folds 2 vertices x 2 edges, well
+        # under the crossover, so the sweep ran on the scalar engine.
+        assert SCALAR_SWEEP_MAX_LEVEL_EDGES >= 4
+        assert timer.scalar_level_folds > 0
+        assert timer.batched_level_folds == 0
+        _assert_parity(timer, graph, "scalar sweep")
+
+    def test_scalar_and_batched_engines_agree(self):
+        graph = self._deep_chain()
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.update()
+        rng = random.Random(13)
+        for _unused in range(8):
+            edge = rng.choice(graph.edges)
+            graph.replace_edge_delay(edge, edge.delay.scale(rng.uniform(0.8, 1.2)))
+            _assert_parity(timer, graph, "scalar parity")
+
+    def test_wide_dirty_levels_stay_batched(self, edit_graph):
+        from repro.timing.incremental import SCALAR_SWEEP_MAX_LEVEL_EDGES
+
+        graph = edit_graph
+        timer = IncrementalTimer(graph, required_time=_constraint(graph))
+        timer.update()
+        # Retime every edge: whole-graph dirty cones on the wider ISCAS
+        # fixtures exceed the per-level crossover somewhere.
+        for edge in graph.edges:
+            graph.replace_edge_delay(edge, edge.delay.scale(1.01))
+        timer.update()
+        levels = timer.arrays.forward_levels()
+        widest = max(
+            int((level.edge_matrix >= 0).sum()) for level in levels
+        )
+        if widest > SCALAR_SWEEP_MAX_LEVEL_EDGES:
+            assert timer.batched_level_folds > 0
+        _assert_parity(timer, graph, "wide levels")
 
 
 class TestNonFiniteSeedsRejected:
