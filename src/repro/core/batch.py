@@ -63,6 +63,7 @@ __all__ = [
     "merge_max_with_validity",
     "pad_corr",
     "tightness_arrays",
+    "tightness_from_moments",
     "clark_max_reduce",
 ]
 
@@ -98,6 +99,48 @@ def batch_covariance(corr_a: np.ndarray, corr_b: np.ndarray) -> np.ndarray:
     return np.einsum("...k,...k->...", corr_a, corr_b)
 
 
+def tightness_from_moments(
+    mean_a: np.ndarray,
+    var_a: np.ndarray,
+    mean_b: np.ndarray,
+    var_b: np.ndarray,
+    cov: np.ndarray,
+    mean_tolerance: Union[float, np.ndarray] = 0.0,
+    relative_epsilon: float = 0.0,
+) -> np.ndarray:
+    """Batched tightness probability ``Prob{A >= B}`` from raw moments.
+
+    Unlike :func:`tightness_arrays` the (co)variances are taken as inputs,
+    which lets callers inject covariances that are not expressible as a
+    coefficient contraction — the criticality engine evaluates both of its
+    shared-random-variance covariance bounds through this one kernel, so the
+    per-edge scalar reference and the edge-chunked batched path apply the
+    identical degeneracy rule.
+
+    Degenerate pairs (``theta`` numerically zero) resolve deterministically:
+    ``A`` wins when its mean is within ``mean_tolerance`` of ``B``'s (ties in
+    exactly-equal maxima count as attained).  ``relative_epsilon`` widens
+    the degeneracy floor to ``relative_epsilon * (var_a + var_b)``: the
+    cancellation ``var_a + var_b - 2 cov`` of two near-identical operands
+    carries round-off on the scale of the variances themselves, so an
+    absolute-only epsilon makes the degenerate classification depend on
+    the accumulation order of the inputs — two evaluation engines then
+    disagree by O(1) on analytically-tied operands.  A relative floor
+    classifies ties identically regardless of which engine computed the
+    moments.
+    """
+    theta_sq = np.maximum(var_a + var_b - 2.0 * cov, 0.0)
+    floor = _THETA_EPSILON * _THETA_EPSILON
+    if relative_epsilon:
+        floor = np.maximum(floor, relative_epsilon * (var_a + var_b))
+    degenerate = theta_sq <= floor
+    safe_theta = np.where(degenerate, 1.0, np.sqrt(theta_sq))
+    tp = normal_cdf((mean_a - mean_b) / safe_theta)
+    return np.where(
+        degenerate, (mean_a >= mean_b - mean_tolerance).astype(float), tp
+    )
+
+
 def tightness_arrays(
     mean_a: np.ndarray,
     corr_a: np.ndarray,
@@ -114,11 +157,7 @@ def tightness_arrays(
     var_a = batch_variance(corr_a, randvar_a)
     var_b = batch_variance(corr_b, randvar_b)
     cov = batch_covariance(corr_a, corr_b)
-    theta = np.sqrt(np.maximum(var_a + var_b - 2.0 * cov, 0.0))
-    degenerate = theta <= _THETA_EPSILON
-    safe_theta = np.where(degenerate, 1.0, theta)
-    tp = normal_cdf((mean_a - mean_b) / safe_theta)
-    return np.where(degenerate, (mean_a >= mean_b).astype(float), tp)
+    return tightness_from_moments(mean_a, var_a, mean_b, var_b, cov)
 
 
 def clark_max_arrays(

@@ -15,9 +15,12 @@ inside a hierarchical design.
 """
 
 from repro.model.criticality import (
+    AUTO_BATCH_MIN_CRITICALITY_EDGES,
     CriticalityResult,
     compute_edge_criticalities,
+    edge_criticality_batch,
     edge_criticality_matrix,
+    edge_criticality_tensor,
     update_edge_criticalities,
 )
 from repro.model.reduction import (
@@ -34,16 +37,23 @@ from repro.model.extraction import (
     sweep_thresholds,
 )
 from repro.model.serialization import (
+    criticality_from_dict,
+    criticality_to_dict,
+    load_criticality,
     load_timing_model,
+    save_criticality,
     save_timing_model,
     timing_model_from_dict,
     timing_model_to_dict,
 )
 
 __all__ = [
+    "AUTO_BATCH_MIN_CRITICALITY_EDGES",
     "CriticalityResult",
     "compute_edge_criticalities",
+    "edge_criticality_batch",
     "edge_criticality_matrix",
+    "edge_criticality_tensor",
     "update_edge_criticalities",
     "DEFAULT_CRITICALITY_THRESHOLD",
     "ExtractionSession",
@@ -59,4 +69,8 @@ __all__ = [
     "load_timing_model",
     "timing_model_to_dict",
     "timing_model_from_dict",
+    "save_criticality",
+    "load_criticality",
+    "criticality_to_dict",
+    "criticality_from_dict",
 ]

@@ -119,14 +119,20 @@ class ExtractionSession:
         graph: TimingGraph,
         variation: VariationModel,
         name: Optional[str] = None,
+        engine: str = "auto",
     ) -> None:
         _validate_module(graph, variation)
         self._graph = graph
         self._variation = variation
         self._name = name
+        # Criticality evaluation engine ("auto" | "batch" | "scalar"),
+        # forwarded to every (re)computation the session performs; "auto"
+        # picks by edge count and lets dense edit bursts switch the
+        # incremental update to a batched full recompute.
+        self._engine = engine
         self._allpairs = AllPairsSession(graph)
         self._criticalities = compute_edge_criticalities(
-            graph, self._allpairs.state
+            graph, self._allpairs.state, engine=engine
         )
         self._serial = self._allpairs.serial
 
@@ -171,14 +177,15 @@ class ExtractionSession:
             return update  # nothing happened since the criticality sync
         if update.serial == self._serial + 1 and update.mode == "incremental":
             self._criticalities = update_edge_criticalities(
-                self._graph, self._allpairs.state, self._criticalities, update
+                self._graph, self._allpairs.state, self._criticalities, update,
+                engine=self._engine,
             )
         else:
             # A full pass, or updates this session did not observe (someone
             # else refreshed the shared all-pairs session): the change
             # masks no longer describe everything since our last sync.
             self._criticalities = compute_edge_criticalities(
-                self._graph, self._allpairs.state
+                self._graph, self._allpairs.state, engine=self._engine
             )
         self._serial = update.serial
         return update

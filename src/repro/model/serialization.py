@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Union
 
 from repro.core.canonical import CanonicalForm
 from repro.errors import ModelExtractionError
+from repro.model.criticality import CriticalityResult
 from repro.model.timing_model import ExtractionStats, TimingModel
 from repro.timing.graph import TimingGraph
 from repro.variation.grid import Die, GridCell, GridPartition
@@ -28,10 +29,17 @@ __all__ = [
     "timing_model_from_dict",
     "save_timing_model",
     "load_timing_model",
+    "criticality_to_dict",
+    "criticality_from_dict",
+    "save_criticality",
+    "load_criticality",
 ]
 
 FORMAT_NAME = "repro-timing-model"
 FORMAT_VERSION = 1
+
+CRITICALITY_FORMAT_NAME = "repro-criticality"
+CRITICALITY_FORMAT_VERSION = 1
 
 
 def _canonical_to_list(form: CanonicalForm) -> List[float]:
@@ -198,3 +206,75 @@ def load_timing_model(path: Union[str, Path]) -> TimingModel:
     """Read a timing model back from a JSON file."""
     payload = json.loads(Path(path).read_text())
     return timing_model_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Criticality results
+# ----------------------------------------------------------------------
+def criticality_to_dict(result: CriticalityResult) -> Dict[str, Any]:
+    """Convert a criticality result into a JSON-serializable dictionary.
+
+    The ``argmax_pairs`` bookkeeping (which input/output pair attains each
+    edge's maximum) is persisted alongside the values so a reloaded result
+    can seed the incremental updater directly.  The ``engine`` tag is
+    diagnostic metadata and is deliberately not serialized.
+    """
+    payload: Dict[str, Any] = {
+        "format": CRITICALITY_FORMAT_NAME,
+        "version": CRITICALITY_FORMAT_VERSION,
+        "max_criticality": {
+            str(edge_id): value
+            for edge_id, value in result.max_criticality.items()
+        },
+    }
+    if result.argmax_pairs is not None:
+        payload["argmax_pairs"] = {
+            str(edge_id): [pair[0], pair[1]]
+            for edge_id, pair in result.argmax_pairs.items()
+        }
+    return payload
+
+
+def criticality_from_dict(payload: Dict[str, Any]) -> CriticalityResult:
+    """Rebuild a criticality result from its dictionary representation.
+
+    Tolerant of legacy payloads written before the ``argmax_pairs`` field
+    existed: those load with ``argmax_pairs=None``, which simply makes the
+    incremental updater fall back to a full recompute on first use.
+    """
+    if payload.get("format") != CRITICALITY_FORMAT_NAME:
+        raise ModelExtractionError("not a %s payload" % CRITICALITY_FORMAT_NAME)
+    if int(payload.get("version", -1)) != CRITICALITY_FORMAT_VERSION:
+        raise ModelExtractionError(
+            "unsupported %s version %r"
+            % (CRITICALITY_FORMAT_NAME, payload.get("version"))
+        )
+    max_criticality = {
+        int(edge_id): float(value)
+        for edge_id, value in payload["max_criticality"].items()
+    }
+    argmax_data = payload.get("argmax_pairs")
+    argmax_pairs = None
+    if argmax_data is not None:
+        argmax_pairs = {
+            int(edge_id): (int(pair[0]), int(pair[1]))
+            for edge_id, pair in argmax_data.items()
+        }
+        if argmax_pairs.keys() != max_criticality.keys():
+            raise ModelExtractionError(
+                "argmax_pairs does not cover the same edges as max_criticality"
+            )
+    return CriticalityResult(max_criticality, argmax_pairs)
+
+
+def save_criticality(result: CriticalityResult, path: Union[str, Path]) -> Path:
+    """Write a criticality result to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(criticality_to_dict(result), indent=1))
+    return path
+
+
+def load_criticality(path: Union[str, Path]) -> CriticalityResult:
+    """Read a criticality result back from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    return criticality_from_dict(payload)

@@ -272,6 +272,26 @@ class AllPairsUpdate:
     touched_edges: Tuple[int, ...] = ()
     removed_edges: Tuple[int, ...] = ()
 
+    def arrival_changed_counts(self) -> Optional[np.ndarray]:
+        """Per-vertex count of changed per-input arrival entries, ``(V,)``.
+
+        ``None`` when the update carries no change masks (``"full"`` /
+        ``"noop"``).  Consumers sizing incremental work against the pair
+        space (the dense-edit auto-switch of
+        :func:`repro.model.criticality.update_edge_criticalities`) read the
+        update's density through these counts instead of re-reducing the
+        masks themselves.
+        """
+        if self.arrival_changed is None:
+            return None
+        return self.arrival_changed.sum(axis=1)
+
+    def to_output_changed_counts(self) -> Optional[np.ndarray]:
+        """Per-vertex count of changed per-output delay entries, ``(V,)``."""
+        if self.to_output_changed is None:
+            return None
+        return self.to_output_changed.sum(axis=1)
+
 
 class AllPairsSession:
     """An incrementally maintained all-pairs analysis of an evolving module.

@@ -174,3 +174,29 @@ class TestValidation:
             session.extract(1.0)
         with pytest.raises(ModelExtractionError):
             session.extract(-0.1)
+
+
+class TestCriticalityEngineForwarding:
+    """The session forwards its criticality engine to every evaluation."""
+
+    def test_forced_engines_extract_identical_models(self, edit_module):
+        graph, variation = edit_module
+        scalar_model = ExtractionSession(graph, variation, engine="scalar").extract(0.05)
+        batch_model = ExtractionSession(graph, variation, engine="batch").extract(0.05)
+        _assert_models_identical(batch_model, scalar_model, "engine parity")
+
+    def test_forced_engine_survives_refresh(self, edit_module):
+        graph, variation = edit_module
+        session = ExtractionSession(graph, variation, engine="scalar")
+        assert session.criticalities.engine == "scalar"
+        edge = graph.edges[len(graph.edges) // 2]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.15))
+        session.refresh()
+        # A scalar session never reports a batched evaluation, even after
+        # an edit dense enough to trip the auto-switch.
+        assert session.criticalities.engine in ("scalar", "incremental")
+
+    def test_unknown_engine_rejected_at_attach(self, edit_module):
+        graph, variation = edit_module
+        with pytest.raises(ValueError):
+            ExtractionSession(graph, variation, engine="vectorised")

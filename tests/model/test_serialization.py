@@ -6,13 +6,22 @@ import numpy as np
 import pytest
 
 from repro.errors import ModelExtractionError
+from repro.model.criticality import (
+    compute_edge_criticalities,
+    update_edge_criticalities,
+)
 from repro.model.extraction import extract_timing_model
 from repro.model.serialization import (
+    criticality_from_dict,
+    criticality_to_dict,
+    load_criticality,
     load_timing_model,
+    save_criticality,
     save_timing_model,
     timing_model_from_dict,
     timing_model_to_dict,
 )
+from repro.timing.allpairs import AllPairsSession
 
 
 @pytest.fixture
@@ -122,3 +131,81 @@ class TestTimingStatsExcluded:
         rebuilt = timing_model_from_dict(payload)
         assert rebuilt.stats.extraction_seconds == 12.5
         assert rebuilt.stats == model.stats
+
+
+class TestCriticalityRoundTrip:
+    """Criticality results (with their argmax bookkeeping) survive JSON."""
+
+    @pytest.fixture
+    def criticalities(self, random_graph_and_variation):
+        graph, _unused = random_graph_and_variation
+        return compute_edge_criticalities(graph)
+
+    def test_dict_roundtrip_is_exact(self, criticalities):
+        rebuilt = criticality_from_dict(criticality_to_dict(criticalities))
+        # json round-trips doubles through repr, so values are bit-exact.
+        assert rebuilt.max_criticality == criticalities.max_criticality
+        assert rebuilt.argmax_pairs == criticalities.argmax_pairs
+        assert rebuilt == criticalities
+
+    def test_file_roundtrip(self, criticalities, tmp_path):
+        path = save_criticality(criticalities, tmp_path / "criticality.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-criticality"
+        rebuilt = load_criticality(path)
+        assert rebuilt.max_criticality == criticalities.max_criticality
+        assert rebuilt.argmax_pairs == criticalities.argmax_pairs
+
+    def test_legacy_payload_without_argmax_loads(self, criticalities):
+        payload = criticality_to_dict(criticalities)
+        del payload["argmax_pairs"]  # pre-argmax era file
+        rebuilt = criticality_from_dict(payload)
+        assert rebuilt.max_criticality == criticalities.max_criticality
+        assert rebuilt.argmax_pairs is None
+
+    def test_legacy_load_still_updates_incrementally(
+        self, random_graph_and_variation
+    ):
+        # A legacy result (argmax_pairs=None) must still be a usable seed
+        # for the incremental updater: it falls back to a full recompute.
+        graph, _unused = random_graph_and_variation
+        session = AllPairsSession(graph)
+        payload = criticality_to_dict(
+            compute_edge_criticalities(graph, session.state)
+        )
+        del payload["argmax_pairs"]
+        legacy = criticality_from_dict(payload)
+        edge = graph.edges[len(graph.edges) // 2]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.1))
+        update = session.refresh()
+        updated = update_edge_criticalities(
+            graph, session.state, legacy, update
+        )
+        reference = compute_edge_criticalities(graph, session.state)
+        for edge_id, value in reference.max_criticality.items():
+            assert abs(updated.max_criticality[edge_id] - value) <= 1e-9
+
+    def test_engine_tag_not_serialized(self, criticalities):
+        assert criticalities.engine is not None
+        payload = criticality_to_dict(criticalities)
+        assert "engine" not in payload
+        assert criticality_from_dict(payload).engine is None
+
+    def test_wrong_format_rejected(self, criticalities):
+        payload = criticality_to_dict(criticalities)
+        payload["format"] = "something-else"
+        with pytest.raises(ModelExtractionError):
+            criticality_from_dict(payload)
+
+    def test_wrong_version_rejected(self, criticalities):
+        payload = criticality_to_dict(criticalities)
+        payload["version"] = 999
+        with pytest.raises(ModelExtractionError):
+            criticality_from_dict(payload)
+
+    def test_mismatched_argmax_cover_rejected(self, criticalities):
+        payload = criticality_to_dict(criticalities)
+        first_key = next(iter(payload["argmax_pairs"]))
+        del payload["argmax_pairs"][first_key]
+        with pytest.raises(ModelExtractionError):
+            criticality_from_dict(payload)
