@@ -1,0 +1,205 @@
+"""Benchmarks of the levelized Monte Carlo engine and the MC session.
+
+Measures the two headline guarantees of the Monte Carlo refactor on the
+largest ISCAS85 surrogate and records them in ``BENCH_montecarlo.json``:
+
+* **cold levelized vs object-level on c7552** — the Table-I accuracy
+  reference (:func:`simulate_io_delays`) computes every input's
+  per-sample longest paths.  The levelized engine folds all ``|I| = 207``
+  propagations of a chunk in one ``(V, I, chunk)`` pass over the shared
+  sampled delay matrix; the object-level reference runs one per-vertex
+  Python propagation per input per chunk.  The engines must produce
+  bit-identical statistics for the same seed, and the levelized pass must
+  be at least 5x faster (``REPRO_MC_SPEEDUP_MIN`` overrides the
+  threshold; ~25x locally).
+
+* **warm session revalidation after a single-edge retime** — a
+  :class:`~repro.montecarlo.MonteCarloSession` resamples only the retimed
+  matrix row and repropagates only its structural fan-out cone; the cold
+  baseline redraws and repropagates everything from a fresh session.
+  Warm revalidation must match the cold run to 1e-9 and be at least 3x
+  faster (``REPRO_MC_WARM_SPEEDUP_MIN``; ~8-10x locally).
+
+Like the other benchmarks this file is run explicitly
+(``pytest benchmarks/bench_montecarlo.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.liberty.library import standard_library
+from repro.montecarlo.flat import (
+    MonteCarloSession,
+    simulate_io_delays,
+)
+from repro.netlist.iscas85 import iscas85_surrogate
+from repro.placement.placer import place_netlist
+from repro.timing.builder import build_timing_graph, default_variation_for
+
+PARITY = 1e-9
+IO_SAMPLES = 24
+SESSION_SAMPLES = 2000
+RECORD_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_montecarlo.json",
+)
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one benchmark's headline numbers into the JSON record."""
+    record = {}
+    if os.path.exists(RECORD_PATH):
+        try:
+            with open(RECORD_PATH) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            record = {}
+    record[key] = payload
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.fixture(scope="module")
+def c7552_graph():
+    netlist = iscas85_surrogate("c7552")
+    library = standard_library()
+    placement = place_netlist(netlist, library)
+    variation = default_variation_for(netlist, placement)
+    return build_timing_graph(netlist, library, placement, variation)
+
+
+def _median_seconds(fn, repeats):
+    seconds = []
+    for _unused in range(repeats):
+        start = time.perf_counter()
+        fn()
+        seconds.append(time.perf_counter() - start)
+    seconds.sort()
+    return seconds[len(seconds) // 2]
+
+
+def test_levelized_io_speedup_on_c7552(benchmark, c7552_graph):
+    """Acceptance check: >= 5x levelized-vs-object, bit-identical samples."""
+    threshold = float(os.environ.get("REPRO_MC_SPEEDUP_MIN", "5.0"))
+    graph = c7552_graph
+
+    levelized = simulate_io_delays(
+        graph, IO_SAMPLES, seed=7, engine="levelized"
+    )
+    levelized_seconds = _median_seconds(
+        lambda: simulate_io_delays(graph, IO_SAMPLES, seed=7, engine="levelized"),
+        3,
+    )
+    reference = simulate_io_delays(graph, IO_SAMPLES, seed=7, engine="object")
+    reference_seconds = _median_seconds(
+        lambda: simulate_io_delays(graph, IO_SAMPLES, seed=7, engine="object"),
+        2,
+    )
+    speedup = reference_seconds / levelized_seconds
+
+    # The engines fold the same exact candidates: bitwise agreement.
+    assert np.array_equal(levelized.valid, reference.valid)
+    assert np.array_equal(levelized.means, reference.means, equal_nan=True)
+    assert np.array_equal(levelized.stds, reference.stds, equal_nan=True)
+
+    benchmark.extra_info["levelized_s"] = round(levelized_seconds, 3)
+    benchmark.extra_info["object_s"] = round(reference_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["inputs"] = len(graph.inputs)
+    benchmark.extra_info["edges"] = graph.num_edges
+    _record(
+        "levelized_io_vs_object_c7552",
+        {
+            "samples": IO_SAMPLES,
+            "inputs": len(graph.inputs),
+            "edges": graph.num_edges,
+            "levelized_seconds": round(levelized_seconds, 4),
+            "object_seconds": round(reference_seconds, 4),
+            "speedup": round(speedup, 1),
+            "threshold": threshold,
+        },
+    )
+
+    benchmark(
+        lambda: simulate_io_delays(graph, IO_SAMPLES, seed=7, engine="levelized")
+    )
+
+    assert speedup >= threshold, (
+        "levelized io-delay Monte Carlo is only %.1fx faster than the "
+        "object-level reference on c7552 (levelized %.2f s, object %.2f s, "
+        "threshold %.1fx)"
+        % (speedup, levelized_seconds, reference_seconds, threshold)
+    )
+
+
+def test_session_warm_revalidation_speedup_on_c7552(benchmark, c7552_graph):
+    """Acceptance check: >= 3x warm-vs-cold session revalidation."""
+    threshold = float(os.environ.get("REPRO_MC_WARM_SPEEDUP_MIN", "3.0"))
+    graph = c7552_graph.copy()
+
+    session = MonteCarloSession(graph, num_samples=SESSION_SAMPLES, seed=5)
+    session.revalidate()
+
+    # One warm revalidation per round: retime a different mid-graph edge,
+    # then re-query the delay distribution through the live session.
+    edges = graph.edges
+    probes = [edges[(len(edges) // 7) * k + 3] for k in range(1, 6)]
+    warm_seconds = []
+    for round_index, edge in enumerate(probes):
+        graph.replace_edge_delay(edge, edge.delay.scale(1.0 + 0.01 * (round_index + 1)))
+        start = time.perf_counter()
+        warm = session.revalidate()
+        warm_seconds.append(time.perf_counter() - start)
+        assert session.last_refresh.kind == "rows"
+    warm_seconds.sort()
+    warm_median = warm_seconds[len(warm_seconds) // 2]
+
+    def cold_run():
+        return MonteCarloSession(
+            graph.copy(), num_samples=SESSION_SAMPLES, seed=5
+        ).revalidate()
+
+    cold = cold_run()
+    cold_median = _median_seconds(cold_run, 3)
+    speedup = cold_median / warm_median
+
+    # Parity: the warm session equals a full cold resample of the edited
+    # graph (the counter-based per-edge streams make this exact).
+    worst = float(np.abs(warm.samples - cold.samples).max())
+    assert worst <= PARITY, "warm revalidation deviates by %.3e" % worst
+
+    benchmark.extra_info["warm_median_ms"] = round(warm_median * 1e3, 1)
+    benchmark.extra_info["cold_median_ms"] = round(cold_median * 1e3, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    _record(
+        "session_warm_vs_cold_c7552",
+        {
+            "samples": SESSION_SAMPLES,
+            "edges": graph.num_edges,
+            "warm_median_seconds": round(warm_median, 4),
+            "cold_median_seconds": round(cold_median, 4),
+            "speedup": round(speedup, 1),
+            "threshold": threshold,
+        },
+    )
+
+    def one_warm_round():
+        edge = graph.edges[len(graph.edges) // 2]
+        graph.replace_edge_delay(edge, edge.delay.scale(1.01))
+        return session.revalidate()
+
+    benchmark(one_warm_round)
+
+    assert speedup >= threshold, (
+        "warm Monte Carlo revalidation is only %.1fx faster than a cold "
+        "session on c7552 (warm median %.1f ms, cold %.1f ms, threshold "
+        "%.1fx)"
+        % (speedup, warm_median * 1e3, cold_median * 1e3, threshold)
+    )

@@ -12,6 +12,7 @@ from repro.analysis.metrics import (
 from repro.analysis.reporting import format_table, ascii_cdf_plot, format_percent
 from repro.analysis.yield_analysis import (
     YieldCurve,
+    monte_carlo_yield_curve,
     required_period_for_yield,
     timing_yield,
     yield_curve,
@@ -31,6 +32,7 @@ __all__ = [
     "format_percent",
     "YieldCurve",
     "timing_yield",
+    "monte_carlo_yield_curve",
     "required_period_for_yield",
     "yield_curve",
 ]

@@ -20,7 +20,13 @@ from scipy.stats import norm
 from repro.analysis.distributions import EmpiricalDistribution
 from repro.core.canonical import CanonicalForm
 
-__all__ = ["YieldCurve", "timing_yield", "required_period_for_yield", "yield_curve"]
+__all__ = [
+    "YieldCurve",
+    "monte_carlo_yield_curve",
+    "timing_yield",
+    "required_period_for_yield",
+    "yield_curve",
+]
 
 DelayDistribution = Union[CanonicalForm, EmpiricalDistribution, np.ndarray]
 
@@ -108,3 +114,45 @@ def yield_curve(
     else:
         yields = distribution.cdf(periods)
     return YieldCurve(periods=periods, yields=yields)
+
+
+def monte_carlo_yield_curve(
+    source,
+    num_samples: int = 10000,
+    seed: int = 0,
+    chunk_size=None,
+    engine: str = "auto",
+    periods: Union[Sequence[float], np.ndarray, None] = None,
+    num_points: int = 101,
+    sigma_span: float = 4.0,
+) -> YieldCurve:
+    """Empirical yield curve straight from the Monte Carlo engine.
+
+    ``source`` may be a :class:`~repro.timing.graph.TimingGraph` (simulated
+    one-shot with the levelized engine; ``num_samples``/``seed``/
+    ``chunk_size``/``engine`` forward to
+    :func:`~repro.montecarlo.simulate_graph_delay`), an incrementally
+    maintained :class:`~repro.montecarlo.MonteCarloSession` (revalidated —
+    an unchanged session reuses its cached samples, a post-ECO one
+    resamples only the touched rows), or an existing
+    :class:`~repro.montecarlo.MonteCarloResult`.  The remaining keywords
+    forward to :func:`yield_curve`.
+    """
+    # Imported here: the montecarlo package sits above the analysis layer.
+    from repro.montecarlo.flat import MonteCarloResult, MonteCarloSession
+    from repro.montecarlo.flat import simulate_graph_delay
+
+    if isinstance(source, MonteCarloSession):
+        result = source.revalidate()
+    elif isinstance(source, MonteCarloResult):
+        result = source
+    else:
+        result = simulate_graph_delay(
+            source, num_samples, seed, chunk_size, engine=engine
+        )
+    return yield_curve(
+        result.samples,
+        periods=periods,
+        num_points=num_points,
+        sigma_span=sigma_span,
+    )

@@ -39,8 +39,16 @@ class ExperimentConfig:
     random_variance_share: float = 0.2
     #: Monte Carlo iterations (paper: 10 000).
     monte_carlo_samples: int = 10000
-    #: Monte Carlo sample chunk size (memory/runtime trade-off only).
-    monte_carlo_chunk: int = 2000
+    #: Monte Carlo sample chunk size; ``None`` auto-sizes each run's chunks
+    #: from the graph so the working set stays cache/memory-bounded (see
+    #: :func:`repro.montecarlo.auto_chunk_size`).  Chunking is a
+    #: memory/runtime trade-off only, but note the sampled stream — and so
+    #: the exact samples — depends on the chunk size; pin it explicitly
+    #: for bit-reproducibility across graph sizes.
+    monte_carlo_chunk: Optional[int] = None
+    #: Monte Carlo propagation engine (``"auto"``, ``"levelized"`` or the
+    #: object-level parity reference ``"object"``).
+    monte_carlo_engine: str = "auto"
     #: Seed of every random construction and simulation.
     seed: int = 2009
     #: Largest gate count for which Table I accuracy is validated against

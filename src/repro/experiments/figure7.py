@@ -239,6 +239,7 @@ def run_figure7(
         seed=config.seed,
         chunk_size=config.monte_carlo_chunk,
         library=library,
+        engine=config.monte_carlo_engine,
     )
     monte_carlo_seconds = time.perf_counter() - start
 

@@ -326,6 +326,10 @@ class DesignTimer:
         self._membership = membership
         self._timer = IncrementalTimer(graph, required_time=required_time)
         self._module_sessions: Dict[str, ExtractionSession] = {}
+        self._mc_session = None
+        self._mc_key: Optional[Tuple] = None
+        self._mc_library = None  # strong ref: the session cache is keyed to it
+        self._mc_design_revision = -1
 
     # ------------------------------------------------------------------
     @property
@@ -484,6 +488,100 @@ class DesignTimer:
         return self.swap_instance_model(
             instance_name, model, netlist=netlist, placement=placement
         )
+
+    # ------------------------------------------------------------------
+    # Warm flattened Monte Carlo re-validation
+    # ------------------------------------------------------------------
+    def revalidate_monte_carlo(
+        self,
+        num_samples: int = 10000,
+        seed: int = 0,
+        chunk_size: Optional[int] = None,
+        library=None,
+        grid_size: float = 0.0,
+    ):
+        """Flattened-netlist Monte Carlo of the current design, served warm.
+
+        The first call flattens the design, builds the ground-truth timing
+        graph and attaches a
+        :class:`~repro.montecarlo.MonteCarloSession` to it; afterwards the
+        session's caches are kept keyed to the design graph's revision:
+
+        * an unchanged design returns the cached result immediately;
+        * a design edit whose re-flattened graph is *structurally
+          identical* (the common re-extraction/retune ECO: same gates,
+          different delays) is applied to the session graph as edge
+          retimes — only the retimed sample rows are redrawn and only
+          their fan-out cone repropagated;
+        * a structural change (different flattened netlist) rebinds a
+          fresh session (cold).
+
+        Like :func:`~repro.montecarlo.monte_carlo_hierarchical` this
+        requires every instance to carry its gate-level netlist and
+        placement — a swap that dropped them fails loudly rather than
+        validating a stale implementation.  Returns the
+        :class:`~repro.montecarlo.MonteCarloResult`.
+        """
+        from repro.montecarlo.flat import MonteCarloSession
+        from repro.montecarlo.hierarchical import build_flat_timing_graph
+
+        key = (num_samples, seed, chunk_size, grid_size)
+        revision = self.graph.revision
+        graph = None
+        if (
+            self._mc_session is not None
+            and self._mc_key == key
+            and self._mc_library is library
+        ):
+            if revision == self._mc_design_revision:
+                return self._mc_session.revalidate()
+            fresh = build_flat_timing_graph(self._design, library, grid_size)
+            if self._sync_mc_graph(fresh):
+                self._mc_design_revision = revision
+                return self._mc_session.revalidate()
+            graph = fresh  # structural change: reuse the flatten for the rebind
+
+        if graph is None:
+            graph = build_flat_timing_graph(self._design, library, grid_size)
+        self._mc_session = MonteCarloSession(
+            graph, num_samples=num_samples, seed=seed, chunk_size=chunk_size
+        )
+        self._mc_key = key
+        self._mc_library = library
+        self._mc_design_revision = revision
+        return self._mc_session.revalidate()
+
+    def _sync_mc_graph(self, fresh: TimingGraph) -> bool:
+        """Retime the session graph to match ``fresh``; False if impossible.
+
+        The flattening of an unchanged netlist is deterministic, so a
+        delay-only design ECO yields a graph with the same vertices, IO
+        designations and edge sequence — only the delays move.  Those land
+        in the session graph's journal as retimes; anything structural
+        reports False so the caller rebinds cold.
+        """
+        graph = self._mc_session.graph
+        if (
+            graph.num_edges != fresh.num_edges
+            or graph.num_vertices != fresh.num_vertices
+            or graph.inputs != fresh.inputs
+            or graph.outputs != fresh.outputs
+        ):
+            return False
+        pairs = list(zip(graph.edges, fresh.edges))
+        for edge, fresh_edge in pairs:
+            if edge.source != fresh_edge.source or edge.sink != fresh_edge.sink:
+                return False
+        for edge, fresh_edge in pairs:
+            if edge.delay != fresh_edge.delay:
+                graph.replace_edge_delay(edge, fresh_edge.delay)
+        return True
+
+    @property
+    def monte_carlo_session(self):
+        """The attached Monte Carlo session (``None`` before the first
+        :meth:`revalidate_monte_carlo` call)."""
+        return self._mc_session
 
     # ------------------------------------------------------------------
     def circuit_delay(self) -> CanonicalForm:

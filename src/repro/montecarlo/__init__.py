@@ -6,19 +6,30 @@ edge delay is *exactly* linear in the underlying Gaussian variables, sampling
 those variables and taking per-sample longest paths gives the true
 distribution of the circuit delay — the only approximations in the analytical
 flow (Clark's max, model reduction, variable replacement) are absent here.
+
+The one-shot simulators run a levelized, multi-source batched propagation
+(the object-level per-vertex loop is kept as the bit-identical parity
+reference); :class:`MonteCarloSession` additionally serves *incremental*
+re-validation by resampling only the edge-delay rows an ECO touched.
 """
 
 from repro.montecarlo.flat import (
+    MonteCarloRefresh,
     MonteCarloResult,
+    MonteCarloSession,
     IoDelayStatistics,
+    auto_chunk_size,
     simulate_graph_delay,
     simulate_io_delays,
 )
 from repro.montecarlo.hierarchical import flatten_design, monte_carlo_hierarchical
 
 __all__ = [
+    "MonteCarloRefresh",
     "MonteCarloResult",
+    "MonteCarloSession",
     "IoDelayStatistics",
+    "auto_chunk_size",
     "simulate_graph_delay",
     "simulate_io_delays",
     "flatten_design",

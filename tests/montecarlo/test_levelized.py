@@ -1,0 +1,227 @@
+"""Property-based parity suite of the levelized Monte Carlo engine.
+
+The level-scheduled kernels replace only the *order* in which per-sample
+longest-path candidates are folded — ``+`` and ``max`` are exact, so on
+*any* graph the levelized engines must produce **bit-identical** samples to
+the object-level reference for the same seed and chunk size.  Asserted
+here on hypothesis-randomized layered DAGs (including dangling inputs,
+unreachable vertices and single-IO corners), on the multi-source
+``(V, I, chunk)`` kernel against the one-propagation-per-input reference,
+and on the empty-IO / unreachable regressions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import TimingGraphError
+from repro.montecarlo.flat import (
+    AUTO_LEVELIZED_MIN_EDGES,
+    MC_MAX_CHUNK,
+    MC_MIN_CHUNK,
+    _longest_paths_multi_source,
+    _longest_paths_object,
+    _resolve_engine,
+    auto_chunk_size,
+    simulate_graph_delay,
+    simulate_io_delays,
+)
+from repro.timing.arrays import GraphArrays
+from repro.timing.graph import TimingGraph
+
+NUM_LOCALS = 2
+
+
+def _build_graph(seed, num_inputs, num_outputs, num_internal):
+    """A random layered DAG with designated inputs/outputs.
+
+    Every non-input vertex receives 1-3 fanin edges from topologically
+    earlier non-output vertices, so each output is reachable while some
+    inputs (and internal vertices) may dangle — which exercises the
+    ``-inf`` masking and the structural validity masks of both engines.
+    """
+    rng = np.random.default_rng(seed)
+    graph = TimingGraph("mc%d" % seed, NUM_LOCALS)
+    inputs = ["i%d" % position for position in range(num_inputs)]
+    outputs = ["o%d" % position for position in range(num_outputs)]
+    internal = ["v%d" % position for position in range(num_internal)]
+    for name in inputs:
+        graph.mark_input(name)
+    for name in outputs:
+        graph.mark_output(name)
+    sources = inputs + internal  # outputs stay pure sinks
+
+    def _delay():
+        return CanonicalForm(
+            float(rng.uniform(1.0, 20.0)),
+            float(rng.uniform(0.0, 1.5)),
+            [float(value) for value in rng.uniform(-1.0, 1.0, NUM_LOCALS)],
+            float(rng.uniform(0.0, 1.5)),
+        )
+
+    for position, name in enumerate(internal + outputs):
+        limit = num_inputs + min(position, num_internal)
+        for _unused in range(int(rng.integers(1, 4))):
+            graph.add_edge(sources[int(rng.integers(0, limit))], name, _delay())
+    return graph
+
+
+def _assert_io_identical(a, b):
+    assert np.array_equal(a.valid, b.valid)
+    assert np.array_equal(a.means, b.means, equal_nan=True)
+    assert np.array_equal(a.stds, b.stds, equal_nan=True)
+
+
+class TestRandomizedParity:
+    @given(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        num_inputs=st.integers(min_value=1, max_value=5),
+        num_outputs=st.integers(min_value=1, max_value=4),
+        num_internal=st.integers(min_value=0, max_value=24),
+        chunk=st.sampled_from([None, 7, 64]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_graph_delay_engines_bit_identical(
+        self, seed, num_inputs, num_outputs, num_internal, chunk
+    ):
+        graph = _build_graph(seed, num_inputs, num_outputs, num_internal)
+        levelized = simulate_graph_delay(
+            graph, 50, seed=seed, chunk_size=chunk, engine="levelized"
+        )
+        reference = simulate_graph_delay(
+            graph, 50, seed=seed, chunk_size=chunk, engine="object"
+        )
+        assert np.array_equal(levelized.samples, reference.samples)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        num_inputs=st.integers(min_value=1, max_value=5),
+        num_outputs=st.integers(min_value=1, max_value=4),
+        num_internal=st.integers(min_value=0, max_value=24),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_io_delay_engines_bit_identical(
+        self, seed, num_inputs, num_outputs, num_internal
+    ):
+        graph = _build_graph(seed, num_inputs, num_outputs, num_internal)
+        levelized = simulate_io_delays(graph, 40, seed=seed, engine="levelized")
+        reference = simulate_io_delays(graph, 40, seed=seed, engine="object")
+        _assert_io_identical(levelized, reference)
+
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_multi_source_kernel_matches_per_input_reference(self, seed):
+        graph = _build_graph(seed, 4, 3, 12)
+        arrays = GraphArrays.from_graph(graph)
+        rng = np.random.default_rng(seed)
+        delays = arrays.edge_batch.sample(rng, 23)
+        input_rows = arrays.input_rows
+        multi = _longest_paths_multi_source(arrays, delays, input_rows)
+        for position, row in enumerate(input_rows):
+            reference = _longest_paths_object(
+                arrays, delays, np.asarray([row], dtype=np.int64)
+            )
+            assert np.array_equal(multi[:, position, :], reference)
+
+
+class TestAcceptanceCircuits:
+    def test_engines_bit_identical_on_parity_modules(self, parity_module):
+        graph = parity_module[0]
+        levelized = simulate_graph_delay(graph, 200, seed=9, engine="levelized")
+        reference = simulate_graph_delay(graph, 200, seed=9, engine="object")
+        assert np.array_equal(levelized.samples, reference.samples)
+        lev_io = simulate_io_delays(graph, 60, seed=9, engine="levelized")
+        ref_io = simulate_io_delays(graph, 60, seed=9, engine="object")
+        _assert_io_identical(lev_io, ref_io)
+
+
+class TestRegressions:
+    def test_missing_io_raises(self):
+        graph = TimingGraph("no_io")
+        graph.add_edge("a", "b", CanonicalForm.constant(1.0))
+        with pytest.raises(TimingGraphError):
+            simulate_graph_delay(graph, 10, engine="levelized")
+        with pytest.raises(TimingGraphError):
+            simulate_io_delays(graph, 10, engine="levelized")
+        graph.mark_input("a")  # outputs still missing
+        with pytest.raises(TimingGraphError):
+            simulate_graph_delay(graph, 10, engine="levelized")
+
+    def test_unknown_engine_rejected(self, adder_graph):
+        with pytest.raises(ValueError):
+            simulate_graph_delay(adder_graph, 10, engine="turbo")
+
+    def test_auto_selects_by_edge_count(self):
+        assert _resolve_engine("auto", AUTO_LEVELIZED_MIN_EDGES) == "levelized"
+        assert _resolve_engine("auto", AUTO_LEVELIZED_MIN_EDGES - 1) == "object"
+        assert _resolve_engine("levelized", 1) == "levelized"
+        assert _resolve_engine("object", 10 ** 6) == "object"
+
+    def test_unreachable_vertices_stay_masked(self):
+        """Dangling inputs and unreachable outputs must not poison stats."""
+        graph = TimingGraph("partial")
+        graph.mark_input("a")
+        graph.mark_input("b")  # dangling: drives nothing
+        graph.mark_output("y")
+        graph.mark_output("z")  # unreachable: driven by nothing
+        graph.add_edge("a", "m", CanonicalForm.constant(3.0))
+        graph.add_edge("m", "y", CanonicalForm.constant(4.0))
+        graph.add_vertex("orphan")
+        for engine in ("levelized", "object"):
+            stats = simulate_io_delays(graph, 32, seed=1, engine=engine)
+            assert stats.valid.tolist() == [[True, False], [False, False]]
+            assert stats.mean("a", "y") == pytest.approx(7.0)
+            assert np.isnan(stats.mean("b", "y"))
+            assert np.isnan(stats.mean("a", "z"))
+            result = simulate_graph_delay(graph, 32, seed=1, engine=engine)
+            assert np.all(result.samples == pytest.approx(7.0))
+
+    def test_io_statistics_reject_unknown_names(self):
+        graph = TimingGraph("tiny_io")
+        graph.mark_input("a")
+        graph.mark_output("z")
+        graph.add_edge("a", "z", CanonicalForm.constant(2.0))
+        stats = simulate_io_delays(graph, 16, seed=0)
+        assert stats.mean("a", "z") == pytest.approx(2.0)
+        assert stats.std("a", "z") == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            stats.mean("nope", "z")
+        with pytest.raises(ValueError):
+            stats.std("a", "nope")
+
+    def test_input_that_is_also_output(self):
+        graph = TimingGraph("through")
+        graph.mark_input("a")
+        graph.mark_output("a")
+        graph.mark_output("z")
+        graph.add_edge("a", "z", CanonicalForm.constant(5.0))
+        for engine in ("levelized", "object"):
+            result = simulate_graph_delay(graph, 16, seed=2, engine=engine)
+            assert np.all(result.samples == pytest.approx(5.0))
+
+
+class TestAutoChunkSize:
+    def test_bounds_and_clipping(self):
+        assert auto_chunk_size(10, 10) == MC_MAX_CHUNK
+        assert auto_chunk_size(10, 10, num_samples=100) == 100
+        # A huge multi-source working set clamps to the floor.
+        assert auto_chunk_size(10 ** 6, 10 ** 6, num_sources=500) == MC_MIN_CHUNK
+
+    def test_multi_source_axis_shrinks_the_chunk(self):
+        single = auto_chunk_size(5000, 3000, num_sources=1)
+        multi = auto_chunk_size(5000, 3000, num_sources=100)
+        assert multi < single
+
+    def test_explicit_chunk_size_wins(self, adder_graph):
+        explicit = simulate_graph_delay(adder_graph, 64, seed=4, chunk_size=64)
+        again = simulate_graph_delay(adder_graph, 64, seed=4, chunk_size=64)
+        assert np.array_equal(explicit.samples, again.samples)
+        with pytest.raises(ValueError):
+            simulate_graph_delay(adder_graph, 64, seed=4, chunk_size=0)
+
+    def test_auto_chunk_is_deterministic(self, adder_graph):
+        a = simulate_graph_delay(adder_graph, 300, seed=6)
+        b = simulate_graph_delay(adder_graph, 300, seed=6)
+        assert np.array_equal(a.samples, b.samples)
