@@ -26,13 +26,13 @@ Like the other benchmarks this file is run explicitly
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
 import pytest
 
+from conftest import record_bench
 from repro.liberty.library import standard_library
 from repro.montecarlo.flat import (
     MonteCarloSession,
@@ -45,25 +45,11 @@ from repro.timing.builder import build_timing_graph, default_variation_for
 PARITY = 1e-9
 IO_SAMPLES = 24
 SESSION_SAMPLES = 2000
-RECORD_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_montecarlo.json",
-)
 
 
 def _record(key: str, payload: dict) -> None:
-    """Merge one benchmark's headline numbers into the JSON record."""
-    record = {}
-    if os.path.exists(RECORD_PATH):
-        try:
-            with open(RECORD_PATH) as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
-            record = {}
-    record[key] = payload
-    with open(RECORD_PATH, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Merge one benchmark's headline numbers into ``BENCH_montecarlo.json``."""
+    record_bench("BENCH_montecarlo.json", key, payload)
 
 
 @pytest.fixture(scope="module")

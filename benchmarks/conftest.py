@@ -13,12 +13,44 @@ samples for Fig. 7).
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Optional
 
 import pytest
 
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
 from repro.experiments.table1 import TABLE1_CIRCUITS, TABLE1_DEFAULT_SUBSET
+
+#: Repository root, where the ``BENCH_*.json`` records live.
+BENCH_RECORD_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record_bench(
+    filename: str, key: str, payload: dict, workers: Optional[int] = None
+) -> None:
+    """Merge one benchmark's headline numbers into a ``BENCH_*.json`` record.
+
+    Every entry is stamped with the host's ``cpu_count`` (and the worker
+    count, when the benchmark shards work) so recorded speedups can be
+    judged against the parallelism that was actually available.
+    """
+    path = os.path.join(BENCH_RECORD_DIR, filename)
+    payload = dict(payload)
+    payload["cpu_count"] = os.cpu_count()
+    if workers is not None:
+        payload["workers"] = int(workers)
+    record = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            record = {}
+    record[key] = payload
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def full_run() -> bool:

@@ -165,30 +165,58 @@ class CorrelationSweepResult:
         )
 
 
+def _correlation_point(
+    payload: Tuple[int, float, ExperimentConfig, Optional[Library]]
+) -> CorrelationSweepPoint:
+    """Evaluate one ABL-2 sweep point (a sharding work unit).
+
+    ``payload`` is ``(bits, rho, config, library)`` with ``library=None``
+    meaning the standard library.  Each point rebuilds its own module,
+    design and the two hierarchical analyses, so the sweep points are
+    fully independent of each other.
+    """
+    bits, rho, config, library = payload
+    library = standard_library() if library is None else library
+    point_config = config.with_overrides(
+        neighbor_correlation=rho,
+        floor_correlation=min(config.floor_correlation, rho),
+    )
+    module = build_multiplier_module(bits, point_config, library)
+    design = build_multiplier_design(module)
+    proposed = analyze_hierarchical_design(design, CorrelationMode.REPLACEMENT)
+    global_only = analyze_hierarchical_design(design, CorrelationMode.GLOBAL_ONLY)
+    return CorrelationSweepPoint(
+        neighbor_correlation=rho,
+        proposed_mean=proposed.mean,
+        proposed_std=proposed.std,
+        global_only_std=global_only.std,
+    )
+
+
 def run_correlation_sweep(
     bits: int = 8,
     neighbor_correlations: Sequence[float] = (0.5, 0.7, 0.92),
     config: ExperimentConfig = DEFAULT_CONFIG,
     library: Optional[Library] = None,
+    workers: Optional[int] = None,
+    executor=None,
 ) -> CorrelationSweepResult:
-    """Sweep the neighbouring-grid correlation of the Fig. 7 design (ABL-2)."""
-    library = standard_library() if library is None else library
-    points: List[CorrelationSweepPoint] = []
-    for rho in neighbor_correlations:
-        point_config = config.with_overrides(
-            neighbor_correlation=rho,
-            floor_correlation=min(config.floor_correlation, rho),
-        )
-        module = build_multiplier_module(bits, point_config, library)
-        design = build_multiplier_design(module)
-        proposed = analyze_hierarchical_design(design, CorrelationMode.REPLACEMENT)
-        global_only = analyze_hierarchical_design(design, CorrelationMode.GLOBAL_ONLY)
-        points.append(
-            CorrelationSweepPoint(
-                neighbor_correlation=rho,
-                proposed_mean=proposed.mean,
-                proposed_std=proposed.std,
-                global_only_std=global_only.std,
-            )
-        )
-    return CorrelationSweepResult(bits=bits, points=points)
+    """Sweep the neighbouring-grid correlation of the Fig. 7 design (ABL-2).
+
+    ``workers`` (default: ``config.workers``, then ``REPRO_WORKERS``)
+    shards the sweep points across the process pool — each point rebuilds
+    its own design, so results are identical to a serial sweep.
+    """
+    from repro.parallel.pool import maybe_executor
+
+    payloads = [
+        (bits, float(rho), config, library) for rho in neighbor_correlations
+    ]
+    executor = maybe_executor(
+        config.workers if workers is None else workers, executor
+    )
+    if executor is not None and executor.engine == "process":
+        points = executor.run("correlation_point", payloads)
+    else:
+        points = [_correlation_point(payload) for payload in payloads]
+    return CorrelationSweepResult(bits=bits, points=list(points))

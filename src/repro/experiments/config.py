@@ -41,14 +41,20 @@ class ExperimentConfig:
     monte_carlo_samples: int = 10000
     #: Monte Carlo sample chunk size; ``None`` auto-sizes each run's chunks
     #: from the graph so the working set stays cache/memory-bounded (see
-    #: :func:`repro.montecarlo.auto_chunk_size`).  Chunking is a
-    #: memory/runtime trade-off only, but note the sampled stream — and so
-    #: the exact samples — depends on the chunk size; pin it explicitly
-    #: for bit-reproducibility across graph sizes.
+    #: :func:`repro.montecarlo.auto_chunk_size`).  Chunking is purely a
+    #: memory/runtime trade-off: sampling is counter-based per block, so
+    #: the simulated values are bit-identical for every chunk size (and
+    #: worker count).
     monte_carlo_chunk: Optional[int] = None
     #: Monte Carlo propagation engine (``"auto"``, ``"levelized"`` or the
     #: object-level parity reference ``"object"``).
     monte_carlo_engine: str = "auto"
+    #: Worker processes of the sharded analyses (Monte Carlo sample
+    #: ranges, corner sweeps, per-circuit experiment rows).  ``None``
+    #: defers to the ``REPRO_WORKERS`` environment variable (default: 1,
+    #: i.e. serial).  All sharded analyses are bit-identical to their
+    #: serial counterparts, so this is a pure throughput knob.
+    workers: Optional[int] = None
     #: Seed of every random construction and simulation.
     seed: int = 2009
     #: Largest gate count for which Table I accuracy is validated against

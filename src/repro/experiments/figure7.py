@@ -222,8 +222,14 @@ def run_figure7(
     library: Optional[Library] = None,
     module: Optional[MultiplierModule] = None,
     grid_points: int = 101,
+    workers: Optional[int] = None,
 ) -> Figure7Result:
-    """Regenerate the Fig. 7 comparison for ``bits x bits`` multiplier modules."""
+    """Regenerate the Fig. 7 comparison for ``bits x bits`` multiplier modules.
+
+    ``workers`` (default: ``config.workers``, then ``REPRO_WORKERS``)
+    shards the flattened Monte Carlo reference — by far the dominant cost —
+    across the process pool with bit-identical samples.
+    """
     library = standard_library() if library is None else library
     if module is None:
         module = build_multiplier_module(bits, config, library)
@@ -240,6 +246,7 @@ def run_figure7(
         chunk_size=config.monte_carlo_chunk,
         library=library,
         engine=config.monte_carlo_engine,
+        workers=config.workers if workers is None else workers,
     )
     monte_carlo_seconds = time.perf_counter() - start
 

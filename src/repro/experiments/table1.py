@@ -213,50 +213,78 @@ def _model_accuracy(
     )
 
 
+def _table1_row(payload: Tuple[str, ExperimentConfig, Optional[Library], bool]) -> Table1Row:
+    """Build, extract and validate one Table I row (a sharding work unit).
+
+    ``payload`` is ``(name, config, library, validate_accuracy)`` with
+    ``library=None`` meaning the standard library (workers rebuild it
+    locally instead of unpickling it).  Each row is fully self-contained —
+    the characterize/extract/validate pipeline of one circuit — which is
+    what makes the whole-suite run embarrassingly parallel.
+    """
+    name, config, library, validate_accuracy = payload
+    library = standard_library() if library is None else library
+    circuit = characterize_circuit(name, config, library)
+    start = time.perf_counter()
+    analysis = AllPairsTiming.analyze(circuit.graph)
+    criticalities = compute_edge_criticalities(circuit.graph, analysis)
+    model = extract_timing_model(
+        circuit.graph,
+        circuit.variation,
+        config.criticality_threshold,
+        analysis=analysis,
+        criticalities=criticalities,
+    )
+    extraction_seconds = time.perf_counter() - start
+
+    if validate_accuracy:
+        mean_error, std_error, reference = _model_accuracy(circuit, model, analysis, config)
+    else:
+        mean_error, std_error, reference = 0.0, 0.0, "skipped"
+
+    return Table1Row(
+        circuit=name,
+        original_edges=model.stats.original_edges,
+        original_vertices=model.stats.original_vertices,
+        model_edges=model.stats.model_edges,
+        model_vertices=model.stats.model_vertices,
+        edge_ratio=model.stats.edge_ratio,
+        vertex_ratio=model.stats.vertex_ratio,
+        mean_error=mean_error,
+        std_error=std_error,
+        extraction_seconds=extraction_seconds,
+        reference=reference,
+    )
+
+
 def run_table1(
     circuits: Optional[Sequence[str]] = None,
     config: ExperimentConfig = DEFAULT_CONFIG,
     library: Optional[Library] = None,
     validate_accuracy: bool = True,
+    workers: Optional[int] = None,
+    executor=None,
 ) -> Table1Result:
-    """Regenerate Table I for the requested circuits (default: full suite)."""
+    """Regenerate Table I for the requested circuits (default: full suite).
+
+    ``workers`` (default: ``config.workers``, then ``REPRO_WORKERS``)
+    shards the per-circuit rows across the process pool — each row is an
+    independent characterize/extract/validate pipeline.  Row values are
+    identical to a serial run; only the per-row ``T`` timings reflect the
+    worker the row ran on.
+    """
+    from repro.parallel.pool import maybe_executor
+
     if circuits is None:
         circuits = TABLE1_CIRCUITS
-    library = standard_library() if library is None else library
-
-    rows: List[Table1Row] = []
-    for name in circuits:
-        circuit = characterize_circuit(name, config, library)
-        start = time.perf_counter()
-        analysis = AllPairsTiming.analyze(circuit.graph)
-        criticalities = compute_edge_criticalities(circuit.graph, analysis)
-        model = extract_timing_model(
-            circuit.graph,
-            circuit.variation,
-            config.criticality_threshold,
-            analysis=analysis,
-            criticalities=criticalities,
-        )
-        extraction_seconds = time.perf_counter() - start
-
-        if validate_accuracy:
-            mean_error, std_error, reference = _model_accuracy(circuit, model, analysis, config)
-        else:
-            mean_error, std_error, reference = 0.0, 0.0, "skipped"
-
-        rows.append(
-            Table1Row(
-                circuit=name,
-                original_edges=model.stats.original_edges,
-                original_vertices=model.stats.original_vertices,
-                model_edges=model.stats.model_edges,
-                model_vertices=model.stats.model_vertices,
-                edge_ratio=model.stats.edge_ratio,
-                vertex_ratio=model.stats.vertex_ratio,
-                mean_error=mean_error,
-                std_error=std_error,
-                extraction_seconds=extraction_seconds,
-                reference=reference,
-            )
-        )
-    return Table1Result(rows=rows, config=config)
+    payloads = [
+        (name, config, library, validate_accuracy) for name in circuits
+    ]
+    executor = maybe_executor(
+        config.workers if workers is None else workers, executor
+    )
+    if executor is not None and executor.engine == "process":
+        rows = executor.run("table1_row", payloads)
+    else:
+        rows = [_table1_row(payload) for payload in payloads]
+    return Table1Result(rows=list(rows), config=config)

@@ -317,6 +317,7 @@ class DesignTimer:
         design: HierarchicalDesign,
         mode: CorrelationMode = CorrelationMode.REPLACEMENT,
         required_time: Optional[CanonicalForm] = None,
+        workers: Optional[int] = None,
     ) -> None:
         graph, grids, pca, membership = _assemble_design_graph(design, mode)
         self._design = design
@@ -326,6 +327,7 @@ class DesignTimer:
         self._membership = membership
         self._timer = IncrementalTimer(graph, required_time=required_time)
         self._module_sessions: Dict[str, ExtractionSession] = {}
+        self._workers = workers
         self._mc_session = None
         self._mc_key: Optional[Tuple] = None
         self._mc_library = None  # strong ref: the session cache is keyed to it
@@ -361,6 +363,25 @@ class DesignTimer:
     def timer(self) -> IncrementalTimer:
         """The underlying incremental timing session."""
         return self._timer
+
+    @property
+    def workers(self) -> Optional[int]:
+        """Worker count of the timer's sharded analyses (``None``: serial)."""
+        return self._workers
+
+    def corner_report(self, sigma_corner: float = 3.0):
+        """Corner STA of the live design graph, sharded across workers.
+
+        The three corners run over the session's incrementally maintained
+        array view via :func:`repro.timing.sta.corner_sta_parallel`; with
+        no worker count configured (or no usable shared memory) this is
+        exactly :func:`repro.timing.sta.corner_sta` on the timer.
+        """
+        from repro.timing.sta import corner_sta_parallel
+
+        return corner_sta_parallel(
+            sigma_corner=sigma_corner, timer=self._timer, workers=self._workers
+        )
 
     # ------------------------------------------------------------------
     def swap_instance_model(

@@ -6,6 +6,15 @@ one shared standard-normal draw per correlated component (global plus local
 PCA variables) and private noise per edge — then computes per-sample
 longest paths.
 
+Sampling is **counter-based per block**: the sample axis is divided into
+fixed :data:`MC_SAMPLE_BLOCK`-sample blocks and block ``b`` is drawn from
+its own keyed stream ``(seed, 2, b)``.  A block's draws therefore depend
+only on the seed and the block index — never on the chunk size, the number
+of workers, or which process draws it — so the one-shot simulators are
+bit-identical across chunkings and across any sharding of the sample axis
+(see :mod:`repro.parallel`).  Per-pair moments accumulate per block in
+ascending block order for the same reason.
+
 Two propagation engines share the public API, mirroring the levelized /
 object split of :mod:`repro.timing.propagation`:
 
@@ -21,8 +30,8 @@ object split of :mod:`repro.timing.propagation`:
 * the **object-level engine** (``engine="object"``) is the original
   per-vertex loop over ``fanin_edges``, kept as the readable reference
   and as the parity baseline (both engines produce bit-identical samples
-  for the same seed and chunk size — ``max`` and ``+`` are exact, so the
-  fold order does not matter).
+  for the same seed — ``max`` and ``+`` are exact, so the fold order does
+  not matter).
 
 On top of the one-shot simulators, :class:`MonteCarloSession` keeps the
 sampled ``(E, S)`` edge-delay matrix alive as a cache keyed to the graph's
@@ -34,6 +43,7 @@ resample) and only the affected sample cone is repropagated.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -49,11 +59,13 @@ __all__ = [
     "AUTO_LEVELIZED_MIN_EDGES",
     "MC_ARRIVALS_CACHE_MAX_FLOATS",
     "MC_CHUNK_BUDGET_FLOATS",
+    "MC_SAMPLE_BLOCK",
     "MonteCarloRefresh",
     "MonteCarloResult",
     "MonteCarloSession",
     "IoDelayStatistics",
     "auto_chunk_size",
+    "mc_chunk_budget",
     "simulate_graph_delay",
     "simulate_io_delays",
 ]
@@ -72,11 +84,46 @@ AUTO_LEVELIZED_MIN_EDGES = AUTO_BATCH_MIN_EDGES // 16
 #: 4M floats (32 MiB) keeps the chunk working set last-level-cache
 #: resident on typical hardware — the levelized kernel's sweet spot
 #: (measured on c7552: ~40 us/sample at chunk 256 vs ~56 us at 1024).
+#: Overridable per run via the ``REPRO_MC_CHUNK_BUDGET`` environment
+#: variable (see :func:`mc_chunk_budget`).
 MC_CHUNK_BUDGET_FLOATS = 1 << 22
+
+#: Environment variable overriding :data:`MC_CHUNK_BUDGET_FLOATS`.
+MC_CHUNK_BUDGET_ENV = "REPRO_MC_CHUNK_BUDGET"
 
 #: Bounds of the auto-sized chunk (an explicit ``chunk_size`` still wins).
 MC_MIN_CHUNK = 16
 MC_MAX_CHUNK = 8192
+
+#: Samples per counter-based sampling block: block ``b`` of a run is drawn
+#: from the keyed stream ``(seed, 2, b)`` (domain constant 2 — disjoint
+#: from :class:`MonteCarloSession`'s ``(seed, 0)`` correlated and
+#: ``(seed, 1, edge_id)`` per-edge streams).  Chunks and worker shards are
+#: block-aligned so each block is always drawn whole by exactly one owner.
+MC_SAMPLE_BLOCK = 128
+
+
+def mc_chunk_budget() -> int:
+    """The active chunk working-set budget (float64 elements).
+
+    Reads ``REPRO_MC_CHUNK_BUDGET`` on every call so tests and batch jobs
+    can retune chunking without touching code; raises a clear
+    ``ValueError`` on a non-integer or non-positive override.
+    """
+    raw = os.environ.get(MC_CHUNK_BUDGET_ENV)
+    if raw is None:
+        return MC_CHUNK_BUDGET_FLOATS
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be an integer, got %r" % (MC_CHUNK_BUDGET_ENV, raw)
+        ) from None
+    if budget <= 0:
+        raise ValueError(
+            "%s must be positive, got %d" % (MC_CHUNK_BUDGET_ENV, budget)
+        )
+    return budget
 
 #: Largest ``V x S`` arrival matrix a :class:`MonteCarloSession` caches by
 #: default for dirty-cone repropagation (512 MiB of float64).  Larger
@@ -94,12 +141,12 @@ def auto_chunk_size(
 
     Sizes the chunk so that ``delays (E, chunk)`` plus the per-source
     arrival and candidate blocks (``(V, chunk)`` and ``~(E, chunk)`` each,
-    times ``num_sources`` for the multi-source kernel) stay within
-    :data:`MC_CHUNK_BUDGET_FLOATS`, clipped to
+    times ``num_sources`` for the multi-source kernel) stay within the
+    active budget (:func:`mc_chunk_budget`), clipped to
     ``[MC_MIN_CHUNK, MC_MAX_CHUNK]`` and to ``num_samples``.
     """
     per_sample = num_edges + (num_vertices + num_edges) * max(int(num_sources), 1)
-    chunk = MC_CHUNK_BUDGET_FLOATS // max(per_sample, 1)
+    chunk = mc_chunk_budget() // max(per_sample, 1)
     chunk = max(MC_MIN_CHUNK, min(MC_MAX_CHUNK, int(chunk)))
     if num_samples is not None:
         chunk = min(chunk, int(num_samples))
@@ -224,16 +271,35 @@ class IoDelayStatistics:
 # ----------------------------------------------------------------------
 # Sampling
 # ----------------------------------------------------------------------
-def _sample_edge_delays(
-    arrays: GraphArrays, num_samples: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Sample every edge delay; returns an ``(E, num_samples)`` matrix.
+def _block_rng(seed: int, block: int) -> np.random.Generator:
+    """The keyed stream of one sampling block (domain constant 2)."""
+    return np.random.default_rng((int(seed), 2, int(block)))
 
-    Delegates to the edge delays' :class:`CanonicalBatch` view, which draws
-    one shared standard-normal vector per correlated component and private
-    noise only for edges with a non-zero private variance.
+
+def _sample_delay_range(
+    arrays: GraphArrays, seed: int, num_samples: int, start: int, stop: int
+) -> np.ndarray:
+    """Sampled edge delays of samples ``[start, stop)``, ``(E, stop-start)``.
+
+    Assembled from whole counter-based blocks: block ``b`` always draws its
+    full ``min(MC_SAMPLE_BLOCK, num_samples - b * MC_SAMPLE_BLOCK)`` columns
+    from its own stream and the requested window is sliced out, so the
+    values of any sample depend only on ``(seed, num_samples)`` — never on
+    the chunking or sharding that requested them.
     """
-    return arrays.edge_batch.sample(rng, num_samples)
+    batch = arrays.edge_batch
+    parts = []
+    block = start // MC_SAMPLE_BLOCK
+    last = (stop - 1) // MC_SAMPLE_BLOCK
+    while block <= last:
+        low = block * MC_SAMPLE_BLOCK
+        high = min(low + MC_SAMPLE_BLOCK, num_samples)
+        draws = batch.sample(_block_rng(seed, block), high - low)
+        parts.append(draws[:, max(start, low) - low : min(stop, high) - low])
+        block += 1
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts, axis=1)
 
 
 # ----------------------------------------------------------------------
@@ -455,12 +521,55 @@ def _reachable_from(arrays: GraphArrays, source_rows: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 # One-shot simulators
 # ----------------------------------------------------------------------
+def _simulate_delay_range(
+    arrays: GraphArrays,
+    seed: int,
+    num_samples: int,
+    start: int,
+    stop: int,
+    chunk_size: int,
+    levelized: bool = True,
+) -> np.ndarray:
+    """Circuit-delay samples ``[start, stop)`` of a ``num_samples`` run.
+
+    The unit of work of the sharded delay simulation: per-sample values are
+    exact (``max`` and ``+`` have no rounding), so any partitioning of the
+    sample axis into ranges — and any chunking within a range — reproduces
+    the same values bit for bit.
+    """
+    kernel = _longest_paths_levelized if levelized else _longest_paths_object
+    input_rows = arrays.input_rows
+    output_rows = arrays.output_rows
+    samples = np.empty(stop - start, dtype=float)
+    done = start
+    while done < stop:
+        chunk = min(chunk_size, stop - done)
+        delays = _sample_delay_range(arrays, seed, num_samples, done, done + chunk)
+        arrivals = kernel(arrays, delays, input_rows)
+        samples[done - start : done - start + chunk] = arrivals[output_rows].max(
+            axis=0
+        )
+        done += chunk
+    return samples
+
+
+def _check_shardable_engine(engine: str) -> None:
+    """The object-level reference cannot be sharded (workers see no graph)."""
+    if engine == "object":
+        raise ValueError(
+            "engine='object' cannot run with workers > 1; use the levelized "
+            "engine (bit-identical) or drop the worker count"
+        )
+
+
 def simulate_graph_delay(
     graph: TimingGraph,
     num_samples: int = 10000,
     seed: int = 0,
     chunk_size: Optional[int] = None,
     engine: str = "auto",
+    workers: Optional[int] = None,
+    executor=None,
 ) -> MonteCarloResult:
     """Monte Carlo distribution of the graph's input-to-output delay.
 
@@ -469,36 +578,113 @@ def simulate_graph_delay(
     delays.  ``chunk_size=None`` auto-sizes the sample chunks from the
     graph size (see :func:`auto_chunk_size`); ``engine`` selects the
     levelized kernel, the object-level reference loop or a size-based
-    choice (``"auto"``).  Both engines draw the same random stream and
-    produce bit-identical samples for the same seed and chunk size.
+    choice (``"auto"``).  Sampling is counter-based per block, so the
+    samples depend only on ``(seed, num_samples)`` — both engines, every
+    chunk size and every worker count produce bit-identical samples.
+
+    ``workers`` (or the ``REPRO_WORKERS`` environment variable, or an
+    explicit :class:`~repro.parallel.pool.ShardedExecutor` via
+    ``executor``) shards block-aligned sample ranges across a process pool
+    over a shared-memory snapshot of the graph arrays; when shared memory
+    is unavailable or only one worker resolves, the run falls back to this
+    serial path with identical results.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
     if not graph.inputs or not graph.outputs:
         raise TimingGraphError("Monte Carlo needs designated inputs and outputs")
 
+    from repro.parallel.pool import maybe_executor
+
     start = time.perf_counter()
     arrays = GraphArrays.from_graph(graph)
-    input_rows = arrays.input_rows
-    output_rows = arrays.output_rows
     chunk_size = _resolve_chunk_size(chunk_size, arrays, 1, num_samples)
-    kernel = (
-        _longest_paths_levelized
-        if _resolve_engine(engine, graph.num_edges) == "levelized"
-        else _longest_paths_object
-    )
+    executor = maybe_executor(workers, executor)
+    if executor is not None and executor.engine != "process":
+        executor = None  # graceful serial fallback (bit-identical)
+    if executor is not None:
+        _check_shardable_engine(engine)
+        from repro.parallel.shard import partition_samples
 
-    rng = np.random.default_rng(seed)
-    samples = np.empty(num_samples, dtype=float)
-    done = 0
-    while done < num_samples:
-        chunk = min(chunk_size, num_samples - done)
-        delays = _sample_edge_delays(arrays, chunk, rng)
-        arrivals = kernel(arrays, delays, input_rows)
-        samples[done : done + chunk] = arrivals[output_rows].max(axis=0)
-        done += chunk
+        ranges = partition_samples(num_samples, executor.workers, MC_SAMPLE_BLOCK)
+        payloads = [
+            (seed, num_samples, lo, hi, chunk_size) for lo, hi in ranges
+        ]
+        samples = np.concatenate(executor.run("mc_delay_range", payloads, arrays))
+    else:
+        levelized = _resolve_engine(engine, graph.num_edges) == "levelized"
+        samples = _simulate_delay_range(
+            arrays, seed, num_samples, 0, num_samples, chunk_size, levelized
+        )
     elapsed = time.perf_counter() - start
     return MonteCarloResult(samples=samples, elapsed_seconds=elapsed)
+
+
+def _io_block_moments(
+    arrays: GraphArrays,
+    seed: int,
+    num_samples: int,
+    start: int,
+    stop: int,
+    chunk_size: int,
+    levelized: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-block IO moment partials of samples ``[start, stop)``.
+
+    ``start``/``stop`` must be block-aligned (``stop`` may be the final
+    partial block's end).  Returns ``(sums, square_sums)`` stacks of shape
+    ``(blocks, I, O)``: entry ``k`` holds the output-arrival moment sums of
+    the ``k``-th covered block.  The per-block partial is the canonical
+    accumulation unit — a fixed-length reduction over one whole block — so
+    it is invariant to the chunking that computed it, and summing the
+    stacks in ascending block order reproduces the serial statistics bit
+    for bit no matter how the blocks were sharded.
+    """
+    input_rows = arrays.input_rows
+    output_rows = arrays.output_rows
+    num_inputs = input_rows.shape[0]
+    num_outputs = output_rows.shape[0]
+    # Chunks must cover whole blocks so every block's reduction happens in
+    # one piece; round the requested chunk down to a block multiple.
+    chunk_size = max(
+        MC_SAMPLE_BLOCK, chunk_size // MC_SAMPLE_BLOCK * MC_SAMPLE_BLOCK
+    )
+    sums_parts = []
+    square_parts = []
+    done = start
+    while done < stop:
+        chunk = min(chunk_size, stop - done)
+        delays = _sample_delay_range(arrays, seed, num_samples, done, done + chunk)
+        if levelized:
+            arrivals = _longest_paths_multi_source(arrays, delays, input_rows)
+            output_arrivals = arrivals[output_rows].transpose(1, 0, 2)  # (I, O, chunk)
+            finite = np.where(np.isfinite(output_arrivals), output_arrivals, 0.0)
+            for offset in range(0, chunk, MC_SAMPLE_BLOCK):
+                block = finite[:, :, offset : offset + MC_SAMPLE_BLOCK]
+                sums_parts.append(block.sum(axis=2))
+                square_parts.append((block * block).sum(axis=2))
+        else:
+            blocks = range(0, chunk, MC_SAMPLE_BLOCK)
+            chunk_sums = np.empty((len(blocks), num_inputs, num_outputs))
+            chunk_squares = np.empty_like(chunk_sums)
+            for input_position in range(num_inputs):
+                source_rows = input_rows[input_position : input_position + 1]
+                arrivals = _longest_paths_object(arrays, delays, source_rows)
+                output_arrivals = arrivals[output_rows]  # (O, chunk)
+                finite = np.where(np.isfinite(output_arrivals), output_arrivals, 0.0)
+                for position, offset in enumerate(blocks):
+                    block = finite[:, offset : offset + MC_SAMPLE_BLOCK]
+                    chunk_sums[position, input_position] = block.sum(axis=1)
+                    chunk_squares[position, input_position] = (block * block).sum(
+                        axis=1
+                    )
+            sums_parts.extend(chunk_sums)
+            square_parts.extend(chunk_squares)
+        done += chunk
+    shape = (len(sums_parts), num_inputs, num_outputs)
+    if not sums_parts:
+        return np.zeros(shape), np.zeros(shape)
+    return np.stack(sums_parts), np.stack(square_parts)
 
 
 def simulate_io_delays(
@@ -507,6 +693,8 @@ def simulate_io_delays(
     seed: int = 0,
     chunk_size: Optional[int] = None,
     engine: str = "auto",
+    workers: Optional[int] = None,
+    executor=None,
 ) -> IoDelayStatistics:
     """Monte Carlo mean and sigma of every input-to-output delay.
 
@@ -514,57 +702,63 @@ def simulate_io_delays(
     The levelized engine computes all ``|I|`` per-input propagations of a
     chunk in one ``(V, I, chunk)`` pass sharing a single sampled delay
     matrix; the object-level reference (``engine="object"``) runs the
-    original one-propagation-per-input loop.  Both consume the random
-    stream identically, so their statistics are bit-identical for the same
-    seed and chunk size.  The ``valid`` mask is derived structurally from
-    per-input reachability, so a pair is NaN exactly when no path connects
-    it.  ``chunk_size=None`` auto-sizes the chunks accounting for the
-    ``|I|``-wide source axis.
+    original one-propagation-per-input loop.  Sampling is counter-based per
+    block and moments accumulate per block in ascending order, so the
+    statistics are bit-identical across engines, chunk sizes and worker
+    counts for the same ``(seed, num_samples)``.  The ``valid`` mask is
+    derived structurally from per-input reachability, so a pair is NaN
+    exactly when no path connects it.  ``chunk_size=None`` auto-sizes the
+    chunks accounting for the ``|I|``-wide source axis; ``workers`` /
+    ``executor`` shard block ranges exactly like
+    :func:`simulate_graph_delay`.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
     if not graph.inputs or not graph.outputs:
         raise TimingGraphError("Monte Carlo needs designated inputs and outputs")
 
+    from repro.parallel.pool import maybe_executor
+
     start = time.perf_counter()
     arrays = GraphArrays.from_graph(graph)
-    index = arrays.vertex_index
     num_inputs = len(graph.inputs)
     num_outputs = len(graph.outputs)
     input_rows = arrays.input_rows
     output_rows = arrays.output_rows
-    # Both engines share the (multi-source-aware) chunk size so that the
-    # chunked RNG streams — and therefore the samples — line up exactly.
     chunk_size = _resolve_chunk_size(chunk_size, arrays, num_inputs, num_samples)
-    levelized = _resolve_engine(engine, graph.num_edges) == "levelized"
+    executor = maybe_executor(workers, executor)
+    if executor is not None and executor.engine != "process":
+        executor = None  # graceful serial fallback (bit-identical)
 
     # Structural validity: a pair is connected iff the output is reachable
     # from the input, independently of any sampled delay values.
     reachable = np.ascontiguousarray(_reachable_from(arrays, input_rows)[output_rows].T)
 
+    if executor is not None:
+        _check_shardable_engine(engine)
+        from repro.parallel.shard import partition_samples
+
+        ranges = partition_samples(num_samples, executor.workers, MC_SAMPLE_BLOCK)
+        payloads = [
+            (seed, num_samples, lo, hi, chunk_size) for lo, hi in ranges
+        ]
+        parts = executor.run("mc_io_blocks", payloads, arrays)
+        stacks = [part[0] for part in parts], [part[1] for part in parts]
+        sums_stack = np.concatenate(stacks[0])
+        square_stack = np.concatenate(stacks[1])
+    else:
+        levelized = _resolve_engine(engine, graph.num_edges) == "levelized"
+        sums_stack, square_stack = _io_block_moments(
+            arrays, seed, num_samples, 0, num_samples, chunk_size, levelized
+        )
+
+    # Sequential per-block accumulation in ascending block order: the exact
+    # same sequence of additions as any other partitioning of the blocks.
     sums = np.zeros((num_inputs, num_outputs), dtype=float)
     square_sums = np.zeros((num_inputs, num_outputs), dtype=float)
-
-    rng = np.random.default_rng(seed)
-    done = 0
-    while done < num_samples:
-        chunk = min(chunk_size, num_samples - done)
-        delays = _sample_edge_delays(arrays, chunk, rng)
-        if levelized:
-            arrivals = _longest_paths_multi_source(arrays, delays, input_rows)
-            output_arrivals = arrivals[output_rows].transpose(1, 0, 2)  # (I, O, chunk)
-            finite = np.where(np.isfinite(output_arrivals), output_arrivals, 0.0)
-            sums += finite.sum(axis=2)
-            square_sums += (finite * finite).sum(axis=2)
-        else:
-            for input_position, input_name in enumerate(graph.inputs):
-                source_rows = np.asarray([index[input_name]], dtype=np.int64)
-                arrivals = _longest_paths_object(arrays, delays, source_rows)
-                output_arrivals = arrivals[output_rows]  # (O, chunk)
-                finite = np.where(np.isfinite(output_arrivals), output_arrivals, 0.0)
-                sums[input_position] += finite.sum(axis=1)
-                square_sums[input_position] += (finite * finite).sum(axis=1)
-        done += chunk
+    for position in range(sums_stack.shape[0]):
+        sums += sums_stack[position]
+        square_sums += square_stack[position]
 
     means = sums / float(num_samples)
     variances = np.maximum(square_sums / float(num_samples) - means * means, 0.0)
@@ -627,10 +821,10 @@ class MonteCarloSession:
     ``(seed, 1, edge_id)``, so a patched matrix is identical to the matrix a
     cold session would sample from the edited graph — warm revalidation
     matches a cold run to floating-point round-off (asserted at 1e-9 by
-    the parity tests).  Note this stream layout differs from the one-shot
-    simulators' sequential chunk stream: a session and
-    :func:`simulate_graph_delay` agree in distribution, not sample by
-    sample.
+    the parity tests).  Note this per-edge stream layout differs from the
+    one-shot simulators' per-block streams (``(seed, 2, block)``): a
+    session and :func:`simulate_graph_delay` agree in distribution, not
+    sample by sample.
     """
 
     def __init__(

@@ -151,16 +151,28 @@ def monte_carlo_hierarchical(
     chunk_size: Optional[int] = None,
     library: Optional[Library] = None,
     engine: str = "auto",
+    workers: Optional[int] = None,
+    executor=None,
 ) -> MonteCarloResult:
     """Monte Carlo delay distribution of the flattened hierarchical design.
 
     The simulator draws every edge delay jointly from the flattened graph's
     :class:`CanonicalBatch` view (see :func:`flat_edge_batch`) and
     propagates with the levelized Monte Carlo engine (``engine``/
-    ``chunk_size`` forward to :func:`simulate_graph_delay`;
-    ``chunk_size=None`` auto-sizes from the flattened graph).  For warm
+    ``chunk_size``/``workers``/``executor`` forward to
+    :func:`simulate_graph_delay`; ``chunk_size=None`` auto-sizes from the
+    flattened graph, a worker count shards block-aligned sample ranges
+    across the process pool with bit-identical results).  For warm
     re-validation after design ECOs, see
     :meth:`repro.hier.analysis.DesignTimer.revalidate_monte_carlo`.
     """
     graph = build_flat_timing_graph(design, library)
-    return simulate_graph_delay(graph, num_samples, seed, chunk_size, engine=engine)
+    return simulate_graph_delay(
+        graph,
+        num_samples,
+        seed,
+        chunk_size,
+        engine=engine,
+        workers=workers,
+        executor=executor,
+    )

@@ -1,0 +1,47 @@
+"""Zero-copy shared-memory process pool for embarrassingly parallel analyses.
+
+The package shards corner STA, Monte Carlo sample ranges and multi-design
+experiment sweeps across worker processes:
+
+* :mod:`repro.parallel.shm` publishes a :class:`~repro.timing.arrays.GraphArrays`
+  snapshot into ``multiprocessing.shared_memory`` once and lets every
+  worker attach zero-copy;
+* :mod:`repro.parallel.pool` is the persistent spawn-safe
+  :class:`~repro.parallel.pool.ShardedExecutor` behind the uniform
+  ``engine="auto"|"serial"|"process"`` selection pattern, with graceful
+  serial fallback;
+* :mod:`repro.parallel.shard` holds the work partitioners and the task
+  registry.
+
+All sharded analyses are **deterministic by construction**: Monte Carlo
+draws are counter-based per sample block, so any partitioning of the work
+reproduces the serial results bit for bit.
+"""
+
+from repro.parallel.shm import (
+    SharedArraysHandle,
+    SharedGraphArrays,
+    SnapshotArrays,
+    shared_memory_available,
+)
+from repro.parallel.pool import (
+    ShardedExecutor,
+    maybe_executor,
+    resolve_workers,
+    shared_executor,
+)
+from repro.parallel.shard import TASKS, partition_samples, task
+
+__all__ = [
+    "SharedArraysHandle",
+    "SharedGraphArrays",
+    "ShardedExecutor",
+    "SnapshotArrays",
+    "TASKS",
+    "maybe_executor",
+    "partition_samples",
+    "resolve_workers",
+    "shared_executor",
+    "shared_memory_available",
+    "task",
+]

@@ -1,0 +1,271 @@
+"""Persistent sharded worker pool over shared-memory graph snapshots.
+
+:class:`ShardedExecutor` runs registered task functions (see
+:mod:`repro.parallel.shard`) over lists of payloads, either in-process
+(serial engine) or on a persistent pool of **spawned** worker processes
+(process engine).  The executor follows the repo's uniform engine-selection
+pattern — ``engine="auto"|"serial"|"process"`` — and degrades gracefully:
+
+* ``"auto"`` picks the process engine only when more than one worker is
+  requested *and* shared memory actually works on the host; otherwise it
+  falls back to the serial engine and records why in
+  :attr:`ShardedExecutor.fallback_reason`;
+* the serial engine calls the task functions directly with the caller's
+  live :class:`~repro.timing.arrays.GraphArrays` — zero copies, identical
+  results (every task is written to be partition-deterministic);
+* the process engine publishes the arrays once per graph revision as a
+  :class:`~repro.parallel.shm.SharedGraphArrays` snapshot and ships only
+  the small picklable handle with each task; workers lazily attach on
+  first use and cache the attachment (see
+  :func:`repro.parallel.shm.attach_cached`).
+
+Worker counts resolve from the explicit argument, else the
+``REPRO_WORKERS`` environment variable, else 1; both are validated with a
+clear ``ValueError``.  The pool uses the ``spawn`` start method so workers
+never inherit interpreter state (fork-unsafe extensions, open segments).
+:func:`shared_executor` keeps one process-wide executor per worker count so
+repeated analyses amortise the pool start-up; all shared executors are
+closed at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.shm import SharedGraphArrays, shared_memory_available
+
+__all__ = [
+    "ShardedExecutor",
+    "maybe_executor",
+    "resolve_workers",
+    "shared_executor",
+]
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Published snapshots an executor keeps alive at once (per source graph
+#: the newest revision is kept; this bounds distinct graphs).
+_PUBLISH_CACHE_MAX = 4
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Validated worker count: explicit argument > ``REPRO_WORKERS`` > 1.
+
+    Raises ``ValueError`` on a non-integer or non-positive count, naming
+    the offending source.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV)
+        if raw is None:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                "%s must be an integer, got %r" % (WORKERS_ENV, raw)
+            ) from None
+        if workers <= 0:
+            raise ValueError(
+                "%s must be positive, got %d" % (WORKERS_ENV, workers)
+            )
+        return workers
+    workers = int(workers)
+    if workers <= 0:
+        raise ValueError("workers must be positive, got %d" % workers)
+    return workers
+
+
+def _invoke(item: Tuple[str, object, object]):
+    """Worker-side task trampoline (module-level: must be picklable)."""
+    task_name, handle, payload = item
+    from repro.parallel import shard
+
+    arrays = None
+    if handle is not None:
+        from repro.parallel.shm import attach_cached
+
+        arrays = attach_cached(handle).arrays
+    return shard.TASKS[task_name](arrays, payload)
+
+
+class ShardedExecutor:
+    """A reusable executor sharding task payloads across worker processes."""
+
+    def __init__(self, workers: Optional[int] = None, engine: str = "auto") -> None:
+        if engine not in ("auto", "serial", "process"):
+            raise ValueError("unknown executor engine %r" % engine)
+        self._workers = resolve_workers(workers)
+        self.fallback_reason: Optional[str] = None
+        if engine == "auto":
+            if self._workers <= 1:
+                engine = "serial"
+                self.fallback_reason = "single worker requested"
+            elif not shared_memory_available():
+                engine = "serial"
+                self.fallback_reason = "shared memory unavailable"
+            else:
+                engine = "process"
+        elif engine == "process" and not shared_memory_available():
+            raise ValueError(
+                "engine='process' requires working shared memory on this host"
+            )
+        self._engine = engine
+        self._pool = None
+        self._closed = False
+        # graph id -> (strong ref to the source arrays, published snapshot).
+        # The arrays reference pins the id so it cannot be recycled while
+        # the snapshot entry is alive.
+        self._published: Dict[int, Tuple[object, SharedGraphArrays]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Resolved worker count (1 in serial mode still partitions work)."""
+        return self._workers
+
+    @property
+    def engine(self) -> str:
+        """The resolved engine: ``"serial"`` or ``"process"``."""
+        return self._engine
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context("spawn")
+            self._pool = context.Pool(processes=self._workers)
+        return self._pool
+
+    def _publish(self, arrays) -> SharedGraphArrays:
+        """The current snapshot of ``arrays``, re-published on revision change."""
+        key = id(arrays)
+        entry = self._published.get(key)
+        if entry is not None:
+            _source, shared = entry
+            if not shared.closed and shared.revision == arrays.revision:
+                return shared
+            self._published.pop(key, None)
+            shared.close()
+        shared = SharedGraphArrays.publish(arrays)
+        self._published[key] = (arrays, shared)
+        while len(self._published) > _PUBLISH_CACHE_MAX:
+            stale_key = next(iter(self._published))
+            _source, stale = self._published.pop(stale_key)
+            stale.close()
+        return shared
+
+    def run(
+        self, task_name: str, payloads: Sequence[object], arrays=None
+    ) -> List[object]:
+        """Run one registered task over ``payloads``; returns results in order.
+
+        ``arrays`` (optional) is the :class:`GraphArrays` the task operates
+        on: the serial engine hands it to the task directly, the process
+        engine ships its shared-memory snapshot's handle instead.
+        """
+        if self._closed:
+            raise ValueError("executor is closed")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        from repro.parallel import shard
+
+        task = shard.TASKS[task_name]  # unknown task: fail before forking work
+        if self._engine == "serial":
+            return [task(arrays, payload) for payload in payloads]
+        handle = self._publish(arrays).handle if arrays is not None else None
+        items = [(task_name, handle, payload) for payload in payloads]
+        return self._ensure_pool().map(_invoke, items, chunksize=1)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and release every published snapshot (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        for _source, shared in self._published.values():
+            shared.close()
+        self._published = {}
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "ShardedExecutor(workers=%d, engine=%r%s)" % (
+            self._workers,
+            self._engine,
+            ", closed" if self._closed else "",
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide shared executors
+# ----------------------------------------------------------------------
+_SHARED: Dict[int, ShardedExecutor] = {}
+
+
+def shared_executor(workers: Optional[int] = None) -> ShardedExecutor:
+    """The process-wide persistent executor for the resolved worker count.
+
+    Spawning a pool costs whole seconds (workers re-import numpy and the
+    package); sharing one executor per worker count across analyses
+    amortises that to a one-time cost.  Shared executors are closed
+    automatically at interpreter exit.
+    """
+    count = resolve_workers(workers)
+    executor = _SHARED.get(count)
+    if executor is None or executor.closed:
+        executor = ShardedExecutor(workers=count, engine="auto")
+        _SHARED[count] = executor
+    return executor
+
+
+def maybe_executor(
+    workers: Optional[int] = None, executor: Optional[ShardedExecutor] = None
+) -> Optional[ShardedExecutor]:
+    """Resolve a consumer API's optional sharding arguments.
+
+    Returns ``executor`` unchanged when given; otherwise ``None`` when no
+    worker count was requested anywhere (``workers`` is ``None`` and
+    ``REPRO_WORKERS`` is unset) — the caller runs its plain serial path —
+    else the shared persistent executor for the resolved count.  Inside a
+    pool worker (a daemonic process, which may not spawn children) this
+    always resolves to ``None``, so a globally exported ``REPRO_WORKERS``
+    cannot trigger nested pools: sharded tasks run their inner analyses
+    serially.
+    """
+    if executor is not None:
+        return executor
+    if workers is None and WORKERS_ENV not in os.environ:
+        return None
+    import multiprocessing
+
+    if multiprocessing.current_process().daemon:
+        return None
+    return shared_executor(workers)
+
+
+@atexit.register
+def _close_shared_executors() -> None:  # pragma: no cover - exit hook
+    for executor in list(_SHARED.values()):
+        try:
+            executor.close()
+        except Exception:
+            pass
+    _SHARED.clear()

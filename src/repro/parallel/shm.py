@@ -1,0 +1,444 @@
+"""Zero-copy shared-memory snapshots of :class:`~repro.timing.arrays.GraphArrays`.
+
+The parallel engines shard embarrassingly parallel analyses (corner STA,
+Monte Carlo chunks) across worker processes.  Re-pickling the timing graph
+per task would drown the win, so the flat numpy arrays of a
+:class:`GraphArrays` view are *published* once into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and every
+worker *attaches* to the same physical pages — a zero-copy snapshot:
+
+* :meth:`SharedGraphArrays.publish` (owner side) lays the edge arrays plus
+  the input/output row vectors into one segment and returns the owning
+  handle object; :attr:`SharedGraphArrays.handle` is a small picklable
+  :class:`SharedArraysHandle` (segment name, per-field offsets/shapes,
+  graph revision) that travels to workers inside task payloads;
+* :meth:`SharedGraphArrays.attach` (worker side) maps the segment and
+  rebuilds a read-only :class:`SnapshotArrays` — a ``GraphArrays`` whose
+  numpy arrays are views straight into the shared pages, good enough for
+  every levelized kernel (levels and adjacency are derived lazily per
+  worker and cached on the snapshot);
+* the handle is **revision-tagged**: it records the graph revision the
+  snapshot was published at, so executors re-publish when the source
+  arrays move on and workers can key their attachment caches safely.
+
+Lifecycle: the owner :meth:`~SharedGraphArrays.close` both unmaps and
+unlinks (exactly once — repeated closes are no-ops); workers
+:meth:`~SharedGraphArrays.close` only unmap.  Worker attachments stay
+invisible to the ``multiprocessing`` resource tracker (the segment has
+exactly one owner; per-attachment tracking corrupts the shared tracker's
+books and sprays spurious ``resource_tracker`` noise on POSIX).
+:meth:`~SharedGraphArrays.nbytes_report` accounts for every field so
+benchmarks can report exactly what a snapshot costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TimingGraphError
+from repro.timing.arrays import GraphArrays
+
+__all__ = [
+    "SharedArraysHandle",
+    "SharedGraphArrays",
+    "SnapshotArrays",
+    "shared_memory_available",
+]
+
+#: Field offsets are aligned so every array view starts on a cache line.
+_ALIGN = 64
+
+#: The arrays of a :class:`GraphArrays` snapshot, in segment order.
+_FIELDS: Tuple[str, ...] = (
+    "edge_ids",
+    "edge_source",
+    "edge_sink",
+    "edge_mean",
+    "edge_corr",
+    "edge_randvar",
+    "input_rows",
+    "output_rows",
+)
+
+_AVAILABLE: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX/Windows shared memory actually works on this host.
+
+    Probes once (create, map, unlink a tiny segment) and caches the
+    answer; sandboxed environments without ``/dev/shm`` fail the probe and
+    every parallel consumer falls back to the serial engine.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+@dataclass(frozen=True)
+class SharedArraysHandle:
+    """Picklable descriptor of one published snapshot.
+
+    ``fields`` maps field name to ``(offset, shape, dtype_str)`` inside the
+    segment; ``revision`` tags the graph revision of the snapshot so stale
+    attachments are detectable.
+    """
+
+    shm_name: str
+    graph_name: str
+    revision: int
+    num_vertices: int
+    num_corr: int
+    total_bytes: int
+    fields: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+
+
+class _SnapshotGraph:
+    """Minimal stand-in for the :class:`TimingGraph` behind a snapshot.
+
+    Carries exactly what the array-level kernels read from the graph
+    object: the vertex count, the name (error messages) and the revision.
+    """
+
+    __slots__ = ("name", "num_vertices", "revision")
+
+    def __init__(self, name: str, num_vertices: int, revision: int) -> None:
+        self.name = name
+        self.num_vertices = num_vertices
+        self.revision = revision
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "_SnapshotGraph(%r, V=%d, rev=%d)" % (
+            self.name,
+            self.num_vertices,
+            self.revision,
+        )
+
+
+class SnapshotArrays(GraphArrays):
+    """A read-only :class:`GraphArrays` backed by a shared-memory segment.
+
+    The edge arrays are zero-copy views into the shared pages; the
+    input/output rows come from the snapshot (the graph object behind a
+    worker-side view is only a stub).  Levelized schedules and adjacency
+    are built lazily per process and cached on the instance like any other
+    ``GraphArrays``.  The view is a frozen snapshot: :meth:`refresh` (and
+    anything else that needs the live graph or journal) raises.
+    """
+
+    # Set right after construction by SharedGraphArrays.arrays.
+    _snapshot_input_rows: np.ndarray
+    _snapshot_output_rows: np.ndarray
+
+    @property
+    def input_rows(self) -> np.ndarray:
+        return self._snapshot_input_rows
+
+    @property
+    def output_rows(self) -> np.ndarray:
+        return self._snapshot_output_rows
+
+    @property
+    def topo_order(self):
+        raise TimingGraphError(
+            "shared snapshot of %r has no object-level graph; "
+            "use the levelized kernels" % self.graph.name
+        )
+
+    def refresh(self):
+        raise TimingGraphError(
+            "shared snapshot of %r is read-only (publish a fresh snapshot "
+            "after graph edits)" % self.graph.name
+        )
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _layout(
+    arrays: Dict[str, np.ndarray]
+) -> Tuple[Tuple[Tuple[str, int, Tuple[int, ...], str], ...], int]:
+    """Per-field ``(name, offset, shape, dtype)`` plus the total byte size."""
+    fields = []
+    offset = 0
+    for name in _FIELDS:
+        array = arrays[name]
+        offset = _aligned(offset)
+        fields.append((name, offset, tuple(array.shape), array.dtype.str))
+        offset += array.nbytes
+    return tuple(fields), max(offset, 1)
+
+
+def _attach_segment(name: str, untrack: bool):
+    """Open an existing segment, optionally invisible to the resource tracker.
+
+    Every ``SharedMemory`` construction registers the segment with the
+    resource tracker — a *shared*, set-keyed daemon under the spawn start
+    method — which then warns (or raises ``KeyError`` noise) when owner and
+    attachments unbalance its books: the segment has exactly one owner, so
+    a worker attachment must never register at all.  Python 3.11 has no
+    ``track=False`` parameter yet, so registration is suppressed around the
+    constructor instead of unregistered after the fact (an unregister from
+    a worker would *remove* the owner's entry from the shared tracker set
+    and turn the owner's later unlink into tracker noise).
+    """
+    from multiprocessing import shared_memory
+
+    if not untrack:
+        return shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+    except Exception:  # pragma: no cover - tracker may be absent
+        return shared_memory.SharedMemory(name=name)
+    resource_tracker.register = lambda *_args, **_kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedGraphArrays:
+    """One published (or attached) shared-memory ``GraphArrays`` snapshot."""
+
+    def __init__(self, shm, handle: SharedArraysHandle, owner: bool) -> None:
+        self._shm = shm
+        self._handle = handle
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        self._arrays: Optional[SnapshotArrays] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, arrays: GraphArrays, name: Optional[str] = None) -> "SharedGraphArrays":
+        """Copy a ``GraphArrays`` view into a fresh shared-memory segment.
+
+        The returned object *owns* the segment: its :meth:`close` unmaps
+        and unlinks.  ``name`` optionally fixes the segment name (tests);
+        by default the OS picks a unique one.
+        """
+        from multiprocessing import shared_memory
+
+        source = {
+            "edge_ids": np.ascontiguousarray(arrays.edge_ids),
+            "edge_source": np.ascontiguousarray(arrays.edge_source),
+            "edge_sink": np.ascontiguousarray(arrays.edge_sink),
+            "edge_mean": np.ascontiguousarray(arrays.edge_mean),
+            "edge_corr": np.ascontiguousarray(arrays.edge_corr),
+            "edge_randvar": np.ascontiguousarray(arrays.edge_randvar),
+            "input_rows": np.ascontiguousarray(arrays.input_rows),
+            "output_rows": np.ascontiguousarray(arrays.output_rows),
+        }
+        fields, total = _layout(source)
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        for field_name, offset, shape, dtype in fields:
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+            view[...] = source[field_name]
+        handle = SharedArraysHandle(
+            shm_name=shm.name,
+            graph_name=arrays.graph.name,
+            revision=int(arrays.revision),
+            num_vertices=int(arrays.num_vertices),
+            num_corr=int(arrays.num_corr),
+            total_bytes=int(total),
+            fields=fields,
+        )
+        return cls(shm, handle, owner=True)
+
+    @classmethod
+    def attach(
+        cls, handle: SharedArraysHandle, untrack: bool = True
+    ) -> "SharedGraphArrays":
+        """Map an already-published segment (worker side, zero-copy).
+
+        ``untrack`` (default) keeps the attachment invisible to the
+        resource tracker — the publishing process owns cleanup (see
+        :func:`_attach_segment`).  Raises
+        :class:`~repro.errors.TimingGraphError` when the segment is gone
+        (owner unlinked before the worker attached).
+        """
+        try:
+            shm = _attach_segment(handle.shm_name, untrack)
+        except FileNotFoundError:
+            raise TimingGraphError(
+                "shared snapshot %r of graph %r no longer exists "
+                "(the owner unlinked it)" % (handle.shm_name, handle.graph_name)
+            ) from None
+        return cls(shm, handle, owner=False)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def handle(self) -> SharedArraysHandle:
+        """The picklable descriptor workers attach with."""
+        return self._handle
+
+    @property
+    def owner(self) -> bool:
+        """Whether this object owns (and will unlink) the segment."""
+        return self._owner
+
+    @property
+    def revision(self) -> int:
+        """Graph revision the snapshot was published at."""
+        return self._handle.revision
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran."""
+        return self._closed
+
+    def _field_view(self, name: str, offset: int, shape, dtype) -> np.ndarray:
+        view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+        view.flags.writeable = False
+        return view
+
+    @property
+    def arrays(self) -> SnapshotArrays:
+        """The zero-copy read-only ``GraphArrays`` view of the snapshot."""
+        if self._closed:
+            raise TimingGraphError(
+                "shared snapshot %r is closed" % self._handle.shm_name
+            )
+        if self._arrays is None:
+            views = {
+                name: self._field_view(name, offset, shape, dtype)
+                for name, offset, shape, dtype in self._handle.fields
+            }
+            snapshot = SnapshotArrays(
+                graph=_SnapshotGraph(
+                    self._handle.graph_name,
+                    self._handle.num_vertices,
+                    self._handle.revision,
+                ),
+                vertex_index={},
+                edge_rows={
+                    int(edge_id): row
+                    for row, edge_id in enumerate(views["edge_ids"])
+                },
+                edge_ids=views["edge_ids"],
+                edge_source=views["edge_source"],
+                edge_sink=views["edge_sink"],
+                edge_mean=views["edge_mean"],
+                edge_corr=views["edge_corr"],
+                edge_randvar=views["edge_randvar"],
+                revision=self._handle.revision,
+            )
+            snapshot._snapshot_input_rows = views["input_rows"]
+            snapshot._snapshot_output_rows = views["output_rows"]
+            self._arrays = snapshot
+        return self._arrays
+
+    def nbytes_report(self) -> Dict[str, int]:
+        """Byte accounting of the segment: per field, padding and total."""
+        report = {
+            name: int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+            for name, _offset, shape, dtype in self._handle.fields
+        }
+        report["total"] = int(self._handle.total_bytes)
+        report["padding"] = report["total"] - sum(
+            value for key, value in report.items() if key != "total"
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def unlink(self) -> None:
+        """Remove the segment name (owner only; exactly once; idempotent)."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
+
+    def close(self) -> None:
+        """Unmap the segment; the owner also unlinks it (exactly once).
+
+        Idempotent.  If numpy views into the segment are still referenced
+        elsewhere the unmap is deferred to garbage collection — the
+        *unlink* still happens now, so the name cannot leak.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.unlink()
+        self._arrays = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+
+    def __enter__(self) -> "SharedGraphArrays":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return "SharedGraphArrays(%r, graph=%r, revision=%d, %s, %d bytes)" % (
+            self._handle.shm_name,
+            self._handle.graph_name,
+            self._handle.revision,
+            "owner" if self._owner else "attached",
+            self._handle.total_bytes,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment cache
+# ----------------------------------------------------------------------
+#: Most recently attached segments of this process, keyed by segment name.
+_ATTACH_CACHE: Dict[str, SharedGraphArrays] = {}
+_ATTACH_CACHE_MAX = 4
+
+
+def attach_cached(handle: SharedArraysHandle) -> SharedGraphArrays:
+    """Attach to a published snapshot, reusing this process's attachment.
+
+    Workers receive the same handle in every task of a sharded analysis;
+    caching the attachment (and therefore the lazily built levelized
+    schedules on its :class:`SnapshotArrays`) makes per-task attach cost
+    a dictionary hit.  A small LRU bounds how many segments stay mapped.
+    """
+    cached = _ATTACH_CACHE.get(handle.shm_name)
+    if cached is not None and not cached.closed:
+        if cached.revision != handle.revision:
+            # Same name, different revision: a stale mapping (segment names
+            # are unique per publish, so this is defensive only).
+            _ATTACH_CACHE.pop(handle.shm_name, None)
+            cached.close()
+        else:
+            # Refresh LRU order.
+            _ATTACH_CACHE.pop(handle.shm_name, None)
+            _ATTACH_CACHE[handle.shm_name] = cached
+            return cached
+    attached = SharedGraphArrays.attach(handle)
+    _ATTACH_CACHE[handle.shm_name] = attached
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        _name, evicted = next(iter(_ATTACH_CACHE.items()))
+        _ATTACH_CACHE.pop(_name, None)
+        evicted.close()
+    return attached

@@ -29,7 +29,14 @@ from repro.timing.graph import TimingGraph
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.timing.incremental import IncrementalTimer
 
-__all__ = ["CornerReport", "corner_sta", "deterministic_longest_path"]
+__all__ = [
+    "CornerReport",
+    "corner_sta",
+    "corner_sta_parallel",
+    "corner_sweep",
+    "deterministic_longest_path",
+    "longest_path_from_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -54,18 +61,15 @@ class CornerReport:
         return self.worst - self.best
 
 
-def deterministic_longest_path(
-    graph: TimingGraph,
-    sigma_offset: float = 0.0,
-    arrays: Optional[GraphArrays] = None,
-) -> float:
-    """Longest input-to-output path with every delay at ``mean + sigma_offset * std``.
+def longest_path_from_arrays(arrays: GraphArrays, sigma_offset: float = 0.0) -> float:
+    """Longest input-to-output path of an array view at one sigma corner.
 
-    ``arrays`` may be passed to reuse a previously built array view (e.g.
-    across the three corners of :func:`corner_sta`).
+    The graph-free corner kernel: everything it reads lives on the
+    :class:`GraphArrays` (or a shared-memory
+    :class:`~repro.parallel.shm.SnapshotArrays`), which is what lets the
+    sharded executor evaluate corners in worker processes that never see
+    the graph object.
     """
-    if arrays is None:
-        arrays = GraphArrays.from_graph(graph)
     edge_delay = arrays.edge_mean + sigma_offset * np.sqrt(
         np.einsum("ek,ek->e", arrays.edge_corr, arrays.edge_corr)
         + arrays.edge_randvar
@@ -86,8 +90,73 @@ def deterministic_longest_path(
     output_rows = arrays.output_rows
     best = float(arrival[output_rows].max()) if output_rows.size else -np.inf
     if not np.isfinite(best):
-        raise TimingGraphError("no output of %r is reachable from any input" % graph.name)
+        raise TimingGraphError(
+            "no output of %r is reachable from any input" % arrays.graph.name
+        )
     return best
+
+
+def deterministic_longest_path(
+    graph: TimingGraph,
+    sigma_offset: float = 0.0,
+    arrays: Optional[GraphArrays] = None,
+) -> float:
+    """Longest input-to-output path with every delay at ``mean + sigma_offset * std``.
+
+    ``arrays`` may be passed to reuse a previously built array view (e.g.
+    across the three corners of :func:`corner_sta`).
+    """
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
+    return longest_path_from_arrays(arrays, sigma_offset)
+
+
+def _corner_arrays(
+    graph: Optional[TimingGraph], timer: Optional["IncrementalTimer"]
+) -> GraphArrays:
+    """The (shared) array view a corner analysis runs on."""
+    if timer is not None:
+        if graph is not None and graph is not timer.graph:
+            raise TimingGraphError(
+                "corner analysis was given both a graph and a session "
+                "attached to a different graph"
+            )
+        # Structure-only sync: replays the journal into the array cache but
+        # leaves the session's statistical dirty cones pending (corner STA
+        # never reads them).
+        timer.sync()
+        return timer.arrays
+    if graph is None:
+        raise TimingGraphError("corner analysis needs a graph or a timer session")
+    return GraphArrays.from_graph(graph)
+
+
+def corner_sweep(
+    sigma_offsets,
+    graph: Optional[TimingGraph] = None,
+    timer: Optional["IncrementalTimer"] = None,
+    workers: Optional[int] = None,
+    executor=None,
+) -> np.ndarray:
+    """Longest-path delays at every requested sigma offset, in order.
+
+    The array view is built (or synchronised from ``timer``) once and
+    shared by every corner.  ``workers`` (or ``REPRO_WORKERS``, or an
+    explicit ``executor``) shards the corners one-per-task across the
+    process pool over a shared-memory snapshot; each corner is a single
+    deterministic evaluation, so the sharded sweep is bit-identical to the
+    serial one.
+    """
+    from repro.parallel.pool import maybe_executor
+
+    arrays = _corner_arrays(graph, timer)
+    offsets = [float(offset) for offset in sigma_offsets]
+    executor = maybe_executor(workers, executor)
+    if executor is not None and executor.engine == "process":
+        return np.asarray(executor.run("corner_delay", offsets, arrays))
+    return np.asarray(
+        [longest_path_from_arrays(arrays, offset) for offset in offsets]
+    )
 
 
 def corner_sta(
@@ -110,25 +179,42 @@ def corner_sta(
     """
     if sigma_corner < 0.0:
         raise ValueError("sigma_corner must be non-negative")
-    if timer is not None:
-        if graph is not None and graph is not timer.graph:
-            raise TimingGraphError(
-                "corner_sta was given both a graph and a session attached "
-                "to a different graph"
-            )
-        # Structure-only sync: replays the journal into the array cache but
-        # leaves the session's statistical dirty cones pending (corner STA
-        # never reads them).
-        timer.sync()
-        graph = timer.graph
-        arrays = timer.arrays
-    elif graph is None:
-        raise TimingGraphError("corner_sta needs a graph or a timer session")
-    else:
-        arrays = GraphArrays.from_graph(graph)
+    arrays = _corner_arrays(graph, timer)
     return CornerReport(
-        nominal=deterministic_longest_path(graph, 0.0, arrays=arrays),
-        worst=deterministic_longest_path(graph, sigma_corner, arrays=arrays),
-        best=deterministic_longest_path(graph, -sigma_corner, arrays=arrays),
+        nominal=longest_path_from_arrays(arrays, 0.0),
+        worst=longest_path_from_arrays(arrays, sigma_corner),
+        best=longest_path_from_arrays(arrays, -sigma_corner),
+        sigma_corner=sigma_corner,
+    )
+
+
+def corner_sta_parallel(
+    graph: Optional[TimingGraph] = None,
+    sigma_corner: float = 3.0,
+    timer: Optional["IncrementalTimer"] = None,
+    workers: Optional[int] = None,
+    executor=None,
+) -> CornerReport:
+    """:func:`corner_sta` with the three corners sharded across workers.
+
+    Identical results to :func:`corner_sta` (each corner is one exact
+    deterministic evaluation); the pool only pays off when the per-corner
+    propagation dominates the task round-trip — large graphs, or wider
+    sweeps via :func:`corner_sweep`.  Falls back to the serial sweep when
+    the executor resolves to the serial engine.
+    """
+    if sigma_corner < 0.0:
+        raise ValueError("sigma_corner must be non-negative")
+    nominal, worst, best = corner_sweep(
+        [0.0, sigma_corner, -sigma_corner],
+        graph=graph,
+        timer=timer,
+        workers=workers,
+        executor=executor,
+    )
+    return CornerReport(
+        nominal=float(nominal),
+        worst=float(worst),
+        best=float(best),
         sigma_corner=sigma_corner,
     )

@@ -43,12 +43,11 @@ class TestSimulateGraphDelay:
         b = simulate_graph_delay(adder_graph, 500, seed=7)
         assert np.array_equal(a.samples, b.samples)
 
-    def test_chunking_does_not_change_distribution(self, adder_graph):
+    def test_chunking_does_not_change_samples(self, adder_graph):
         whole = simulate_graph_delay(adder_graph, 1000, seed=3, chunk_size=1000)
         chunked = simulate_graph_delay(adder_graph, 1000, seed=3, chunk_size=128)
-        # Different chunking consumes the RNG differently, so compare moments.
-        assert whole.mean == pytest.approx(chunked.mean, rel=0.02)
-        assert whole.std == pytest.approx(chunked.std, rel=0.15)
+        # Sampling is counter-based per block: chunking is bit-invariant.
+        assert np.array_equal(whole.samples, chunked.samples)
 
     def test_matches_ssta_moments(self, adder_graph):
         result = simulate_graph_delay(adder_graph, 4000, seed=1)
@@ -92,5 +91,7 @@ class TestSimulateIoDelays:
     def test_chunked_runs_agree(self, adder_graph):
         a = simulate_io_delays(adder_graph, 800, seed=9, chunk_size=800)
         b = simulate_io_delays(adder_graph, 800, seed=9, chunk_size=100)
-        mask = a.valid
-        assert np.allclose(a.means[mask], b.means[mask], rtol=0.05)
+        # Sampling is counter-based per block and the per-block moment
+        # partials fold in ascending block order: chunking is bit-invariant.
+        assert np.array_equal(a.means, b.means, equal_nan=True)
+        assert np.array_equal(a.stds, b.stds, equal_nan=True)

@@ -1,0 +1,135 @@
+"""Bit-identical parity of sharded analyses against their serial paths.
+
+The sampling streams are counter-based per :data:`MC_SAMPLE_BLOCK` block
+and moment accumulation folds per-block partial sums in ascending block
+order on every engine, so sharding is *exactly* invariant: the property
+tests below assert ``np.array_equal`` (not a tolerance) across worker
+counts {1, 2, 4} and arbitrary chunk splits on the three acceptance
+circuits (c17, the 4x4 multiplier, c432).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.flat import (
+    MC_SAMPLE_BLOCK,
+    simulate_graph_delay,
+    simulate_io_delays,
+)
+from repro.parallel.shard import partition_samples
+from repro.timing.sta import corner_sta, corner_sta_parallel, corner_sweep
+
+DELAY_SAMPLES = 600  # spans five 128-sample blocks
+IO_SAMPLES = 384  # three blocks, still partitionable four ways
+
+
+# ----------------------------------------------------------------------
+# Partitioner properties
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("num_samples", [1, 127, 128, 600, 1000])
+@pytest.mark.parametrize("parts", [1, 2, 4, 7])
+def test_partition_samples_covers_exactly(num_samples, parts):
+    ranges = partition_samples(num_samples, parts, MC_SAMPLE_BLOCK)
+    assert ranges, "at least one shard"
+    assert len(ranges) <= parts
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == num_samples
+    for (start, stop), (next_start, _unused) in zip(ranges, ranges[1:]):
+        assert stop == next_start
+    for start, stop in ranges:
+        assert start < stop
+        assert start % MC_SAMPLE_BLOCK == 0
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo delay samples
+# ----------------------------------------------------------------------
+def test_delay_samples_invariant_across_workers(
+    parity_module, process_executor, four_worker_executor
+):
+    graph, _variation = parity_module
+    serial = simulate_graph_delay(graph, DELAY_SAMPLES, seed=3)
+    one = simulate_graph_delay(graph, DELAY_SAMPLES, seed=3, workers=1)
+    two = simulate_graph_delay(
+        graph, DELAY_SAMPLES, seed=3, executor=process_executor
+    )
+    four = simulate_graph_delay(
+        graph, DELAY_SAMPLES, seed=3, executor=four_worker_executor
+    )
+    assert np.array_equal(serial.samples, one.samples)
+    assert np.array_equal(serial.samples, two.samples)
+    assert np.array_equal(serial.samples, four.samples)
+
+
+def test_delay_samples_invariant_across_chunk_splits(parity_module):
+    graph, _variation = parity_module
+    auto = simulate_graph_delay(graph, DELAY_SAMPLES, seed=5)
+    for chunk in (97, MC_SAMPLE_BLOCK, 1000):
+        split = simulate_graph_delay(graph, DELAY_SAMPLES, seed=5, chunk_size=chunk)
+        assert np.array_equal(auto.samples, split.samples)
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo input/output statistics
+# ----------------------------------------------------------------------
+def test_io_stats_invariant_across_workers(
+    parity_module, process_executor, four_worker_executor
+):
+    graph, _variation = parity_module
+    serial = simulate_io_delays(graph, IO_SAMPLES, seed=9)
+    for result in (
+        simulate_io_delays(graph, IO_SAMPLES, seed=9, workers=1),
+        simulate_io_delays(graph, IO_SAMPLES, seed=9, executor=process_executor),
+        simulate_io_delays(
+            graph, IO_SAMPLES, seed=9, executor=four_worker_executor
+        ),
+    ):
+        assert np.array_equal(serial.valid, result.valid)
+        assert np.array_equal(serial.means, result.means, equal_nan=True)
+        assert np.array_equal(serial.stds, result.stds, equal_nan=True)
+
+
+def test_io_stats_invariant_across_chunk_splits(parity_module):
+    graph, _variation = parity_module
+    auto = simulate_io_delays(graph, IO_SAMPLES, seed=2)
+    for chunk in (130, MC_SAMPLE_BLOCK, 10000):
+        split = simulate_io_delays(graph, IO_SAMPLES, seed=2, chunk_size=chunk)
+        assert np.array_equal(auto.means, split.means, equal_nan=True)
+        assert np.array_equal(auto.stds, split.stds, equal_nan=True)
+
+
+# ----------------------------------------------------------------------
+# Corner STA
+# ----------------------------------------------------------------------
+def test_corner_sta_parallel_matches_serial(parity_module, process_executor):
+    graph, _variation = parity_module
+    assert corner_sta_parallel(graph, executor=process_executor) == corner_sta(graph)
+
+
+def test_corner_sweep_invariant_across_engines(
+    parity_module, process_executor, four_worker_executor
+):
+    graph, _variation = parity_module
+    offsets = np.linspace(-3.0, 3.0, 7)
+    serial = corner_sweep(offsets, graph=graph)
+    assert np.array_equal(serial, corner_sweep(offsets, graph=graph, workers=1))
+    assert np.array_equal(
+        serial, corner_sweep(offsets, graph=graph, executor=process_executor)
+    )
+    assert np.array_equal(
+        serial, corner_sweep(offsets, graph=graph, executor=four_worker_executor)
+    )
+
+
+# ----------------------------------------------------------------------
+# Graceful serial fallback through the consumer APIs
+# ----------------------------------------------------------------------
+def test_workers_one_is_the_plain_serial_path(parity_module):
+    """``workers=1`` degrades to the serial engine with identical results."""
+    graph, _variation = parity_module
+    plain = simulate_io_delays(graph, IO_SAMPLES, seed=4)
+    fallback = simulate_io_delays(graph, IO_SAMPLES, seed=4, workers=1)
+    assert np.array_equal(plain.means, fallback.means, equal_nan=True)
+    assert np.array_equal(plain.stds, fallback.stds, equal_nan=True)

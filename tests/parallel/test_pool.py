@@ -1,0 +1,221 @@
+"""Engine selection, worker resolution and lifecycle of the sharded pool."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.flat import MC_CHUNK_BUDGET_ENV, mc_chunk_budget
+from repro.parallel.pool import (
+    WORKERS_ENV,
+    ShardedExecutor,
+    maybe_executor,
+    resolve_workers,
+)
+from repro.parallel.shm import shared_memory_available
+from repro.timing.arrays import GraphArrays
+from repro.timing.sta import longest_path_from_arrays
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution and environment overrides
+# ----------------------------------------------------------------------
+def test_explicit_workers_beat_the_environment(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "4")
+    assert resolve_workers(2) == 2
+    assert resolve_workers(None) == 4
+
+
+def test_workers_default_to_one(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert resolve_workers(None) == 1
+
+
+@pytest.mark.parametrize("raw", ["two", "", "1.5"])
+def test_non_integer_workers_env_raises(monkeypatch, raw):
+    monkeypatch.setenv(WORKERS_ENV, raw)
+    with pytest.raises(ValueError, match=WORKERS_ENV):
+        resolve_workers(None)
+
+
+@pytest.mark.parametrize("raw", ["0", "-3"])
+def test_non_positive_workers_env_raises(monkeypatch, raw):
+    monkeypatch.setenv(WORKERS_ENV, raw)
+    with pytest.raises(ValueError, match="positive"):
+        resolve_workers(None)
+
+
+@pytest.mark.parametrize("workers", [0, -1])
+def test_non_positive_explicit_workers_raise(workers):
+    with pytest.raises(ValueError, match="positive"):
+        ShardedExecutor(workers=workers)
+
+
+@pytest.mark.parametrize("raw", ["lots", "0", "-8"])
+def test_chunk_budget_env_validation(monkeypatch, raw):
+    monkeypatch.setenv(MC_CHUNK_BUDGET_ENV, raw)
+    with pytest.raises(ValueError, match=MC_CHUNK_BUDGET_ENV):
+        mc_chunk_budget()
+
+
+def test_chunk_budget_env_override(monkeypatch):
+    monkeypatch.setenv(MC_CHUNK_BUDGET_ENV, "1048576")
+    assert mc_chunk_budget() == 1048576
+
+
+# ----------------------------------------------------------------------
+# Engine selection and graceful fallback
+# ----------------------------------------------------------------------
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="engine"):
+        ShardedExecutor(workers=2, engine="thread")
+
+
+def test_single_worker_falls_back_to_serial(adder_graph):
+    arrays = GraphArrays.from_graph(adder_graph)
+    with ShardedExecutor(workers=1, engine="auto") as executor:
+        assert executor.engine == "serial"
+        assert executor.fallback_reason == "single worker requested"
+        results = executor.run("corner_delay", [0.0, 1.5], arrays)
+    assert results == [
+        longest_path_from_arrays(arrays, 0.0),
+        longest_path_from_arrays(arrays, 1.5),
+    ]
+
+
+def test_maybe_executor_resolution(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    # Nothing requested anywhere: the consumer runs its plain serial path.
+    assert maybe_executor(None, None) is None
+    # A given executor is passed through untouched.
+    with ShardedExecutor(workers=1) as executor:
+        assert maybe_executor(None, executor) is executor
+        assert maybe_executor(3, executor) is executor
+
+
+def test_maybe_executor_reads_the_environment(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "1")
+    executor = maybe_executor(None, None)
+    assert executor is not None
+    assert executor.workers == 1
+    assert executor.engine == "serial"
+
+
+def test_unknown_task_fails_before_any_work(adder_graph):
+    arrays = GraphArrays.from_graph(adder_graph)
+    with ShardedExecutor(workers=1) as executor:
+        with pytest.raises(KeyError):
+            executor.run("no_such_task", [1, 2, 3], arrays)
+
+
+def test_run_after_close_raises():
+    executor = ShardedExecutor(workers=1)
+    executor.close()
+    executor.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        executor.run("corner_delay", [0.0])
+
+
+def test_empty_payloads_short_circuit(adder_graph):
+    arrays = GraphArrays.from_graph(adder_graph)
+    with ShardedExecutor(workers=1) as executor:
+        assert executor.run("corner_delay", [], arrays) == []
+
+
+# ----------------------------------------------------------------------
+# Process engine
+# ----------------------------------------------------------------------
+def test_process_pool_matches_serial(adder_graph, process_executor):
+    arrays = GraphArrays.from_graph(adder_graph)
+    offsets = [0.0, 1.5, -1.5, 3.0]
+    parallel = process_executor.run("corner_delay", offsets, arrays)
+    assert parallel == [
+        longest_path_from_arrays(arrays, offset) for offset in offsets
+    ]
+
+
+def test_snapshot_republished_only_on_revision_change(adder_graph, process_executor):
+    graph = adder_graph.copy()
+    graph.enable_journal()
+    arrays = GraphArrays.from_graph(graph)
+    process_executor.run("corner_delay", [0.0], arrays)
+    first = process_executor._published[id(arrays)][1]
+    process_executor.run("corner_delay", [1.0], arrays)
+    assert process_executor._published[id(arrays)][1] is first
+    # A graph edit moves the revision on: the stale snapshot is replaced.
+    edge = graph.edges[0]
+    graph.replace_edge_delay(edge, edge.delay.scale(1.1))
+    arrays.refresh()
+    process_executor.run("corner_delay", [0.0], arrays)
+    second = process_executor._published[id(arrays)][1]
+    assert second is not first
+    assert first.closed
+    assert second.revision == arrays.revision
+
+
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="no working shared memory on this host"
+)
+def test_pool_shutdown_leaves_no_resource_tracker_noise(tmp_path):
+    """End-to-end pool run in a fresh interpreter: clean tracker books.
+
+    Worker attachments must stay invisible to the (shared) resource
+    tracker; a stray register/unregister from a worker corrupts the
+    owner's entry and sprays ``resource_tracker`` warnings or ``KeyError``
+    tracebacks on interpreter exit.
+    """
+    script = tmp_path / "tracker_check.py"
+    script.write_text(
+        textwrap.dedent(
+            """
+            import sys
+            sys.path.insert(0, %r)
+
+
+            def main():
+                import numpy as np
+                from repro.core.canonical import CanonicalForm
+                from repro.parallel.pool import ShardedExecutor
+                from repro.timing.arrays import GraphArrays
+                from repro.timing.graph import TimingGraph
+
+                graph = TimingGraph("tracker", 2)
+                graph.mark_input("a")
+                graph.mark_output("z")
+                graph.add_edge(
+                    "a", "m", CanonicalForm(10.0, 0.5, np.array([0.2, 0.1]), 0.3)
+                )
+                graph.add_edge(
+                    "m", "z", CanonicalForm(4.0, 0.1, np.array([0.05, 0.05]), 0.1)
+                )
+                arrays = GraphArrays.from_graph(graph)
+                with ShardedExecutor(workers=2, engine="process") as executor:
+                    results = executor.run("corner_delay", [0.0, 3.0, -3.0], arrays)
+                assert len(results) == 3
+
+
+            if __name__ == "__main__":
+                main()
+            """
+            % SRC_DIR
+        )
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "resource_tracker" not in completed.stderr, completed.stderr
+    assert "Traceback" not in completed.stderr, completed.stderr

@@ -1,0 +1,127 @@
+"""Publish/attach lifecycle of the shared-memory ``GraphArrays`` snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingGraphError
+from repro.parallel import shm as shm_module
+from repro.parallel.shm import (
+    SharedGraphArrays,
+    attach_cached,
+    shared_memory_available,
+)
+from repro.timing.arrays import GraphArrays
+from repro.timing.sta import longest_path_from_arrays
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no working shared memory on this host"
+)
+
+
+@pytest.fixture
+def adder_arrays(adder_graph) -> GraphArrays:
+    return GraphArrays.from_graph(adder_graph)
+
+
+def test_round_trip_preserves_every_field(adder_arrays):
+    """A worker-side attachment sees exactly the published arrays."""
+    with SharedGraphArrays.publish(adder_arrays) as shared:
+        attached = SharedGraphArrays.attach(shared.handle)
+        try:
+            snapshot = attached.arrays
+            assert np.array_equal(snapshot.edge_ids, adder_arrays.edge_ids)
+            assert np.array_equal(snapshot.edge_source, adder_arrays.edge_source)
+            assert np.array_equal(snapshot.edge_sink, adder_arrays.edge_sink)
+            assert np.array_equal(snapshot.edge_mean, adder_arrays.edge_mean)
+            assert np.array_equal(snapshot.edge_corr, adder_arrays.edge_corr)
+            assert np.array_equal(snapshot.edge_randvar, adder_arrays.edge_randvar)
+            assert np.array_equal(snapshot.input_rows, adder_arrays.input_rows)
+            assert np.array_equal(snapshot.output_rows, adder_arrays.output_rows)
+            assert snapshot.num_vertices == adder_arrays.num_vertices
+            assert snapshot.num_corr == adder_arrays.num_corr
+            assert snapshot.revision == adder_arrays.revision
+            assert shared.revision == adder_arrays.revision
+            assert snapshot.graph.name == adder_arrays.graph.name
+        finally:
+            attached.close()
+
+
+def test_snapshot_views_are_read_only(adder_arrays):
+    with SharedGraphArrays.publish(adder_arrays) as shared:
+        snapshot = shared.arrays
+        with pytest.raises(ValueError):
+            snapshot.edge_mean[0] = 1.0
+        with pytest.raises(ValueError):
+            snapshot.input_rows[...] = 0
+
+
+def test_levelized_kernels_run_on_a_snapshot(adder_arrays):
+    """The deterministic longest-path kernel works straight off the views."""
+    reference = longest_path_from_arrays(adder_arrays, 1.5)
+    with SharedGraphArrays.publish(adder_arrays) as shared:
+        assert longest_path_from_arrays(shared.arrays, 1.5) == reference
+
+
+def test_snapshot_is_frozen(adder_arrays):
+    with SharedGraphArrays.publish(adder_arrays) as shared:
+        snapshot = shared.arrays
+        with pytest.raises(TimingGraphError):
+            snapshot.topo_order
+        with pytest.raises(TimingGraphError):
+            snapshot.refresh()
+
+
+def test_owner_close_unlinks_exactly_once(adder_arrays):
+    shared = SharedGraphArrays.publish(adder_arrays)
+    assert shared.owner
+    attached = SharedGraphArrays.attach(shared.handle)
+    assert not attached.owner
+    shared.close()
+    assert shared.closed
+    # Repeated closes and unlinks are no-ops, not errors.
+    shared.close()
+    shared.unlink()
+    # The name is gone: late attachments fail loudly.
+    with pytest.raises(TimingGraphError):
+        SharedGraphArrays.attach(shared.handle)
+    # The surviving attachment still unmaps cleanly (close only, no unlink).
+    attached.close()
+
+
+def test_arrays_after_close_raises(adder_arrays):
+    shared = SharedGraphArrays.publish(adder_arrays)
+    shared.close()
+    with pytest.raises(TimingGraphError):
+        shared.arrays
+
+
+def test_nbytes_report_accounts_for_the_whole_segment(adder_arrays):
+    with SharedGraphArrays.publish(adder_arrays) as shared:
+        report = shared.nbytes_report()
+        assert report["total"] == shared.handle.total_bytes
+        assert report["padding"] >= 0
+        fields = {
+            key: value
+            for key, value in report.items()
+            if key not in ("total", "padding")
+        }
+        assert sum(fields.values()) + report["padding"] == report["total"]
+        assert fields["edge_mean"] == adder_arrays.edge_mean.nbytes
+        assert fields["edge_corr"] == adder_arrays.edge_corr.nbytes
+
+
+def test_attach_cached_reuses_the_mapping(adder_arrays):
+    shared = SharedGraphArrays.publish(adder_arrays)
+    try:
+        first = attach_cached(shared.handle)
+        second = attach_cached(shared.handle)
+        assert first is second
+        # The cached attachment's lazily built schedules are shared too.
+        assert first.arrays is second.arrays
+    finally:
+        cached = shm_module._ATTACH_CACHE.pop(shared.handle.shm_name, None)
+        if cached is not None:
+            cached.close()
+        shared.close()
