@@ -20,7 +20,14 @@ from typing import Tuple, Union
 import numpy as np
 from scipy.special import ndtr
 
-__all__ = ["normal_pdf", "normal_cdf", "clark_theta", "clark_moments"]
+__all__ = [
+    "normal_pdf",
+    "normal_cdf",
+    "normal_pdf_into",
+    "normal_cdf_into",
+    "clark_theta",
+    "clark_moments",
+]
 
 _SQRT2 = math.sqrt(2.0)
 _INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
@@ -52,6 +59,24 @@ def normal_cdf(x: ScalarOrArray) -> ScalarOrArray:
     if isinstance(x, np.ndarray):
         return ndtr(x)
     return 0.5 * math.erfc(-x / _SQRT2)
+
+
+def normal_pdf_into(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Array-only :func:`normal_pdf` writing into ``out`` (must not alias ``x``).
+
+    Applies the identical operation sequence as the allocating array path
+    (``_INV_SQRT_2PI * exp((-0.5 * x) * x)``), so results are bitwise equal.
+    """
+    np.multiply(x, -0.5, out=out)
+    np.multiply(out, x, out=out)
+    np.exp(out, out=out)
+    np.multiply(out, _INV_SQRT_2PI, out=out)
+    return out
+
+
+def normal_cdf_into(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Array-only :func:`normal_cdf` writing into ``out`` (may alias ``x``)."""
+    return ndtr(x, out=out)
 
 
 def clark_theta(var_a: float, var_b: float, cov_ab: float) -> float:

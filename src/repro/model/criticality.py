@@ -36,6 +36,7 @@ covers so much of the pair space that incrementality would be slower
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -50,9 +51,12 @@ from repro.timing.propagation import AUTO_BATCH_MIN_EDGES
 __all__ = [
     "AUTO_BATCH_MIN_CRITICALITY_EDGES",
     "CRITICALITY_CHUNK_PAIRS",
+    "CRITICALITY_CHUNK_PAIRS_ENV",
     "DENSE_EDIT_RECOMPUTE_FRACTION",
     "CriticalityResult",
+    "auto_chunk_edges",
     "compute_edge_criticalities",
+    "criticality_chunk_pairs",
     "edge_criticality_batch",
     "edge_criticality_matrix",
     "edge_criticality_tensor",
@@ -87,6 +91,62 @@ AUTO_BATCH_MIN_CRITICALITY_EDGES = max(8, AUTO_BATCH_MIN_EDGES // 16)
 # edges per chunk), throughput degrades ~40% by 16 MB tensors and the
 # sweet spot is flat between 2^17 and 2^20 pairs.
 CRITICALITY_CHUNK_PAIRS = 1 << 19
+
+#: Environment variable overriding :data:`CRITICALITY_CHUNK_PAIRS`.
+CRITICALITY_CHUNK_PAIRS_ENV = "REPRO_CRITICALITY_CHUNK_PAIRS"
+
+
+def criticality_chunk_pairs() -> int:
+    """The active per-chunk float budget of the batched criticality kernel.
+
+    Reads ``REPRO_CRITICALITY_CHUNK_PAIRS`` on every call so tests and
+    batch jobs can retune the chunk working set without touching code;
+    raises a clear ``ValueError`` on a non-integer or non-positive
+    override.  Falls back to :data:`CRITICALITY_CHUNK_PAIRS`.
+    """
+    raw = os.environ.get(CRITICALITY_CHUNK_PAIRS_ENV)
+    if raw is None:
+        return CRITICALITY_CHUNK_PAIRS
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be an integer, got %r"
+            % (CRITICALITY_CHUNK_PAIRS_ENV, raw)
+        ) from None
+    if budget <= 0:
+        raise ValueError(
+            "%s must be positive, got %d" % (CRITICALITY_CHUNK_PAIRS_ENV, budget)
+        )
+    return budget
+
+
+def auto_chunk_edges(
+    num_inputs: int,
+    num_outputs: int,
+    num_corr: int,
+    chunk_pairs: Optional[int] = None,
+) -> int:
+    """Edge-chunk size bounding the batched kernel's float working set.
+
+    One chunk streams a handful of ``(chunk, I, O)`` pair tensors plus
+    the two correlation gathers ``(chunk, I, K)`` and ``(chunk, O, K)``
+    (see :func:`_chunk_terms`), so the per-edge float cost is ``I*O +
+    (I + O)*K`` — on correlation-heavy graphs the gathers, not the pair
+    tensors, dominate, which is why the sizer must see ``num_corr``.  The
+    chunk is sized to hold at most ``chunk_pairs`` (default: the active
+    :func:`criticality_chunk_pairs` budget) such floats, and never fewer
+    than one edge regardless of how extreme the pair space is.
+    """
+    if chunk_pairs is None:
+        chunk_pairs = criticality_chunk_pairs()
+    if chunk_pairs <= 0:
+        raise ValueError("chunk_pairs must be positive")
+    per_edge = max(1, int(num_inputs) * int(num_outputs)) + (
+        int(num_inputs) + int(num_outputs)
+    ) * max(0, int(num_corr))
+    return max(1, int(chunk_pairs) // per_edge)
+
 
 # The incremental update switches to a batched full recompute when the
 # estimated changed cross covers at least this fraction of the total
@@ -630,16 +690,18 @@ def edge_criticality_tensor(
 def edge_criticality_batch(
     analysis: AllPairsTiming,
     edges: Optional[Iterable[TimingEdge]] = None,
-    chunk_pairs: int = CRITICALITY_CHUNK_PAIRS,
+    chunk_pairs: Optional[int] = None,
 ) -> CriticalityResult:
     """Maximum criticality of ``edges`` through the edge-chunked engine.
 
     ``edges`` defaults to every edge of the analysed graph.  Edges are
-    processed in chunks sized so one ``(chunk, I, O)`` tensor holds at most
-    ``chunk_pairs`` entries, bounding peak memory independently of the
-    module's pair-space width (and keeping the chunk working set cache
-    resident); the shared delay-matrix moments are computed once for all
-    chunks.  The per-edge maximum is reduced in ``z``-space (one normal-CDF
+    processed in chunks sized by :func:`auto_chunk_edges` so the chunk's
+    pair tensors and correlation gathers together hold at most
+    ``chunk_pairs`` floats (default: the active
+    :func:`criticality_chunk_pairs` budget), bounding peak memory
+    independently of the module's pair-space and correlation widths (and
+    keeping the chunk working set cache resident); the shared
+    delay-matrix moments are computed once for all chunks.  The per-edge maximum is reduced in ``z``-space (one normal-CDF
     evaluation per edge, see :func:`_chunk_terms`), so values match the
     scalar reference's pair-space maximum exactly up to the 1e-9 BLAS
     round-off contract; the reported argmax pair always attains the
@@ -661,7 +723,9 @@ def edge_criticality_batch(
             engine="batch",
         )
 
-    if chunk_pairs <= 0:
+    if chunk_pairs is None:
+        chunk_pairs = criticality_chunk_pairs()
+    elif chunk_pairs <= 0:
         raise ValueError("chunk_pairs must be positive")
     rows_all = _edge_rows(analysis, edge_list)
     values, best = _batched_edge_max(
@@ -700,7 +764,12 @@ def _batched_edge_max(
         analysis.num_outputs if output_cols is None else output_cols.size
     )
     num_pairs = num_inputs * num_outputs
-    chunk_edges = max(1, chunk_pairs // max(1, num_pairs))
+    chunk_edges = auto_chunk_edges(
+        num_inputs,
+        num_outputs,
+        analysis.arrays.edge_corr.shape[1],
+        chunk_pairs,
+    )
     values = np.zeros(rows_all.size, dtype=float)
     best_all = np.zeros(rows_all.size, dtype=np.int64)
     for start in range(0, rows_all.size, chunk_edges):
@@ -1028,7 +1097,7 @@ def update_edge_criticalities(
                     )
                 values, best = _batched_edge_max(
                     analysis, group_rows[positions], moments,
-                    CRITICALITY_CHUNK_PAIRS,
+                    criticality_chunk_pairs(),
                     _analysis_work(analysis, rows_idx.size, num_outputs),
                     input_rows=rows_idx,
                 )
@@ -1059,7 +1128,7 @@ def update_edge_criticalities(
                     )
                 values, best = _batched_edge_max(
                     analysis, group_rows[positions], moments,
-                    CRITICALITY_CHUNK_PAIRS,
+                    criticality_chunk_pairs(),
                     _analysis_work(analysis, num_inputs, cols_idx.size),
                     output_cols=cols_idx,
                 )

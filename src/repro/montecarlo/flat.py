@@ -143,11 +143,16 @@ def auto_chunk_size(
     arrival and candidate blocks (``(V, chunk)`` and ``~(E, chunk)`` each,
     times ``num_sources`` for the multi-source kernel) stay within the
     active budget (:func:`mc_chunk_budget`), clipped to
-    ``[MC_MIN_CHUNK, MC_MAX_CHUNK]`` and to ``num_samples``.
+    ``[MC_MIN_CHUNK, MC_MAX_CHUNK]`` and to ``num_samples``.  The
+    ``MC_MIN_CHUNK`` floor only applies while the budget affords it: at
+    million-edge scale even a 16-sample chunk is gigabytes, so when the
+    budget resolves below the floor the budget wins, down to one sample
+    per chunk (the counter-based sampler makes results chunk invariant).
     """
     per_sample = num_edges + (num_vertices + num_edges) * max(int(num_sources), 1)
-    chunk = mc_chunk_budget() // max(per_sample, 1)
-    chunk = max(MC_MIN_CHUNK, min(MC_MAX_CHUNK, int(chunk)))
+    budget_chunk = int(mc_chunk_budget() // max(per_sample, 1))
+    chunk = min(MC_MAX_CHUNK, max(MC_MIN_CHUNK, budget_chunk))
+    chunk = min(chunk, max(budget_chunk, 1))
     if num_samples is not None:
         chunk = min(chunk, int(num_samples))
     return max(chunk, 1)
@@ -898,6 +903,29 @@ class MonteCarloSession:
         """The cached ``(E, S)`` sampled edge-delay matrix (synchronised)."""
         self.refresh()
         return self._delays
+
+    def nbytes_report(self) -> Dict[str, int]:
+        """Byte accounting of the session caches: per cache plus total.
+
+        Mirrors :meth:`repro.parallel.shm.SharedArraysHandle.nbytes_report`:
+        the sampled ``(E, S)`` delay matrix, the optional ``(V, S)``
+        arrival cache, the shared correlated draws and the underlying
+        :class:`GraphArrays` working set.  No refresh is performed — the
+        report describes the caches as currently held (0 before the first
+        pass populates them).
+        """
+        report = {
+            "delay_samples": int(self._delays.nbytes) if self._delays is not None else 0,
+            "arrival_cache": int(self._arrivals.nbytes) if self._arrivals is not None else 0,
+            "correlated_draws": (
+                int(self._correlated_draws.nbytes)
+                if self._correlated_draws is not None
+                else 0
+            ),
+            "graph_arrays": int(self._arrays.nbytes_report()["total"]),
+        }
+        report["total"] = sum(report.values())
+        return report
 
     # ------------------------------------------------------------------
     # Counter-based sampling

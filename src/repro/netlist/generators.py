@@ -1,6 +1,6 @@
 """Synthetic combinational circuit generators.
 
-Two families are provided:
+Several families are provided:
 
 * :func:`layered_random_circuit` — a deterministic (seeded) random DAG
   generator with an *exact* gate count and an *exact* total number of gate
@@ -10,6 +10,11 @@ Two families are provided:
   :mod:`repro.netlist.iscas85` match Table I's Eo/Vo columns.
 * :func:`ripple_carry_adder` / :func:`carry_select_adder` — structured
   arithmetic circuits used in examples and tests.
+* :func:`deep_pipeline_circuit` / :func:`mesh_circuit` /
+  :func:`tiled_circuit` — scalable families (deep pipelines, 2-D meshes,
+  hierarchical tilings of the blocks above) whose timing-graph sizes follow
+  closed-form formulas, so :func:`design_for_edge_count` can dial a target
+  edge count anywhere between 10^3 and 10^6+ edges for scaling work.
 """
 
 from __future__ import annotations
@@ -28,6 +33,10 @@ __all__ = [
     "carry_select_adder",
     "full_adder_gates",
     "half_adder_gates",
+    "deep_pipeline_circuit",
+    "mesh_circuit",
+    "tiled_circuit",
+    "design_for_edge_count",
 ]
 
 # Logic functions available per fanin width (must stay compatible with the
@@ -485,3 +494,235 @@ def carry_select_adder(bits: int, block: int = 4, name: str = "") -> Netlist:
     netlist = Netlist(name, inputs, outputs, gates)
     netlist.validate()
     return netlist
+
+
+def deep_pipeline_circuit(
+    name: str,
+    width: int,
+    stages: int,
+    fanin: int = 2,
+    tap_probability: float = 0.15,
+    seed: int = 0,
+) -> Netlist:
+    """A deep pipeline: ``stages`` ranks of ``width`` gates each.
+
+    Gate ``(s, p)`` always consumes the net at position ``p`` of the previous
+    rank (shifted by one so every previous-rank net keeps fanout) plus
+    ``fanin - 1`` nets from a local window of the previous rank.  With
+    probability ``tap_probability`` the last input is instead drawn from a
+    rank strictly before the previous one, creating the long reconvergent
+    edges real pipelines have.
+
+    Sizes are exact: ``stages * width`` gates, ``stages * width * fanin``
+    timing-graph edges and ``width * (stages + 1)`` vertices.  The outputs are
+    the nets of the last rank.
+    """
+    if width <= 0 or stages <= 0:
+        raise NetlistError("width and stages must be positive")
+    if not 1 <= fanin <= min(_MAX_FANIN, width):
+        raise NetlistError(
+            "fanin must be in [1, %d] for width %d" % (min(_MAX_FANIN, width), width)
+        )
+    if not 0.0 <= tap_probability <= 1.0:
+        raise NetlistError("tap_probability must be in [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    inputs = ["I%d" % position for position in range(width)]
+    functions = _FUNCTIONS_BY_FANIN[fanin]
+    gates: List[Gate] = []
+    earlier: List[str] = []
+    previous = list(inputs)
+    for stage in range(stages):
+        current: List[str] = []
+        for position in range(width):
+            chosen = [previous[(position + 1) % width]]
+            for pin in range(1, fanin):
+                offset = 2 + position + int(rng.integers(width - 1))
+                net = previous[offset % width]
+                if pin == fanin - 1 and earlier and rng.random() < tap_probability:
+                    net = earlier[int(rng.integers(len(earlier)))]
+                chosen.append(net)
+            function = functions[int(rng.integers(len(functions)))]
+            output_net = "p%d_%d" % (stage, position)
+            gates.append(
+                Gate("u%d_%d" % (stage, position), function, tuple(chosen), output_net)
+            )
+            current.append(output_net)
+        earlier.extend(previous)
+        previous = current
+
+    netlist = Netlist(name or "pipe%dx%d" % (width, stages), inputs, previous, gates)
+    netlist.validate()
+    return netlist
+
+
+def mesh_circuit(name: str, rows: int, cols: int, seed: int = 0) -> Netlist:
+    """A 2-D systolic mesh: gate ``(r, c)`` consumes its north and west nets.
+
+    Border gates read primary inputs (``N<c>`` across the top, ``W<r>`` down
+    the left edge); the bottom row and right column drive the primary
+    outputs.  Sizes are exact: ``rows * cols`` gates, ``2 * rows * cols``
+    timing-graph edges and ``rows + cols + rows * cols`` vertices.  The mesh
+    has the longest-diagonal depth (``rows + cols - 1`` levels) that makes
+    level widths grow then shrink — the shape that stresses level-synchronous
+    schedules.
+    """
+    if rows <= 0 or cols <= 0:
+        raise NetlistError("rows and cols must be positive")
+    rng = np.random.default_rng(seed)
+    functions = _FUNCTIONS_BY_FANIN[2]
+    inputs = ["N%d" % col for col in range(cols)] + ["W%d" % row for row in range(rows)]
+    gates: List[Gate] = []
+    for row in range(rows):
+        for col in range(cols):
+            north = "N%d" % col if row == 0 else "m%d_%d" % (row - 1, col)
+            west = "W%d" % row if col == 0 else "m%d_%d" % (row, col - 1)
+            function = functions[int(rng.integers(len(functions)))]
+            gates.append(
+                Gate("g%d_%d" % (row, col), function, (north, west), "m%d_%d" % (row, col))
+            )
+    outputs = ["m%d_%d" % (rows - 1, col) for col in range(cols)]
+    outputs += [
+        "m%d_%d" % (row, cols - 1) for row in range(rows - 1)
+    ]  # corner already covered by the bottom row
+    netlist = Netlist(name or "mesh%dx%d" % (rows, cols), inputs, outputs, gates)
+    netlist.validate()
+    return netlist
+
+
+def _tile_template(tile: str, tile_size: int, seed: int) -> Netlist:
+    if tile == "adder":
+        return ripple_carry_adder(tile_size, name="tile")
+    if tile == "random":
+        return layered_random_circuit(
+            "tile",
+            num_inputs=tile_size,
+            num_outputs=tile_size,
+            num_gates=4 * tile_size,
+            num_connections=8 * tile_size,
+            seed=seed,
+        )
+    raise NetlistError("unknown tile kind %r (expected 'adder' or 'random')" % (tile,))
+
+
+def tiled_circuit(
+    name: str,
+    tile_rows: int,
+    tile_cols: int,
+    tile: str = "adder",
+    tile_size: int = 4,
+    seed: int = 0,
+) -> Netlist:
+    """A hierarchical tiling that instantiates an existing block as tiles.
+
+    A ``tile_rows x tile_cols`` grid of copies of a template block
+    (:func:`ripple_carry_adder` for ``tile="adder"``,
+    :func:`layered_random_circuit` for ``tile="random"``) where each tile's
+    inputs are fed, in seeded random order, from the outputs of its north and
+    west neighbours; the remainder become fresh primary inputs.  Gate-output
+    nets that end up with no fanout anywhere in the grid (interior leftovers
+    and the last row/column) are promoted to primary outputs, so the netlist
+    always validates.
+
+    The edge count is exact: ``tile_rows * tile_cols`` times the template's
+    ``num_connections``.
+    """
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise NetlistError("tile_rows and tile_cols must be positive")
+    template = _tile_template(tile, tile_size, seed)
+    template_inputs = list(template.primary_inputs)
+    rng = np.random.default_rng(seed)
+
+    inputs: List[str] = []
+    gates: List[Gate] = []
+    tile_outputs: Dict[Tuple[int, int], List[str]] = {}
+    for row in range(tile_rows):
+        for col in range(tile_cols):
+            prefix = "t%d_%d_" % (row, col)
+            pool: List[str] = []
+            if row > 0:
+                pool.extend(tile_outputs[(row - 1, col)])
+            if col > 0:
+                pool.extend(tile_outputs[(row, col - 1)])
+            rng.shuffle(pool)
+            while len(pool) < len(template_inputs):
+                fresh = "%sPI%d" % (prefix, len(pool))
+                inputs.append(fresh)
+                pool.append(fresh)
+            input_map = {
+                pi: pool[index] for index, pi in enumerate(template_inputs)
+            }
+            for gate in template:
+                gates.append(
+                    Gate(
+                        prefix + gate.name,
+                        gate.function,
+                        tuple(input_map.get(net, prefix + net) for net in gate.inputs),
+                        prefix + gate.output,
+                    )
+                )
+            tile_outputs[(row, col)] = [
+                prefix + net for net in template.primary_outputs
+            ]
+
+    fanout: Dict[str, int] = {}
+    for gate in gates:
+        for net in gate.inputs:
+            fanout[net] = fanout.get(net, 0) + 1
+    outputs = [gate.output for gate in gates if fanout.get(gate.output, 0) == 0]
+    netlist = Netlist(
+        name or "tiled_%s%dx%d" % (tile, tile_rows, tile_cols), inputs, outputs, gates
+    )
+    netlist.validate()
+    return netlist
+
+
+def design_for_edge_count(
+    family: str, target_edges: int, name: str = "", seed: int = 0
+) -> Netlist:
+    """Build a design of the given family sized to ~``target_edges`` edges.
+
+    ``family`` is one of ``"pipeline"``, ``"mesh"``, ``"tiled_adder"``,
+    ``"tiled_random"`` or ``"random"``.  The ``"random"`` family hits the
+    target exactly; the structured families invert their closed-form edge
+    formulas and land within a few percent.  All families are deterministic
+    in ``seed``.
+    """
+    if target_edges <= 0:
+        raise NetlistError("target_edges must be positive")
+    name = name or "%s_%d" % (family, target_edges)
+    if family == "pipeline":
+        fanin = 2
+        # edges = stages * width * fanin with stages ~ 4x width: deep.
+        width = max(fanin, int(round(math.sqrt(target_edges / (4.0 * fanin)))))
+        stages = max(1, int(round(target_edges / float(width * fanin))))
+        return deep_pipeline_circuit(name, width, stages, fanin=fanin, seed=seed)
+    if family == "mesh":
+        # edges = 2 * rows * cols with a square aspect.
+        rows = max(1, int(round(math.sqrt(target_edges / 2.0))))
+        cols = max(1, int(round(target_edges / (2.0 * rows))))
+        return mesh_circuit(name, rows, cols, seed=seed)
+    if family in ("tiled_adder", "tiled_random"):
+        tile = "adder" if family == "tiled_adder" else "random"
+        tile_size = 4
+        per_tile = _tile_template(tile, tile_size, seed).num_connections
+        tiles = max(1, int(round(target_edges / float(per_tile))))
+        tile_rows = max(1, int(round(math.sqrt(tiles))))
+        tile_cols = max(1, int(round(tiles / float(tile_rows))))
+        return tiled_circuit(name, tile_rows, tile_cols, tile=tile, tile_size=tile_size, seed=seed)
+    if family == "random":
+        num_gates = max(2, target_edges // 2)
+        num_inputs = max(4, int(round(math.sqrt(num_gates))))
+        num_outputs = max(4, min(num_gates, int(round(math.sqrt(num_gates)))))
+        return layered_random_circuit(
+            name,
+            num_inputs=num_inputs,
+            num_outputs=num_outputs,
+            num_gates=num_gates,
+            num_connections=target_edges,
+            seed=seed,
+        )
+    raise NetlistError(
+        "unknown family %r (expected pipeline, mesh, tiled_adder, tiled_random or random)"
+        % (family,)
+    )

@@ -31,31 +31,111 @@ Two entry points share the tensors:
   revisioned change journal that refreshes the tensors by repropagating
   only the dirty cone of each edit burst, serving threshold sweeps and
   repeated model extraction at what-if speed.
+
+Engine selection
+----------------
+The from-scratch analysis has two engines behind
+:meth:`AllPairsTiming.analyze`:
+
+* ``"dense"`` — the original per-vertex pass that materialises the full
+  ``(V, I)`` arrival and ``(V, O)`` to-output tensors (the layout every
+  incremental session and the extraction/criticality consumers read);
+* ``"blocked"`` — a levelized pass that sweeps the input (output) columns
+  in budget-sized blocks of ``B`` columns through the shared fold of
+  :mod:`repro.timing.propagation`, assembling the ``(I, O)`` delay matrix
+  without ever holding more than ``(V, B)`` state — the engine that keeps
+  10^5-10^6-edge designs inside a fixed memory budget.
+
+``"auto"`` (the default) picks ``"dense"`` while the dense tensors fit the
+float budget of :func:`allpairs_budget_floats` (env
+``REPRO_ALLPAIRS_BUDGET_FLOATS``) and ``"blocked"`` above it.  Both fold
+every vertex's candidate edges in the identical order, so their matrices
+agree to 1e-9 (asserted by the parity tests up to generated 10^5-edge
+designs).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.core.batch import clark_max_arrays, merge_max_with_validity
+from repro.core.batch import FoldWorkspace, clark_max_arrays, merge_max_with_validity
 from repro.core.canonical import CanonicalForm
 from repro.errors import TimingGraphError
 from repro.timing.arrays import GraphArrays
 from repro.timing.graph import GraphDelta, TimingEdge, TimingGraph
 
 __all__ = [
+    "ALLPAIRS_BUDGET_FLOATS",
     "AllPairsSession",
     "AllPairsTiming",
     "AllPairsUpdate",
     "GraphArrays",
+    "allpairs_budget_floats",
     "clark_max_arrays",
+    "dense_tensor_floats",
 ]
 
 # Backwards-compatible alias of the shared masked Clark kernel.
 _merge_max_with_validity = merge_max_with_validity
+
+#: Default budget (float64 elements) for the dense ``(V, I)`` + ``(V, O)``
+#: all-pairs tensors: 2^27 floats = 1 GiB.  Above it ``engine="auto"``
+#: switches to the blocked column sweep.
+ALLPAIRS_BUDGET_FLOATS = 1 << 27
+
+ALLPAIRS_BUDGET_ENV = "REPRO_ALLPAIRS_BUDGET_FLOATS"
+
+
+def allpairs_budget_floats() -> int:
+    """The active dense-tensor budget (float64 elements).
+
+    Reads ``REPRO_ALLPAIRS_BUDGET_FLOATS`` on every call so tests and batch
+    jobs can retune the dense/blocked switch without touching code; raises a
+    clear ``ValueError`` on a non-integer or non-positive override.
+    """
+    raw = os.environ.get(ALLPAIRS_BUDGET_ENV)
+    if raw is None:
+        return ALLPAIRS_BUDGET_FLOATS
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be an integer, got %r" % (ALLPAIRS_BUDGET_ENV, raw)
+        ) from None
+    if budget <= 0:
+        raise ValueError(
+            "%s must be positive, got %d" % (ALLPAIRS_BUDGET_ENV, budget)
+        )
+    return budget
+
+
+def dense_tensor_floats(
+    num_vertices: int, num_inputs: int, num_outputs: int, num_corr: int
+) -> int:
+    """Float64 count of the dense per-input + per-output all-pairs tensors.
+
+    Per direction the dense engine holds mean, randvar and the
+    ``num_corr``-wide coefficient tensor (the boolean masks are not
+    counted); this is the figure ``engine="auto"`` compares against the
+    budget.
+    """
+    per_entry = num_corr + 2
+    return num_vertices * (num_inputs + num_outputs) * per_entry
+
+
+def _auto_block_columns(num_vertices: int, num_corr: int, budget: int) -> int:
+    """Column-block width keeping the blocked working set under ``budget``.
+
+    The blocked sweep's footprint is ~4x the ``(V, B)`` state (state +
+    level accumulators + candidate and merge scratch, each bounded by the
+    widest level, itself bounded by ``V``).
+    """
+    per_column = num_vertices * (num_corr + 2) * 4
+    return max(1, budget // max(per_column, 1))
 
 
 # ----------------------------------------------------------------------
@@ -74,9 +154,14 @@ class AllPairsTiming:
       delay from each vertex to each output;
     * ``matrix_mean/corr/randvar/valid`` — shape ``(I, O, ...)``: the
       input/output delay matrix ``M`` of Section III.
+
+    A blocked analysis (``engine="blocked"``, see the module doc) holds the
+    matrix only: the per-vertex tensors are ``None`` and the per-column
+    state is exposed through :meth:`iter_arrival_blocks` /
+    :meth:`iter_to_output_blocks` instead.
     """
 
-    def __init__(self, arrays: GraphArrays) -> None:
+    def __init__(self, arrays: GraphArrays, materialize: bool = True) -> None:
         self.arrays = arrays
         graph = arrays.graph
         self.inputs: Tuple[str, ...] = graph.inputs
@@ -85,21 +170,32 @@ class AllPairsTiming:
             raise TimingGraphError(
                 "all-pairs analysis needs designated inputs and outputs"
             )
+        self.engine = "dense" if materialize else "blocked"
 
         num_vertices = graph.num_vertices
         num_inputs = len(self.inputs)
         num_outputs = len(self.outputs)
         num_corr = arrays.num_corr
 
-        self.arrival_mean = np.zeros((num_vertices, num_inputs), dtype=float)
-        self.arrival_corr = np.zeros((num_vertices, num_inputs, num_corr), dtype=float)
-        self.arrival_randvar = np.zeros((num_vertices, num_inputs), dtype=float)
-        self.arrival_valid = np.zeros((num_vertices, num_inputs), dtype=bool)
+        if materialize:
+            self.arrival_mean = np.zeros((num_vertices, num_inputs), dtype=float)
+            self.arrival_corr = np.zeros((num_vertices, num_inputs, num_corr), dtype=float)
+            self.arrival_randvar = np.zeros((num_vertices, num_inputs), dtype=float)
+            self.arrival_valid = np.zeros((num_vertices, num_inputs), dtype=bool)
 
-        self.to_output_mean = np.zeros((num_vertices, num_outputs), dtype=float)
-        self.to_output_corr = np.zeros((num_vertices, num_outputs, num_corr), dtype=float)
-        self.to_output_randvar = np.zeros((num_vertices, num_outputs), dtype=float)
-        self.to_output_valid = np.zeros((num_vertices, num_outputs), dtype=bool)
+            self.to_output_mean = np.zeros((num_vertices, num_outputs), dtype=float)
+            self.to_output_corr = np.zeros((num_vertices, num_outputs, num_corr), dtype=float)
+            self.to_output_randvar = np.zeros((num_vertices, num_outputs), dtype=float)
+            self.to_output_valid = np.zeros((num_vertices, num_outputs), dtype=bool)
+        else:
+            self.arrival_mean = None
+            self.arrival_corr = None
+            self.arrival_randvar = None
+            self.arrival_valid = None
+            self.to_output_mean = None
+            self.to_output_corr = None
+            self.to_output_randvar = None
+            self.to_output_valid = None
 
         self.matrix_mean = np.zeros((num_inputs, num_outputs), dtype=float)
         self.matrix_corr = np.zeros((num_inputs, num_outputs, num_corr), dtype=float)
@@ -108,14 +204,142 @@ class AllPairsTiming:
 
     # ------------------------------------------------------------------
     @classmethod
-    def analyze(cls, graph: TimingGraph) -> "AllPairsTiming":
-        """Run the forward and backward all-pairs propagation on ``graph``."""
+    def analyze(
+        cls,
+        graph: TimingGraph,
+        engine: str = "auto",
+        block_columns: Optional[int] = None,
+    ) -> "AllPairsTiming":
+        """Run the forward and backward all-pairs propagation on ``graph``.
+
+        ``engine`` is ``"dense"``, ``"blocked"`` or ``"auto"`` (pick dense
+        while the dense tensors fit :func:`allpairs_budget_floats`);
+        ``block_columns`` overrides the blocked engine's column-block width
+        (defaults to an automatic budget-derived size).
+        """
         arrays = GraphArrays.from_graph(graph)
-        analysis = cls(arrays)
-        analysis._propagate_forward()
-        analysis._propagate_backward()
-        analysis._extract_matrix()
+        if engine not in ("auto", "dense", "blocked"):
+            raise ValueError("unknown all-pairs engine %r" % engine)
+        if engine == "auto":
+            footprint = dense_tensor_floats(
+                arrays.num_vertices, len(graph.inputs), len(graph.outputs),
+                arrays.num_corr,
+            )
+            engine = "dense" if footprint <= allpairs_budget_floats() else "blocked"
+        if engine == "dense":
+            analysis = cls(arrays)
+            analysis._propagate_forward()
+            analysis._propagate_backward()
+            analysis._extract_matrix()
+        else:
+            analysis = cls(arrays, materialize=False)
+            analysis._analyze_blocked(block_columns)
         return analysis
+
+    # ------------------------------------------------------------------
+    # Blocked column sweeps
+    # ------------------------------------------------------------------
+    def _block_columns(self, block_columns: Optional[int]) -> int:
+        if block_columns is not None:
+            if block_columns < 1:
+                raise ValueError("block_columns must be >= 1")
+            return int(block_columns)
+        return _auto_block_columns(
+            self.arrays.num_vertices, self.arrays.num_corr, allpairs_budget_floats()
+        )
+
+    def _column_block(
+        self,
+        positions: range,
+        backward: bool,
+        work: FoldWorkspace,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One blocked levelized pass over ``B = len(positions)`` columns.
+
+        Returns ``(mean, corr, randvar, valid)`` of shape ``(V, B, ...)``:
+        column ``b`` is the arrival-from-input (or delay-to-output) state of
+        input (output) position ``positions[b]``.  The per-vertex seed—zeros,
+        valid only at the vertex's own column—and the per-vertex candidate
+        fold order are exactly those of the dense engine, so the two engines
+        agree to round-off.
+        """
+        # The blocked state is (V, B): the fold body broadcasts the edge
+        # delays across the column axis (see _fold_rounds).
+        from repro.timing.propagation import _fold_levels
+
+        arrays = self.arrays
+        num_vertices = arrays.num_vertices
+        width = len(positions)
+        index = arrays.vertex_index
+        names = self.outputs if backward else self.inputs
+
+        mean = work.view("block_mean", (num_vertices, width))
+        corr = work.view("block_corr", (num_vertices, width, arrays.num_corr))
+        randvar = work.view("block_randvar", (num_vertices, width))
+        valid = work.view("block_valid", (num_vertices, width), dtype=bool)
+        mean.fill(0.0)
+        corr.fill(0.0)
+        randvar.fill(0.0)
+        valid.fill(False)
+        for column, position in enumerate(positions):
+            valid[index[names[position]], column] = True
+
+        if backward:
+            levels = arrays.backward_levels()
+            neighbor_rows = arrays.edge_sink
+        else:
+            levels = arrays.forward_levels()
+            neighbor_rows = arrays.edge_source
+        _fold_levels(
+            arrays, levels, neighbor_rows, arrays.edge_corr,
+            mean, corr, randvar, valid, seed_first=True, work=work,
+        )
+        return mean, corr, randvar, valid
+
+    def iter_arrival_blocks(
+        self, block_columns: Optional[int] = None
+    ) -> Iterator[Tuple[range, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Stream the per-input arrival state in column blocks.
+
+        Yields ``(positions, mean, corr, randvar, valid)`` where the arrays
+        have shape ``(V, B, ...)`` for ``B = len(positions)`` input columns.
+        The yielded arrays are workspace views reused by the next block —
+        consumers must copy whatever they keep.
+        """
+        block = self._block_columns(block_columns)
+        work = FoldWorkspace()
+        for start in range(0, len(self.inputs), block):
+            positions = range(start, min(start + block, len(self.inputs)))
+            mean, corr, randvar, valid = self._column_block(positions, False, work)
+            yield positions, mean, corr, randvar, valid
+
+    def iter_to_output_blocks(
+        self, block_columns: Optional[int] = None
+    ) -> Iterator[Tuple[range, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Stream the per-output to-output state in column blocks.
+
+        The backward analogue of :meth:`iter_arrival_blocks`: column ``b``
+        holds the maximum delay from every vertex to output
+        ``positions[b]``.
+        """
+        block = self._block_columns(block_columns)
+        work = FoldWorkspace()
+        for start in range(0, len(self.outputs), block):
+            positions = range(start, min(start + block, len(self.outputs)))
+            mean, corr, randvar, valid = self._column_block(positions, True, work)
+            yield positions, mean, corr, randvar, valid
+
+    def _analyze_blocked(self, block_columns: Optional[int]) -> None:
+        """Assemble the delay matrix from blocked forward column sweeps."""
+        output_rows = self.arrays.output_rows
+        for positions, mean, corr, randvar, valid in self.iter_arrival_blocks(
+            block_columns
+        ):
+            rows = slice(positions.start, positions.stop)
+            self.matrix_mean[rows] = mean[output_rows].T
+            self.matrix_corr[rows] = corr[output_rows].transpose(1, 0, 2)
+            self.matrix_randvar[rows] = randvar[output_rows].T
+            self.matrix_valid[rows] = valid[output_rows].T
 
     # ------------------------------------------------------------------
     def _propagate_forward(self) -> None:
@@ -223,6 +447,25 @@ class AllPairsTiming:
             corr[1:],
             float(np.sqrt(self.matrix_randvar[i, j])),
         )
+
+    def nbytes_report(self) -> Dict[str, int]:
+        """Byte accounting of the analysis: per tensor group plus total.
+
+        Mirrors :meth:`repro.parallel.shm.SharedArraysHandle.nbytes_report`.
+        ``arrival`` and ``to_output`` are 0 for a blocked analysis — that
+        difference *is* the blocked engine's memory win; ``graph_arrays``
+        is the shared edge/schedule working set underneath.
+        """
+        report = {"graph_arrays": int(self.arrays.nbytes_report()["total"])}
+        for group in ("arrival", "to_output", "matrix"):
+            report[group] = sum(
+                int(tensor.nbytes)
+                for suffix in ("mean", "corr", "randvar", "valid")
+                for tensor in (getattr(self, "%s_%s" % (group, suffix)),)
+                if tensor is not None
+            )
+        report["total"] = sum(report.values())
+        return report
 
     def matrix_std(self) -> np.ndarray:
         """Standard deviation of every ``M_ij`` (invalid pairs are NaN)."""
@@ -393,6 +636,32 @@ class AllPairsSession:
     def delay_form(self, input_name: str, output_name: str) -> Optional[CanonicalForm]:
         """The canonical input/output delay ``M_ij`` (synchronised)."""
         return self.analysis.delay_form(input_name, output_name)
+
+    def nbytes_report(self) -> Dict[str, int]:
+        """Byte accounting of the session: tensors, dirty state and total.
+
+        ``analysis`` aggregates the maintained tensors (including the
+        shared :class:`GraphArrays` working set); ``dirty_state`` is the
+        session's own frontier/changed-mask bookkeeping.  No refresh is
+        performed — the report describes the state as currently held.
+        """
+        report = {
+            "analysis": (
+                int(self._analysis.nbytes_report()["total"])
+                if self._analysis is not None
+                else int(self._arrays.nbytes_report()["total"])
+            ),
+            "dirty_state": sum(
+                int(mask.nbytes)
+                for mask in (
+                    self._dirty_fwd, self._dirty_bwd,
+                    self._changed_fwd, self._changed_bwd,
+                )
+                if mask is not None
+            ),
+        }
+        report["total"] = sum(report.values())
+        return report
 
     # ------------------------------------------------------------------
     # The refresh engine

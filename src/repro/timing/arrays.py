@@ -360,6 +360,45 @@ class GraphArrays:
             self.edge_mean, self.edge_corr, self.edge_randvar
         )
 
+    def nbytes_report(self) -> Dict[str, int]:
+        """Byte accounting of the view's NumPy state: per field plus total.
+
+        Mirrors :meth:`repro.parallel.shm.SharedArraysHandle.nbytes_report`:
+        one entry per edge-array field, plus the lazily built levelized
+        schedules and adjacency indices (0 until first use), plus a
+        ``"total"``.  Python-object bookkeeping (the ``vertex_index`` /
+        ``edge_rows`` dicts and the graph itself) is not counted — this is
+        the array working set that scales with ``E`` and ``V``, the figure
+        the memory-budget knobs reason about.
+        """
+        report = {
+            name: int(getattr(self, name).nbytes)
+            for name in (
+                "edge_ids", "edge_source", "edge_sink",
+                "edge_mean", "edge_corr", "edge_randvar",
+            )
+        }
+        for key, levels in (
+            ("forward_levels", self._forward_levels),
+            ("backward_levels", self._backward_levels),
+        ):
+            report[key] = sum(
+                int(
+                    level.vertex_rows.nbytes
+                    + level.edge_matrix.nbytes
+                    + level.round_counts.nbytes
+                )
+                for level in (levels or ())
+            )
+        report["adjacency"] = sum(
+            int(array.nbytes)
+            for adjacency in (self._out_adjacency, self._in_adjacency)
+            if adjacency is not None
+            for array in adjacency
+        )
+        report["total"] = sum(report.values())
+        return report
+
     # ------------------------------------------------------------------
     # Adjacency (edge rows grouped by endpoint vertex row)
     # ------------------------------------------------------------------

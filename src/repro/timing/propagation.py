@@ -30,7 +30,12 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.core.batch import CanonicalBatch, merge_max_with_validity, pad_corr
+from repro.core.batch import (
+    CanonicalBatch,
+    FoldWorkspace,
+    merge_max_with_validity_into,
+    pad_corr,
+)
 from repro.core.canonical import CanonicalForm
 from repro.core.ops import statistical_max, statistical_min
 from repro.errors import TimingGraphError
@@ -141,6 +146,7 @@ def _fold_rounds(
     acc_randvar: np.ndarray,
     acc_valid: np.ndarray,
     init_round0: bool,
+    work: Optional[FoldWorkspace] = None,
 ) -> None:
     """Fold each round's edge candidates into the accumulators, in place.
 
@@ -155,30 +161,64 @@ def _fold_rounds(
     accumulators (the arrival engines' ``best = candidate``); otherwise
     round 0 merges into pre-seeded accumulators (the backward engines'
     seed-first fold).
+
+    All temporaries come from ``work`` (one is created when omitted), so a
+    fold over many levels allocates each scratch buffer once instead of per
+    round.  The per-vertex state may carry an extra trailing batch axis
+    (``mean (V, B)``, ``corr (V, B, W)``): edge delays broadcast across the
+    blocked axis, which is how the blocked all-pairs engine folds ``B``
+    input columns per pass through this one shared body.
     """
+    if work is None:
+        work = FoldWorkspace()
+    blocked = mean.ndim == 2
     for round_index in range(edge_matrix.shape[1]):
         count = int(round_counts[round_index])
         if count == 0:
             break  # counts are non-increasing: later rounds are empty too
         edge_rows = edge_matrix[:count, round_index]
         neighbors = neighbor_rows[edge_rows]
-        cand_mean = mean[neighbors] + edge_mean[edge_rows]
-        cand_corr = corr[neighbors] + edge_corr[edge_rows]
-        cand_randvar = randvar[neighbors] + edge_randvar[edge_rows]
-        cand_valid = valid[neighbors]
+
+        cand_mean = work.view("cand_mean", (count,) + mean.shape[1:])
+        cand_corr = work.view("cand_corr", (count,) + corr.shape[1:])
+        cand_randvar = work.view("cand_randvar", (count,) + randvar.shape[1:])
+        cand_valid = work.view("cand_valid", (count,) + valid.shape[1:], dtype=bool)
+        edge_gather = work.view("edge_gather", (count,))
+        edge_corr_gather = work.view("edge_corr_gather", (count, edge_corr.shape[1]))
+
+        np.take(mean, neighbors, axis=0, out=cand_mean)
+        np.take(edge_mean, edge_rows, out=edge_gather)
+        np.add(cand_mean, edge_gather[:, None] if blocked else edge_gather, out=cand_mean)
+        np.take(corr, neighbors, axis=0, out=cand_corr)
+        np.take(edge_corr, edge_rows, axis=0, out=edge_corr_gather)
+        np.add(
+            cand_corr,
+            edge_corr_gather[:, None, :] if blocked else edge_corr_gather,
+            out=cand_corr,
+        )
+        np.take(randvar, neighbors, axis=0, out=cand_randvar)
+        np.take(edge_randvar, edge_rows, out=edge_gather)
+        np.add(cand_randvar, edge_gather[:, None] if blocked else edge_gather, out=cand_randvar)
+        np.take(valid, neighbors, axis=0, out=cand_valid)
+
         if round_index == 0 and init_round0:
             acc_mean[:count] = cand_mean
             acc_corr[:count] = cand_corr
             acc_randvar[:count] = cand_randvar
             acc_valid[:count] = cand_valid
             continue
-        merged = merge_max_with_validity(
+        merged_mean = work.view("merged_mean", cand_mean.shape)
+        merged_corr = work.view("merged_corr", cand_corr.shape)
+        merged_randvar = work.view("merged_randvar", cand_randvar.shape)
+        merged_valid = work.view("merged_valid", cand_valid.shape, dtype=bool)
+        merge_max_with_validity_into(
             acc_mean[:count], acc_corr[:count], acc_randvar[:count],
             acc_valid[:count],
             cand_mean, cand_corr, cand_randvar, cand_valid,
+            merged_mean, merged_corr, merged_randvar, merged_valid, work,
         )
-        acc_mean[:count], acc_corr[:count] = merged[0], merged[1]
-        acc_randvar[:count], acc_valid[:count] = merged[2], merged[3]
+        acc_mean[:count], acc_corr[:count] = merged_mean, merged_corr
+        acc_randvar[:count], acc_valid[:count] = merged_randvar, merged_valid
 
 
 def _fold_levels(
@@ -191,6 +231,7 @@ def _fold_levels(
     randvar: np.ndarray,
     valid: np.ndarray,
     seed_first: bool,
+    work: Optional[FoldWorkspace] = None,
 ) -> None:
     """Run the levelized Clark fold over ``levels``, updating state in place.
 
@@ -201,47 +242,67 @@ def _fold_levels(
     array slices.  ``seed_first`` controls whether a pre-seeded state value
     (e.g. the required time at an output) enters the fold before the edge
     candidates (backward engines) or is merged after them (arrival engine).
+
+    Accumulators and every kernel temporary live in ``work`` (created when
+    omitted, pass one in to share across passes): each buffer is allocated
+    once at the widest level instead of once per level, so the fold's
+    allocation count no longer grows with graph depth.  The state may carry
+    a trailing blocked axis (see :func:`_fold_rounds`).
     """
     edge_mean = arrays.edge_mean
     edge_randvar = arrays.edge_randvar
-    width = corr.shape[1]
+    if work is None:
+        work = FoldWorkspace()
 
     for level in levels:
         rows = level.vertex_rows
         num_level = rows.shape[0]
+        acc_mean = work.view("acc_mean", (num_level,) + mean.shape[1:])
+        acc_corr = work.view("acc_corr", (num_level,) + corr.shape[1:])
+        acc_randvar = work.view("acc_randvar", (num_level,) + randvar.shape[1:])
+        acc_valid = work.view("acc_valid", (num_level,) + valid.shape[1:], dtype=bool)
         if seed_first:
-            acc_mean = mean[rows]
-            acc_corr = corr[rows]
-            acc_randvar = randvar[rows]
-            acc_valid = valid[rows]
-        else:
-            # Round 0 covers every vertex of the level (degree >= 1), so the
-            # accumulators are fully written before they are first read.
-            acc_mean = np.empty(num_level, dtype=float)
-            acc_corr = np.empty((num_level, width), dtype=float)
-            acc_randvar = np.empty(num_level, dtype=float)
-            acc_valid = np.empty(num_level, dtype=bool)
+            np.take(mean, rows, axis=0, out=acc_mean)
+            np.take(corr, rows, axis=0, out=acc_corr)
+            np.take(randvar, rows, axis=0, out=acc_randvar)
+            np.take(valid, rows, axis=0, out=acc_valid)
+        # else: round 0 covers every vertex of the level (degree >= 1), so
+        # the accumulators are fully written before they are first read.
 
         _fold_rounds(
             level.edge_matrix, level.round_counts, neighbor_rows,
             edge_mean, edge_corr, edge_randvar,
             mean, corr, randvar, valid,
             acc_mean, acc_corr, acc_randvar, acc_valid,
-            init_round0=not seed_first,
+            init_round0=not seed_first, work=work,
         )
 
         if seed_first:
             mean[rows], corr[rows] = acc_mean, acc_corr
             randvar[rows], valid[rows] = acc_randvar, acc_valid
-        elif valid[rows].any():
+            continue
+        seed_valid = work.view("seed_valid", acc_valid.shape, dtype=bool)
+        np.take(valid, rows, axis=0, out=seed_valid)
+        if seed_valid.any():
             # Merge a pre-seeded state (an input vertex that also has fanin)
             # after the fold, matching the object engine's final max.
-            merged = merge_max_with_validity(
+            seed_mean = work.view("seed_mean", acc_mean.shape)
+            seed_corr = work.view("seed_corr", acc_corr.shape)
+            seed_randvar = work.view("seed_randvar", acc_randvar.shape)
+            np.take(mean, rows, axis=0, out=seed_mean)
+            np.take(corr, rows, axis=0, out=seed_corr)
+            np.take(randvar, rows, axis=0, out=seed_randvar)
+            merged_mean = work.view("merged_mean", acc_mean.shape)
+            merged_corr = work.view("merged_corr", acc_corr.shape)
+            merged_randvar = work.view("merged_randvar", acc_randvar.shape)
+            merged_valid = work.view("merged_valid", acc_valid.shape, dtype=bool)
+            merge_max_with_validity_into(
                 acc_mean, acc_corr, acc_randvar, acc_valid,
-                mean[rows], corr[rows], randvar[rows], valid[rows],
+                seed_mean, seed_corr, seed_randvar, seed_valid,
+                merged_mean, merged_corr, merged_randvar, merged_valid, work,
             )
-            mean[rows], corr[rows] = merged[0], merged[1]
-            randvar[rows], valid[rows] = merged[2], merged[3]
+            mean[rows], corr[rows] = merged_mean, merged_corr
+            randvar[rows], valid[rows] = merged_randvar, merged_valid
         else:
             mean[rows], corr[rows] = acc_mean, acc_corr
             randvar[rows], valid[rows] = acc_randvar, acc_valid

@@ -1,0 +1,121 @@
+"""Bitwise parity of the allocation-free fold kernels.
+
+The levelized fold reuses preallocated workspace buffers through
+``clark_max_into`` / ``merge_max_with_validity_into``; these must replicate
+the allocating reference kernels *bitwise* (not just to tolerance), because
+the blocked all-pairs engine's parity contract with the dense engine rests
+on every engine executing the identical floating-point expressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    FoldWorkspace,
+    clark_max_arrays,
+    clark_max_into,
+    merge_max_with_validity,
+    merge_max_with_validity_into,
+)
+
+
+def _random_operands(rng, shape, k):
+    mean = rng.normal(10.0, 3.0, size=shape)
+    corr = rng.normal(0.0, 0.5, size=shape + (k,))
+    randvar = rng.uniform(0.0, 0.4, size=shape)
+    return mean, corr, randvar
+
+
+def _with_degenerate_rows(rng, shape, k):
+    """Operand pairs where a slice is exactly degenerate (b == a)."""
+    mean_a, corr_a, randvar_a = _random_operands(rng, shape, k)
+    mean_b, corr_b, randvar_b = _random_operands(rng, shape, k)
+    half = shape[0] // 2
+    mean_b[:half] = mean_a[:half] - rng.uniform(0.0, 2.0, size=(half,) + shape[1:])
+    corr_b[:half] = corr_a[:half]
+    randvar_b[:half] = randvar_a[:half]
+    return (mean_a, corr_a, randvar_a), (mean_b, corr_b, randvar_b)
+
+
+def _allocate_outputs(shape, k):
+    return (
+        np.empty(shape),
+        np.empty(shape + (k,)),
+        np.empty(shape),
+    )
+
+
+@pytest.mark.parametrize("shape,k", [((37,), 3), ((16, 9), 5), ((128,), 1)])
+def test_clark_max_into_is_bitwise_identical(shape, k):
+    rng = np.random.default_rng(101)
+    a, b = _with_degenerate_rows(rng, shape, k)
+    expected = clark_max_arrays(*a, *b)
+    out = _allocate_outputs(shape, k)
+    clark_max_into(*a, *b, *out, work=FoldWorkspace())
+    for got, want in zip(out, expected):
+        assert np.array_equal(got, want)
+
+
+def test_clark_max_into_reused_workspace_stays_bitwise():
+    # The same workspace serves different shapes back to back, as it does
+    # across rounds of a level fold: earlier contents must never leak.
+    rng = np.random.default_rng(7)
+    work = FoldWorkspace()
+    for shape, k in [((64,), 4), ((9,), 4), ((33,), 4)]:
+        a, b = _with_degenerate_rows(rng, shape, k)
+        expected = clark_max_arrays(*a, *b)
+        out = _allocate_outputs(shape, k)
+        clark_max_into(*a, *b, *out, work)
+        for got, want in zip(out, expected):
+            assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("pattern", ["all_valid", "mixed", "disjoint"])
+def test_merge_with_validity_into_is_bitwise_identical(pattern):
+    rng = np.random.default_rng(55)
+    shape, k = (41,), 3
+    a, b = _with_degenerate_rows(rng, shape, k)
+    if pattern == "all_valid":
+        valid_a = np.ones(shape, dtype=bool)
+        valid_b = np.ones(shape, dtype=bool)
+    elif pattern == "mixed":
+        valid_a = rng.random(shape) < 0.7
+        valid_b = rng.random(shape) < 0.7
+    else:
+        valid_a = np.arange(shape[0]) % 2 == 0
+        valid_b = ~valid_a
+    expected = merge_max_with_validity(*a, valid_a, *b, valid_b)
+    out_mean, out_corr, out_randvar = _allocate_outputs(shape, k)
+    out_valid = np.empty(shape, dtype=bool)
+    merge_max_with_validity_into(
+        *a, valid_a, *b, valid_b, out_mean, out_corr, out_randvar, out_valid,
+        FoldWorkspace(),
+    )
+    for got, want in zip((out_mean, out_corr, out_randvar, out_valid), expected):
+        assert np.array_equal(got, want)
+
+
+def test_workspace_views_grow_and_are_reused():
+    work = FoldWorkspace()
+    small = work.view("buf", (10,))
+    small.fill(3.0)
+    # Growing reallocates; shrinking returns a prefix view of the same
+    # backing store.
+    big = work.view("buf", (100,))
+    assert big.shape == (100,)
+    again = work.view("buf", (10,))
+    assert again.base is big.base
+    # Distinct dtypes get distinct buffers even under one name.
+    flags = work.view("buf", (10,), bool)
+    assert flags.dtype == np.bool_
+    assert work.nbytes >= 100 * 8 + 10
+
+
+def test_workspace_nbytes_tracks_buffers():
+    work = FoldWorkspace()
+    assert work.nbytes == 0
+    work.view("a", (128,))
+    work.view("b", (64,), bool)
+    assert work.nbytes == 128 * 8 + 64

@@ -407,3 +407,50 @@ class TestEmptyPairSpace:
         assert result.max_criticality == {}
         assert result.values().shape == (0,)
         assert result.below(1.0) == {}
+
+
+class TestChunkSizer:
+    def test_auto_chunk_edges_is_corr_aware(self):
+        from repro.model.criticality import auto_chunk_edges
+
+        narrow = auto_chunk_edges(200, 100, 0, chunk_pairs=1 << 19)
+        wide = auto_chunk_edges(200, 100, 1000, chunk_pairs=1 << 19)
+        assert narrow > wide >= 1
+        # The per-edge float cost I*O + (I + O)*K bounds the chunk exactly.
+        per_edge = 200 * 100 + 300 * 1000
+        assert wide == max(1, (1 << 19) // per_edge)
+
+    def test_auto_chunk_edges_never_degenerates(self):
+        from repro.model.criticality import auto_chunk_edges
+
+        # Extreme pair spaces and budgets always land on a usable chunk.
+        assert auto_chunk_edges(10 ** 4, 10 ** 4, 10 ** 4, chunk_pairs=1) == 1
+        assert auto_chunk_edges(0, 0, 0, chunk_pairs=1 << 19) == 1 << 19
+        assert auto_chunk_edges(1, 1, 0, chunk_pairs=7) == 7
+        with pytest.raises(ValueError):
+            auto_chunk_edges(10, 10, 0, chunk_pairs=0)
+
+    def test_chunk_pairs_env_override(self, monkeypatch):
+        from repro.model.criticality import (
+            CRITICALITY_CHUNK_PAIRS,
+            criticality_chunk_pairs,
+        )
+
+        assert criticality_chunk_pairs() == CRITICALITY_CHUNK_PAIRS
+        monkeypatch.setenv("REPRO_CRITICALITY_CHUNK_PAIRS", "4096")
+        assert criticality_chunk_pairs() == 4096
+        monkeypatch.setenv("REPRO_CRITICALITY_CHUNK_PAIRS", "-1")
+        with pytest.raises(ValueError):
+            criticality_chunk_pairs()
+        monkeypatch.setenv("REPRO_CRITICALITY_CHUNK_PAIRS", "wide")
+        with pytest.raises(ValueError):
+            criticality_chunk_pairs()
+
+    def test_tiny_chunk_budget_keeps_parity(self, monkeypatch):
+        # A one-edge chunk still reproduces the default-chunk result.
+        graph = _build_graph(77, 4, 3, 20)
+        analysis = AllPairsTiming.analyze(graph)
+        reference = edge_criticality_batch(analysis)
+        monkeypatch.setenv("REPRO_CRITICALITY_CHUNK_PAIRS", "1")
+        tiny = edge_criticality_batch(analysis)
+        _assert_results_close(reference, tiny)

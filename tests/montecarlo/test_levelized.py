@@ -206,8 +206,35 @@ class TestAutoChunkSize:
     def test_bounds_and_clipping(self):
         assert auto_chunk_size(10, 10) == MC_MAX_CHUNK
         assert auto_chunk_size(10, 10, num_samples=100) == 100
-        # A huge multi-source working set clamps to the floor.
-        assert auto_chunk_size(10 ** 6, 10 ** 6, num_sources=500) == MC_MIN_CHUNK
+        # A huge multi-source working set drops below the floor: the
+        # budget outranks MC_MIN_CHUNK, down to one sample per chunk.
+        assert auto_chunk_size(10 ** 6, 10 ** 6, num_sources=500) == 1
+
+    def test_budget_always_bounds_the_working_set(self):
+        # At every extreme geometry the chosen chunk's working set honours
+        # the float budget (whenever any chunk > 1 can): the MC_MIN_CHUNK
+        # floor must never inflate past it at million-edge scale.
+        from repro.montecarlo.flat import mc_chunk_budget
+
+        budget = mc_chunk_budget()
+        for edges, vertices, sources in [
+            (10 ** 6, 5 * 10 ** 5, 1),
+            (10 ** 6, 10 ** 6, 32),
+            (10 ** 5, 10 ** 5, 500),
+            (10, 10, 1),
+        ]:
+            chunk = auto_chunk_size(edges, vertices, num_sources=sources)
+            per_sample = edges + (vertices + edges) * sources
+            assert chunk >= 1
+            if chunk > 1:
+                assert chunk * per_sample <= max(budget, per_sample)
+
+    def test_budget_env_override_shrinks_chunk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_CHUNK_BUDGET", "100")
+        assert auto_chunk_size(10 ** 4, 10 ** 4) == 1
+        monkeypatch.setenv("REPRO_MC_CHUNK_BUDGET", "bogus")
+        with pytest.raises(ValueError):
+            auto_chunk_size(10, 10)
 
     def test_multi_source_axis_shrinks_the_chunk(self):
         single = auto_chunk_size(5000, 3000, num_sources=1)

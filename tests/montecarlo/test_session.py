@@ -222,3 +222,19 @@ class TestDesignTimerRevalidation:
         other = timer.revalidate_monte_carlo(num_samples=120, seed=6)
         assert timer.monte_carlo_session is not session
         assert not np.array_equal(first.samples, other.samples)
+
+
+class TestMemoryReport:
+    def test_nbytes_report_tracks_session_caches(self, adder_graph):
+        session = MonteCarloSession(adder_graph, num_samples=64, seed=3)
+        before = session.nbytes_report()
+        assert before["delay_samples"] > 0
+        assert before["arrival_cache"] == 0
+        assert before["graph_arrays"] > 0
+        assert before["total"] == sum(
+            value for key, value in before.items() if key != "total"
+        )
+        session.revalidate()
+        after = session.nbytes_report()
+        assert after["arrival_cache"] > 0
+        assert after["total"] > before["total"]

@@ -1,0 +1,188 @@
+"""Tests of the scalable synthetic families and generator edge cases."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.generators import (
+    _MAX_FANIN,
+    deep_pipeline_circuit,
+    design_for_edge_count,
+    layered_random_circuit,
+    mesh_circuit,
+    ripple_carry_adder,
+    tiled_circuit,
+)
+
+
+class TestDeepPipeline:
+    def test_exact_sizes(self):
+        netlist = deep_pipeline_circuit("p", width=8, stages=5, fanin=3, seed=2)
+        assert len(netlist.primary_inputs) == 8
+        assert len(netlist.primary_outputs) == 8
+        assert netlist.num_gates == 8 * 5
+        assert netlist.num_connections == 8 * 5 * 3
+        netlist.validate()
+
+    def test_every_rank_net_has_fanout(self):
+        netlist = deep_pipeline_circuit("p", width=6, stages=7, seed=4)
+        outputs = set(netlist.primary_outputs)
+        for net in netlist.nets:
+            assert netlist.fanout_count(net) > 0 or net in outputs
+
+    def test_deterministic_for_same_seed(self):
+        a = deep_pipeline_circuit("p", 10, 4, seed=11)
+        b = deep_pipeline_circuit("p", 10, 4, seed=11)
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+        c = deep_pipeline_circuit("p", 10, 4, seed=12)
+        assert [gate.inputs for gate in a.gates] != [gate.inputs for gate in c.gates]
+
+    def test_unit_fanin_and_unit_width(self):
+        chain = deep_pipeline_circuit("p", width=1, stages=9, fanin=1)
+        chain.validate()
+        assert chain.num_connections == 9
+        assert chain.logic_depth() == 9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(NetlistError):
+            deep_pipeline_circuit("p", 0, 3)
+        with pytest.raises(NetlistError):
+            deep_pipeline_circuit("p", 4, 0)
+        with pytest.raises(NetlistError):
+            deep_pipeline_circuit("p", 4, 3, fanin=0)
+        with pytest.raises(NetlistError):
+            deep_pipeline_circuit("p", 2, 3, fanin=3)  # fanin > width
+        with pytest.raises(NetlistError):
+            deep_pipeline_circuit("p", 4, 3, tap_probability=1.5)
+
+
+class TestMesh:
+    def test_exact_sizes(self):
+        netlist = mesh_circuit("m", rows=5, cols=7)
+        assert netlist.num_gates == 5 * 7
+        assert netlist.num_connections == 2 * 5 * 7
+        # North border + west border feed the mesh.
+        assert len(netlist.primary_inputs) == 5 + 7
+        # Bottom row + right column, corner counted once.
+        assert len(netlist.primary_outputs) == 5 + 7 - 1
+        netlist.validate()
+
+    def test_single_cell(self):
+        netlist = mesh_circuit("m", rows=1, cols=1)
+        netlist.validate()
+        assert netlist.num_gates == 1
+        assert netlist.num_connections == 2
+
+    def test_deterministic(self):
+        a = mesh_circuit("m", 3, 4, seed=1)
+        b = mesh_circuit("m", 3, 4, seed=1)
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(NetlistError):
+            mesh_circuit("m", 0, 3)
+        with pytest.raises(NetlistError):
+            mesh_circuit("m", 3, 0)
+
+
+class TestTiled:
+    def test_adder_tiling_exact_edges(self):
+        template = ripple_carry_adder(4, name="tile")
+        netlist = tiled_circuit("t", tile_rows=3, tile_cols=2, tile="adder", tile_size=4)
+        assert netlist.num_gates == 6 * template.num_gates
+        assert netlist.num_connections == 6 * template.num_connections
+        netlist.validate()
+
+    def test_random_tiling_valid(self):
+        netlist = tiled_circuit(
+            "t", tile_rows=2, tile_cols=2, tile="random", tile_size=3, seed=5
+        )
+        netlist.validate()
+        assert netlist.num_gates > 0
+
+    def test_deterministic_for_same_seed(self):
+        a = tiled_circuit("t", 2, 2, tile="random", tile_size=3, seed=9)
+        b = tiled_circuit("t", 2, 2, tile="random", tile_size=3, seed=9)
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+
+    def test_no_dangling_gate_outputs(self):
+        netlist = tiled_circuit("t", 3, 3, tile="adder", tile_size=2, seed=1)
+        outputs = set(netlist.primary_outputs)
+        for gate in netlist.gates:
+            assert netlist.fanout_count(gate.output) > 0 or gate.output in outputs
+
+    def test_invalid_arguments(self):
+        with pytest.raises(NetlistError):
+            tiled_circuit("t", 0, 1)
+        with pytest.raises(NetlistError):
+            tiled_circuit("t", 1, 1, tile="nonsense")
+
+
+class TestDesignForEdgeCount:
+    @pytest.mark.parametrize(
+        "family", ["pipeline", "mesh", "tiled_adder", "tiled_random", "random"]
+    )
+    def test_hits_target_within_tolerance(self, family):
+        target = 10_000
+        netlist = design_for_edge_count(family, target, seed=3)
+        netlist.validate()
+        assert abs(netlist.num_connections - target) <= 0.1 * target
+
+    def test_random_family_is_exact(self):
+        netlist = design_for_edge_count("random", 5_000, seed=1)
+        assert netlist.num_connections == 5_000
+
+    def test_deterministic(self):
+        a = design_for_edge_count("pipeline", 2_000, seed=7)
+        b = design_for_edge_count("pipeline", 2_000, seed=7)
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(NetlistError):
+            design_for_edge_count("pipeline", 0)
+        with pytest.raises(NetlistError):
+            design_for_edge_count("unknown_family", 1000)
+
+
+class TestLayeredRandomEdgeCases:
+    def test_minimum_fanin_one_connection_per_gate(self):
+        netlist = layered_random_circuit("r", 4, 2, 30, 30, seed=2)
+        netlist.validate()
+        assert netlist.num_connections == 30
+        assert all(gate.num_inputs >= 1 for gate in netlist.gates)
+
+    def test_maximum_fanin_saturates_every_gate(self):
+        gates = 20
+        netlist = layered_random_circuit(
+            "r", 6, 3, gates, gates * _MAX_FANIN, seed=4
+        )
+        netlist.validate()
+        assert netlist.num_connections == gates * _MAX_FANIN
+        assert all(gate.num_inputs == _MAX_FANIN for gate in netlist.gates)
+
+    def test_single_layer_depth(self):
+        netlist = layered_random_circuit("r", 8, 4, 25, 50, seed=6, depth=1)
+        netlist.validate()
+        # The repair pass may deepen a few paths, but the bulk stays flat.
+        assert netlist.logic_depth() <= 5
+
+    def test_repair_preserves_exact_counts(self):
+        # Configurations with many outputs force dangling-net repair and
+        # primary-output promotion; sizes must survive both.
+        for seed in range(5):
+            netlist = layered_random_circuit("r", 5, 15, 15, 31, seed=seed)
+            netlist.validate()
+            assert netlist.num_gates == 15
+            assert netlist.num_connections == 31
+            dangling = [
+                net
+                for net in netlist.nets
+                if netlist.fanout_count(net) == 0
+                and net not in set(netlist.primary_outputs)
+            ]
+            assert dangling == []
+
+    def test_repair_is_seed_reproducible(self):
+        a = layered_random_circuit("r", 5, 15, 15, 31, seed=13)
+        b = layered_random_circuit("r", 5, 15, 15, 31, seed=13)
+        assert [gate.inputs for gate in a.gates] == [gate.inputs for gate in b.gates]
+        assert a.primary_outputs == b.primary_outputs

@@ -1,0 +1,102 @@
+"""Segment layout and round-trip behaviour at million-edge snapshot sizes.
+
+The layout tests run pure offset arithmetic on broadcast (zero-allocation)
+arrays, so they exercise million-edge and beyond-int32 geometries without
+touching real memory; the round-trip test publishes a genuinely large
+generated design through an actual segment.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.netlist.generators import layered_random_circuit
+from repro.parallel.shm import (
+    _ALIGN,
+    _FIELDS,
+    SharedGraphArrays,
+    _layout,
+    shared_memory_available,
+)
+from repro.timing.arrays import GraphArrays
+from repro.timing.builder import synthetic_timing_graph
+
+
+def _phantom_fields(num_edges, num_corr, num_io):
+    """A ``_layout`` input of the given geometry without allocating it."""
+    def phantom(shape, dtype):
+        return np.broadcast_to(np.zeros(1, dtype=dtype), shape)
+
+    return {
+        "edge_ids": phantom((num_edges,), np.int64),
+        "edge_source": phantom((num_edges,), np.int64),
+        "edge_sink": phantom((num_edges,), np.int64),
+        "edge_mean": phantom((num_edges,), np.float64),
+        "edge_corr": phantom((num_edges, num_corr), np.float64),
+        "edge_randvar": phantom((num_edges,), np.float64),
+        "input_rows": phantom((num_io,), np.int64),
+        "output_rows": phantom((num_io,), np.int64),
+    }
+
+
+class TestLayoutGeometry:
+    def test_million_edge_layout_is_aligned_and_disjoint(self):
+        arrays = _phantom_fields(10**6, 12, 500)
+        fields, total = _layout(arrays)
+        assert [name for name, _, _, _ in fields] == list(_FIELDS)
+        previous_end = 0
+        for name, offset, shape, dtype_str in fields:
+            assert isinstance(offset, int)
+            assert offset % _ALIGN == 0
+            assert offset >= previous_end
+            previous_end = offset + arrays[name].nbytes
+        assert total >= previous_end
+        assert total >= sum(arrays[name].nbytes for name in _FIELDS)
+
+    def test_offsets_stay_exact_past_int32(self):
+        # ~50M edges x 12 correlation columns: the edge_corr field alone is
+        # 4.8 GB, so every later offset and the total exceed 2**31.  The
+        # arithmetic must stay in exact Python ints — an int32 intermediate
+        # would wrap negative.
+        arrays = _phantom_fields(50 * 10**6, 12, 10**4)
+        fields, total = _layout(arrays)
+        offsets = {name: offset for name, offset, _, _ in fields}
+        assert offsets["edge_randvar"] > 2**31
+        assert total > 2**31
+        for _, offset, _, _ in fields:
+            assert isinstance(offset, int)
+            assert offset >= 0
+        assert isinstance(total, int)
+
+    def test_layout_matches_nbytes_sum_with_padding_only(self):
+        arrays = _phantom_fields(10**6, 8, 64)
+        _, total = _layout(arrays)
+        payload = sum(arrays[name].nbytes for name in _FIELDS)
+        # Padding is bounded by one alignment quantum per field.
+        assert payload <= total <= payload + len(_FIELDS) * _ALIGN
+
+
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="no working shared memory on this host"
+)
+def test_large_snapshot_round_trip():
+    netlist = layered_random_circuit("shmbig", 10, 10, 40_000, 100_000, seed=5)
+    graph = synthetic_timing_graph(netlist, seed=2)
+    arrays = GraphArrays.from_graph(graph)
+    with SharedGraphArrays.publish(arrays) as shared:
+        handle = pickle.loads(pickle.dumps(shared.handle))
+        assert handle.total_bytes == shared.handle.total_bytes
+        attached = SharedGraphArrays.attach(handle)
+        try:
+            snapshot = attached.arrays
+            assert np.array_equal(snapshot.edge_corr, arrays.edge_corr)
+            assert np.array_equal(snapshot.edge_mean, arrays.edge_mean)
+            assert np.array_equal(snapshot.edge_source, arrays.edge_source)
+            assert snapshot.num_vertices == arrays.num_vertices
+            report = shared.nbytes_report()
+            assert report["total"] == handle.total_bytes
+        finally:
+            attached.close()
