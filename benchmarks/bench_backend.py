@@ -1,0 +1,159 @@
+"""Compiled-versus-numpy speedup of the kernel backend, asserted.
+
+Times the levelized forward Clark fold and the flat Monte Carlo engine on
+the c7552 surrogate (the paper-faithful build) and on the generated
+10^5-edge ``pipeline`` design, once per backend tier, and asserts the
+compiled tier's speedup meets ``REPRO_BACKEND_SPEEDUP_MIN`` (default 2.0;
+CI's ``backend-smoke`` relaxes it — JIT-warm cloud runners are noisy).
+
+Results — including :func:`repro.core.backend.available_backends`'s
+degradation report — merge into ``BENCH_backend.json`` at the repository
+root, so a numpy-only environment still records *why* the compiled tier
+was unavailable instead of silently producing no artifact.  Without numba
+the timing comparison is skipped (there is nothing to compare), with the
+recorded fallback reason as the skip message.
+
+Like the other benchmarks this file is run explicitly
+(``pytest benchmarks/bench_backend.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_bench
+from repro.core.backend import available_backends, resolve_backend
+from repro.liberty.library import standard_library
+from repro.montecarlo.flat import simulate_graph_delay
+from repro.netlist.generators import design_for_edge_count
+from repro.netlist.iscas85 import iscas85_surrogate
+from repro.placement.placer import place_netlist
+from repro.timing.arrays import GraphArrays
+from repro.timing.builder import (
+    build_timing_graph,
+    default_variation_for,
+    synthetic_timing_graph,
+)
+from repro.timing.propagation import propagate_arrival_times_batch
+
+BENCH_FILE = "BENCH_backend.json"
+MC_BENCH_SAMPLES = 256
+TIMING_REPEATS = 3
+
+
+def _speedup_floor() -> float:
+    return float(os.environ.get("REPRO_BACKEND_SPEEDUP_MIN", "2.0"))
+
+
+def _c7552_graph():
+    netlist = iscas85_surrogate("c7552")
+    library = standard_library()
+    placement = place_netlist(netlist, library)
+    variation = default_variation_for(netlist, placement)
+    return build_timing_graph(netlist, library, placement, variation)
+
+
+def _pipeline_graph(edges: int):
+    netlist = design_for_edge_count("pipeline", edges, seed=13)
+    return synthetic_timing_graph(netlist, seed=13)
+
+
+def _best_of(callable_, repeats: int = TIMING_REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fold_seconds(graph, arrays, backend: str) -> float:
+    arrays.forward_levels()  # schedule built outside the timed region
+    # Warm once untimed: the compiled tier JIT-compiles on first dispatch.
+    propagate_arrival_times_batch(graph, None, arrays, backend=backend)
+    return _best_of(
+        lambda: propagate_arrival_times_batch(graph, None, arrays, backend=backend)
+    )
+
+
+def _montecarlo_seconds(graph, backend: str) -> float:
+    simulate_graph_delay(
+        graph, 32, seed=9, engine="levelized", backend=backend
+    )  # warm-up / JIT
+    return _best_of(
+        lambda: simulate_graph_delay(
+            graph, MC_BENCH_SAMPLES, seed=9, engine="levelized", backend=backend
+        )
+    )
+
+
+def test_backend_speedup():
+    report = available_backends()
+    record_bench(BENCH_FILE, "available_backends", dict(report["numba"]))
+    if not report["numba"]["available"]:
+        pytest.skip(
+            "compiled tier unavailable: %s" % report["numba"]["reason"]
+        )
+
+    floor = _speedup_floor()
+    worst = float("inf")
+    for label, graph in (
+        ("c7552", _c7552_graph()),
+        ("pipeline_100000", _pipeline_graph(100_000)),
+    ):
+        arrays = GraphArrays.from_graph(graph)
+        fold_numpy = _fold_seconds(graph, arrays, "numpy")
+        fold_numba = _fold_seconds(graph, arrays, "numba")
+        fold_speedup = fold_numpy / fold_numba
+
+        # Parity sanity inside the timed configuration before trusting it.
+        compiled = simulate_graph_delay(
+            graph, 64, seed=9, engine="levelized", backend="numba"
+        )
+        reference = simulate_graph_delay(
+            graph, 64, seed=9, engine="levelized", backend="numpy"
+        )
+        np.testing.assert_array_equal(compiled.samples, reference.samples)
+
+        mc_numpy = _montecarlo_seconds(graph, "numpy")
+        mc_numba = _montecarlo_seconds(graph, "numba")
+        mc_speedup = mc_numpy / mc_numba
+
+        record_bench(
+            BENCH_FILE,
+            label,
+            {
+                "edges": int(arrays.edge_ids.size),
+                "fold_numpy_s": round(fold_numpy, 6),
+                "fold_numba_s": round(fold_numba, 6),
+                "fold_speedup": round(fold_speedup, 2),
+                "montecarlo_numpy_s": round(mc_numpy, 6),
+                "montecarlo_numba_s": round(mc_numba, 6),
+                "montecarlo_speedup": round(mc_speedup, 2),
+                "speedup_floor": floor,
+            },
+        )
+        # The fold is the headline kernel of this backend; the MC number
+        # is recorded for attribution but not gated (its numpy engine is
+        # already vector-saturated at large sample counts).
+        worst = min(worst, fold_speedup)
+
+    assert worst >= floor, (
+        "compiled fold speedup %.2fx below the required %.2fx floor "
+        "(raise/lower via REPRO_BACKEND_SPEEDUP_MIN)" % (worst, floor)
+    )
+
+
+def test_backend_records_fallback_without_numba():
+    """The degradation report itself is always recordable, ImportError-free."""
+    report = available_backends()
+    assert report["numpy"] == {"available": True, "reason": None}
+    assert report["default"]["resolved"] in ("numpy", "numba")
+    resolved = resolve_backend()
+    if not report["numba"]["available"]:
+        assert resolved.backend == "numpy"
+        assert report["numba"]["reason"]

@@ -42,7 +42,7 @@ from repro.timing.builder import (
     synthetic_timing_graph,
 )
 from repro.timing.propagation import propagate_arrival_times_batch
-from repro.montecarlo.flat import simulate_graph_delay
+from repro.montecarlo.flat import auto_chunk_size, simulate_graph_delay
 
 LADDER = (10_000, 100_000, 1_000_000)
 
@@ -94,10 +94,16 @@ def _allpairs_block_throughput(graph) -> float:
     return analysis.arrays.edge_ids.size * len(positions) / elapsed
 
 
-def _montecarlo_throughput(graph) -> float:
-    """Flat Monte Carlo throughput in edge-samples per second."""
+def _montecarlo_throughput(graph, arrays) -> float:
+    """Flat Monte Carlo throughput in edge-samples per second.
+
+    Reuses the prebuilt ``arrays`` (like the propagation measurement), so
+    the figure tracks sampling + levelized propagation rather than the
+    per-call ``GraphArrays`` rebuild — at 10^6 edges the rebuild alone
+    costs several times the measured work and used to swamp this number.
+    """
     start = time.perf_counter()
-    result = simulate_graph_delay(graph, MC_BENCH_SAMPLES, seed=9)
+    result = simulate_graph_delay(graph, MC_BENCH_SAMPLES, seed=9, arrays=arrays)
     elapsed = time.perf_counter() - start
     assert result.samples.shape == (MC_BENCH_SAMPLES,)
     return graph.num_edges * MC_BENCH_SAMPLES / elapsed
@@ -135,7 +141,7 @@ def test_scaling_curve():
 
         propagation = _propagation_throughput(graph, arrays)
         allpairs = _allpairs_block_throughput(graph)
-        montecarlo = _montecarlo_throughput(graph)
+        montecarlo = _montecarlo_throughput(graph, arrays)
         record_bench(
             "BENCH_scaling.json",
             "pipeline_%d" % size,
@@ -145,6 +151,11 @@ def test_scaling_curve():
                 "propagation_edges_per_s": round(propagation, 1),
                 "allpairs_edge_folds_per_s": round(allpairs, 1),
                 "montecarlo_edge_samples_per_s": round(montecarlo, 1),
+                "montecarlo_chunk": auto_chunk_size(
+                    int(arrays.edge_ids.size),
+                    int(arrays.num_vertices),
+                    num_samples=MC_BENCH_SAMPLES,
+                ),
                 "graph_arrays_bytes": int(arrays.nbytes_report()["total"]),
                 "peak_rss_kb": _peak_rss_kb(),
             },

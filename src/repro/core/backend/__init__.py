@@ -1,0 +1,44 @@
+"""Pluggable compiled kernel backend (see :mod:`repro.core.backend.registry`).
+
+Public surface:
+
+* :func:`resolve_backend` / :func:`get_kernel` — the dispatch seam the
+  propagation, Monte Carlo and criticality engines consume;
+* :func:`available_backends` — the ImportError-free degradation report
+  (which tiers resolved, and why the compiled tier is off when it is);
+* :func:`register_kernel` — how a new kernel (or a future cupy /
+  C-extension tier's variant) plugs in;
+* :func:`flat_fold_schedule` — the flat vertex-grouped plan the fused
+  kernels sweep;
+* ``REPRO_BACKEND`` (:data:`BACKEND_ENV`) — ``auto`` (default) | ``numpy``
+  | ``numba``; an explicit ``backend=`` argument beats the environment.
+"""
+
+from repro.core.backend.registry import (
+    BACKEND_ENV,
+    BACKENDS,
+    BoundKernel,
+    ResolvedBackend,
+    available_backends,
+    get_kernel,
+    register_kernel,
+    registered_kernels,
+    reset_backend_state,
+    resolve_backend,
+)
+from repro.core.backend.schedule import FlatFoldSchedule, flat_fold_schedule
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "BoundKernel",
+    "FlatFoldSchedule",
+    "ResolvedBackend",
+    "available_backends",
+    "flat_fold_schedule",
+    "get_kernel",
+    "register_kernel",
+    "registered_kernels",
+    "reset_backend_state",
+    "resolve_backend",
+]

@@ -1,0 +1,91 @@
+"""Flat vertex-grouped fold schedules for the fused backend kernels.
+
+The numpy engines walk the levelized schedules as per-round prefix batches
+(:class:`~repro.timing.arrays.PropagationLevel` edge matrices).  The fused
+nopython kernels instead want one flat CSR-style plan they can sweep in a
+single call:
+
+``level_ptr``  ``(L + 1,)``  — vertex-slot range of each level;
+``vertices``   ``(N,)``      — every level vertex, level by level;
+``edge_ptr``   ``(N + 1,)``  — per-vertex-slot edge range;
+``edge_rows``  ``(F,)``      — each vertex's fold edges in CSR order.
+
+Per vertex the edges appear in the identical order as the round-based
+engine folds them (round ``r`` takes the vertex's ``r``-th CSR edge), so a
+sequential per-vertex fold over this plan reproduces the round engine's
+per-vertex merge sequence exactly.
+
+Schedules are cached on the arrays object keyed to the identity of the
+cached levels list — :meth:`GraphArrays.refresh` replaces that list on any
+structural window, so the flat plan follows incremental maintenance for
+free (the same pattern as the Monte Carlo ``_forward_schedule`` cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FlatFoldSchedule", "flat_fold_schedule"]
+
+
+@dataclass(frozen=True)
+class FlatFoldSchedule:
+    """One direction's flat fold plan (see module docstring)."""
+
+    level_ptr: np.ndarray
+    vertices: np.ndarray
+    edge_ptr: np.ndarray
+    edge_rows: np.ndarray
+
+
+_CACHE_ATTR = {
+    "forward": "_backend_forward_schedule",
+    "backward": "_backend_backward_schedule",
+}
+
+
+def flat_fold_schedule(arrays, direction: str) -> FlatFoldSchedule:
+    """The flat fold plan of ``arrays`` in ``direction`` (cached).
+
+    ``"forward"`` groups each level vertex's fanin edges (neighbors are
+    edge sources), ``"backward"`` its fanout edges (neighbors are sinks).
+    """
+    attr = _CACHE_ATTR.get(direction)
+    if attr is None:
+        raise ValueError("unknown fold direction %r" % direction)
+    if direction == "forward":
+        levels = arrays.forward_levels()
+        counts_all = arrays.fanin_counts()
+        gather = arrays.in_edges_of
+    else:
+        levels = arrays.backward_levels()
+        counts_all = arrays.fanout_counts()
+        gather = arrays.out_edges_of
+    cached = getattr(arrays, attr, None)
+    if cached is not None and cached[0] is levels:
+        return cached[1]
+
+    level_ptr = np.zeros(len(levels) + 1, dtype=np.int64)
+    for index, level in enumerate(levels):
+        level_ptr[index + 1] = level_ptr[index] + level.vertex_rows.shape[0]
+    if levels:
+        vertices = np.ascontiguousarray(
+            np.concatenate([level.vertex_rows for level in levels]).astype(
+                np.int64, copy=False
+            )
+        )
+    else:
+        vertices = np.empty(0, dtype=np.int64)
+    edge_ptr = np.zeros(vertices.shape[0] + 1, dtype=np.int64)
+    if vertices.shape[0]:
+        np.cumsum(counts_all[vertices], out=edge_ptr[1:])
+        edge_rows = np.ascontiguousarray(
+            gather(vertices).astype(np.int64, copy=False)
+        )
+    else:
+        edge_rows = np.empty(0, dtype=np.int64)
+    schedule = FlatFoldSchedule(level_ptr, vertices, edge_ptr, edge_rows)
+    setattr(arrays, attr, (levels, schedule))
+    return schedule

@@ -847,7 +847,15 @@ class CanonicalBatch:
         values += self._mean[:, np.newaxis]
         random_sigma = np.sqrt(np.maximum(self._randvar, 0.0))
         nonzero = random_sigma > 0.0
-        if nonzero.any():
+        if nonzero.all():
+            # Every entry draws, so the masked gather/scatter below would
+            # copy the full (N, S) block twice for nothing — at million-row
+            # blocks that traffic dominates the draw itself.  Same stream
+            # consumption, bit-identical values.
+            noise = rng.standard_normal((len(self), num_samples))
+            noise *= random_sigma[:, np.newaxis]
+            values += noise
+        elif nonzero.any():
             noise = rng.standard_normal((int(nonzero.sum()), num_samples))
             values[nonzero] += random_sigma[nonzero, np.newaxis] * noise
         return values

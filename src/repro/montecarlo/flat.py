@@ -50,6 +50,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.core.backend import flat_fold_schedule, get_kernel
 from repro.errors import TimingGraphError
 from repro.timing.arrays import GraphArrays
 from repro.timing.graph import TimingGraph
@@ -143,16 +144,28 @@ def auto_chunk_size(
     arrival and candidate blocks (``(V, chunk)`` and ``~(E, chunk)`` each,
     times ``num_sources`` for the multi-source kernel) stay within the
     active budget (:func:`mc_chunk_budget`), clipped to
-    ``[MC_MIN_CHUNK, MC_MAX_CHUNK]`` and to ``num_samples``.  The
-    ``MC_MIN_CHUNK`` floor only applies while the budget affords it: at
-    million-edge scale even a 16-sample chunk is gigabytes, so when the
-    budget resolves below the floor the budget wins, down to one sample
-    per chunk (the counter-based sampler makes results chunk invariant).
+    ``[MC_MIN_CHUNK, MC_MAX_CHUNK]`` and to ``num_samples``.
+
+    The chunk is **block-aligned**: the counter-based sampler always
+    materialises whole :data:`MC_SAMPLE_BLOCK`-sample blocks and slices the
+    requested window out (see :func:`_sample_delay_range`), so a sub-block
+    chunk redraws the same ``(E, block)`` matrix once per chunk instead of
+    once per block.  At million-edge scale the budget used to resolve the
+    chunk to 1, turning one block draw into up to 128 — a ~27x Monte Carlo
+    throughput collapse (BENCH_scaling.json, 10^6 edges).  One whole block
+    is therefore the working-set floor (it is already the peak allocation
+    the sampler makes regardless of the chunk), and larger budget-sized
+    chunks round down to block multiples; ``num_samples`` clips last, so
+    short runs still use a single exact-sized chunk.
     """
     per_sample = num_edges + (num_vertices + num_edges) * max(int(num_sources), 1)
     budget_chunk = int(mc_chunk_budget() // max(per_sample, 1))
     chunk = min(MC_MAX_CHUNK, max(MC_MIN_CHUNK, budget_chunk))
     chunk = min(chunk, max(budget_chunk, 1))
+    if chunk < MC_SAMPLE_BLOCK:
+        chunk = MC_SAMPLE_BLOCK
+    else:
+        chunk -= chunk % MC_SAMPLE_BLOCK
     if num_samples is not None:
         chunk = min(chunk, int(num_samples))
     return max(chunk, 1)
@@ -443,14 +456,31 @@ def _longest_paths_levelized(
     arrays: GraphArrays,
     delays: np.ndarray,
     source_rows: np.ndarray,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Level-scheduled longest paths from a single set of sources.
 
     Bit-identical to :func:`_longest_paths_object` (``+`` and ``max`` are
     exact, so the per-vertex fold order is immaterial), but each level's
     fanin edges are folded as whole prefix rounds over the pre-permuted
-    delay matrix instead of a per-vertex Python loop.
+    delay matrix instead of a per-vertex Python loop.  When the compiled
+    backend resolves, the whole propagation runs as one fused nopython
+    sweep over the flat fold plan instead — still bitwise identical.
     """
+    kernel = get_kernel("mc_longest_paths", backend)
+    if kernel.backend == "numba":
+        flat = flat_fold_schedule(arrays, "forward")
+        arrivals = np.full(
+            (arrays.num_vertices, 1, delays.shape[1]), _NEG_INF
+        )
+        arrivals[source_rows, 0] = 0.0
+        is_source = np.zeros(arrays.num_vertices, dtype=bool)
+        is_source[source_rows] = True
+        kernel.function(
+            flat.level_ptr, flat.vertices, flat.edge_ptr, flat.edge_rows,
+            arrays.edge_source, delays, arrivals, is_source,
+        )
+        return arrivals[:, 0, :]
     schedule = _forward_schedule(arrays)
     num_samples = delays.shape[1]
     arrivals = np.full((arrays.num_vertices, num_samples), _NEG_INF)
@@ -473,6 +503,7 @@ def _longest_paths_multi_source(
     arrays: GraphArrays,
     delays: np.ndarray,
     source_rows: np.ndarray,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """All per-source longest paths in one pass; returns ``(V, I, S)``.
 
@@ -480,11 +511,26 @@ def _longest_paths_multi_source(
     produces for ``source_rows[k]`` alone — the third axis shares every
     gather of the sampled delay matrix across all ``|I|`` propagations, so
     the cost of the per-input Table-I reference drops from ``|I|`` full
-    passes per chunk to one.
+    passes per chunk to one.  The compiled backend runs the same fold as
+    one fused nopython sweep (bitwise identical).
     """
-    schedule = _forward_schedule(arrays)
     num_sources = source_rows.shape[0]
     num_samples = delays.shape[1]
+    kernel = get_kernel("mc_longest_paths", backend)
+    if kernel.backend == "numba":
+        flat = flat_fold_schedule(arrays, "forward")
+        arrivals = np.full(
+            (arrays.num_vertices, num_sources, num_samples), _NEG_INF
+        )
+        arrivals[source_rows, np.arange(num_sources)] = 0.0
+        is_source = np.zeros(arrays.num_vertices, dtype=bool)
+        is_source[source_rows] = True
+        kernel.function(
+            flat.level_ptr, flat.vertices, flat.edge_ptr, flat.edge_rows,
+            arrays.edge_source, delays, arrivals, is_source,
+        )
+        return arrivals
+    schedule = _forward_schedule(arrays)
     arrivals = np.full(
         (arrays.num_vertices, num_sources, num_samples), _NEG_INF
     )
@@ -534,15 +580,15 @@ def _simulate_delay_range(
     stop: int,
     chunk_size: int,
     levelized: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Circuit-delay samples ``[start, stop)`` of a ``num_samples`` run.
 
     The unit of work of the sharded delay simulation: per-sample values are
     exact (``max`` and ``+`` have no rounding), so any partitioning of the
     sample axis into ranges — and any chunking within a range — reproduces
-    the same values bit for bit.
+    the same values bit for bit (backends included).
     """
-    kernel = _longest_paths_levelized if levelized else _longest_paths_object
     input_rows = arrays.input_rows
     output_rows = arrays.output_rows
     samples = np.empty(stop - start, dtype=float)
@@ -550,7 +596,10 @@ def _simulate_delay_range(
     while done < stop:
         chunk = min(chunk_size, stop - done)
         delays = _sample_delay_range(arrays, seed, num_samples, done, done + chunk)
-        arrivals = kernel(arrays, delays, input_rows)
+        if levelized:
+            arrivals = _longest_paths_levelized(arrays, delays, input_rows, backend)
+        else:
+            arrivals = _longest_paths_object(arrays, delays, input_rows)
         samples[done - start : done - start + chunk] = arrivals[output_rows].max(
             axis=0
         )
@@ -575,6 +624,8 @@ def simulate_graph_delay(
     engine: str = "auto",
     workers: Optional[int] = None,
     executor=None,
+    backend: Optional[str] = None,
+    arrays: Optional[GraphArrays] = None,
 ) -> MonteCarloResult:
     """Monte Carlo distribution of the graph's input-to-output delay.
 
@@ -593,6 +644,12 @@ def simulate_graph_delay(
     over a shared-memory snapshot of the graph arrays; when shared memory
     is unavailable or only one worker resolves, the run falls back to this
     serial path with identical results.
+
+    Passing prebuilt ``arrays`` (the :func:`propagate_arrival_times_batch`
+    pattern) skips the per-call :meth:`GraphArrays.from_graph` rebuild —
+    at million-edge scale that rebuild plus the levelized schedule costs
+    several times the sampling-and-propagation work itself, so repeated
+    callers should build once and reuse.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
@@ -602,7 +659,8 @@ def simulate_graph_delay(
     from repro.parallel.pool import maybe_executor
 
     start = time.perf_counter()
-    arrays = GraphArrays.from_graph(graph)
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
     chunk_size = _resolve_chunk_size(chunk_size, arrays, 1, num_samples)
     executor = maybe_executor(workers, executor)
     if executor is not None and executor.engine != "process":
@@ -619,7 +677,8 @@ def simulate_graph_delay(
     else:
         levelized = _resolve_engine(engine, graph.num_edges) == "levelized"
         samples = _simulate_delay_range(
-            arrays, seed, num_samples, 0, num_samples, chunk_size, levelized
+            arrays, seed, num_samples, 0, num_samples, chunk_size, levelized,
+            backend,
         )
     elapsed = time.perf_counter() - start
     return MonteCarloResult(samples=samples, elapsed_seconds=elapsed)
@@ -633,6 +692,7 @@ def _io_block_moments(
     stop: int,
     chunk_size: int,
     levelized: bool = True,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-block IO moment partials of samples ``[start, stop)``.
 
@@ -661,7 +721,9 @@ def _io_block_moments(
         chunk = min(chunk_size, stop - done)
         delays = _sample_delay_range(arrays, seed, num_samples, done, done + chunk)
         if levelized:
-            arrivals = _longest_paths_multi_source(arrays, delays, input_rows)
+            arrivals = _longest_paths_multi_source(
+                arrays, delays, input_rows, backend
+            )
             output_arrivals = arrivals[output_rows].transpose(1, 0, 2)  # (I, O, chunk)
             finite = np.where(np.isfinite(output_arrivals), output_arrivals, 0.0)
             for offset in range(0, chunk, MC_SAMPLE_BLOCK):
@@ -700,6 +762,8 @@ def simulate_io_delays(
     engine: str = "auto",
     workers: Optional[int] = None,
     executor=None,
+    backend: Optional[str] = None,
+    arrays: Optional[GraphArrays] = None,
 ) -> IoDelayStatistics:
     """Monte Carlo mean and sigma of every input-to-output delay.
 
@@ -715,7 +779,7 @@ def simulate_io_delays(
     exactly when no path connects it.  ``chunk_size=None`` auto-sizes the
     chunks accounting for the ``|I|``-wide source axis; ``workers`` /
     ``executor`` shard block ranges exactly like
-    :func:`simulate_graph_delay`.
+    :func:`simulate_graph_delay`; so do prebuilt ``arrays``.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
@@ -725,7 +789,8 @@ def simulate_io_delays(
     from repro.parallel.pool import maybe_executor
 
     start = time.perf_counter()
-    arrays = GraphArrays.from_graph(graph)
+    if arrays is None:
+        arrays = GraphArrays.from_graph(graph)
     num_inputs = len(graph.inputs)
     num_outputs = len(graph.outputs)
     input_rows = arrays.input_rows
@@ -754,7 +819,8 @@ def simulate_io_delays(
     else:
         levelized = _resolve_engine(engine, graph.num_edges) == "levelized"
         sums_stack, square_stack = _io_block_moments(
-            arrays, seed, num_samples, 0, num_samples, chunk_size, levelized
+            arrays, seed, num_samples, 0, num_samples, chunk_size, levelized,
+            backend,
         )
 
     # Sequential per-block accumulation in ascending block order: the exact

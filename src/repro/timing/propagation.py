@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.backend import flat_fold_schedule, get_kernel
 from repro.core.batch import (
     CanonicalBatch,
     FoldWorkspace,
@@ -232,6 +233,8 @@ def _fold_levels(
     valid: np.ndarray,
     seed_first: bool,
     work: Optional[FoldWorkspace] = None,
+    direction: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> None:
     """Run the levelized Clark fold over ``levels``, updating state in place.
 
@@ -243,6 +246,14 @@ def _fold_levels(
     (e.g. the required time at an output) enters the fold before the edge
     candidates (backward engines) or is merged after them (arrival engine).
 
+    ``direction`` (``"forward"``/``"backward"``) opts the pass into the
+    compiled backend dispatch: when the resolved backend (explicit
+    ``backend=`` argument, else ``REPRO_BACKEND``, else ``auto``) is numba,
+    the whole fold runs as one fused nopython call over the flat schedule
+    instead of the per-round numpy pipeline.  Only the plain 1-D state
+    shape dispatches; blocked (trailing-axis) state and callers that leave
+    ``direction`` unset always take the numpy path.
+
     Accumulators and every kernel temporary live in ``work`` (created when
     omitted, pass one in to share across passes): each buffer is allocated
     once at the widest level instead of once per level, so the fold's
@@ -251,6 +262,17 @@ def _fold_levels(
     """
     edge_mean = arrays.edge_mean
     edge_randvar = arrays.edge_randvar
+    if direction is not None and mean.ndim == 1:
+        kernel = get_kernel("fold_levels", backend)
+        if kernel.backend == "numba":
+            schedule = flat_fold_schedule(arrays, direction)
+            kernel.function(
+                schedule.level_ptr, schedule.vertices,
+                schedule.edge_ptr, schedule.edge_rows,
+                neighbor_rows, edge_mean, edge_corr, edge_randvar,
+                mean, corr, randvar, valid, bool(seed_first),
+            )
+            return
     if work is None:
         work = FoldWorkspace()
 
@@ -343,13 +365,16 @@ def propagate_arrival_times_batch(
     graph: TimingGraph,
     input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
     arrays: Optional[GraphArrays] = None,
+    backend: Optional[str] = None,
 ) -> VertexTimes:
     """Levelized batched arrival-time propagation.
 
     Functionally identical to the object-level engine (same candidate fold
     order per vertex) but processes each topological level's fanin edges as
     batched Clark reductions.  ``arrays`` may be passed to reuse a
-    previously built :class:`GraphArrays` view of ``graph``.
+    previously built :class:`GraphArrays` view of ``graph``; ``backend``
+    selects the fold kernel backend (``None``: ``REPRO_BACKEND``, else
+    ``auto``) — results agree across backends to 1e-9.
     """
     if arrays is None:
         arrays = GraphArrays.from_graph(graph)
@@ -374,6 +399,7 @@ def propagate_arrival_times_batch(
         arrays, arrays.forward_levels(), arrays.edge_source,
         pad_corr(arrays.edge_corr, width),
         mean, corr, randvar, valid, seed_first=False,
+        direction="forward", backend=backend,
     )
     return VertexTimes(arrays, mean, corr, randvar, valid)
 
@@ -460,7 +486,9 @@ def circuit_delay(
 # Backward propagation
 # ----------------------------------------------------------------------
 def longest_path_to_outputs_batch(
-    graph: TimingGraph, arrays: Optional[GraphArrays] = None
+    graph: TimingGraph,
+    arrays: Optional[GraphArrays] = None,
+    backend: Optional[str] = None,
 ) -> VertexTimes:
     """Levelized batched maximum delay from every vertex to any output."""
     if arrays is None:
@@ -471,6 +499,7 @@ def longest_path_to_outputs_batch(
     _fold_levels(
         arrays, arrays.backward_levels(), arrays.edge_sink, arrays.edge_corr,
         mean, corr, randvar, valid, seed_first=True,
+        direction="backward", backend=backend,
     )
     return VertexTimes(arrays, mean, corr, randvar, valid)
 
@@ -511,6 +540,7 @@ def propagate_required_times_batch(
     required_at_outputs: Optional[Mapping[str, CanonicalForm]] = None,
     default_required: Optional[CanonicalForm] = None,
     arrays: Optional[GraphArrays] = None,
+    backend: Optional[str] = None,
 ) -> VertexTimes:
     """Levelized batched backward required-time propagation.
 
@@ -542,6 +572,7 @@ def propagate_required_times_batch(
         arrays, arrays.backward_levels(), arrays.edge_sink,
         pad_corr(arrays.edge_corr, width),
         mean, corr, randvar, valid, seed_first=True,
+        direction="backward", backend=backend,
     )
     np.negative(mean, out=mean)
     np.negative(corr, out=corr)
@@ -601,6 +632,7 @@ def compute_slacks_batch(
     required_time: CanonicalForm,
     input_arrivals: Optional[Mapping[str, CanonicalForm]] = None,
     arrays: Optional[GraphArrays] = None,
+    backend: Optional[str] = None,
 ) -> VertexTimes:
     """Batched statistical slack at every vertex reachable in both passes.
 
@@ -610,9 +642,12 @@ def compute_slacks_batch(
     """
     if arrays is None:
         arrays = GraphArrays.from_graph(graph)
-    arrival = propagate_arrival_times_batch(graph, input_arrivals, arrays=arrays)
+    arrival = propagate_arrival_times_batch(
+        graph, input_arrivals, arrays=arrays, backend=backend
+    )
     required = propagate_required_times_batch(
-        graph, {vertex: required_time for vertex in graph.outputs}, arrays=arrays
+        graph, {vertex: required_time for vertex in graph.outputs},
+        arrays=arrays, backend=backend,
     )
     width = max(arrival.corr.shape[1], required.corr.shape[1])
     mean = required.mean - arrival.mean

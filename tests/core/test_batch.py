@@ -346,6 +346,26 @@ class TestSampling:
         empirical = float(np.corrcoef(samples)[0, 1])
         assert empirical == pytest.approx(a.correlation(b), abs=0.02)
 
+    def test_sample_all_private_fast_path_matches_masked_formula(self):
+        # Every entry has private variance, so sample() takes the
+        # unmasked in-place path; it must consume the stream and combine
+        # terms exactly like the masked gather/scatter formula.
+        forms = [
+            CanonicalForm(float(i), 1.0 + i, [0.5, -0.25 * i], 0.1 + 0.2 * i)
+            for i in range(6)
+        ]
+        batch = CanonicalBatch.from_forms(forms)
+        got = batch.sample(np.random.default_rng(31), 9)
+        rng = np.random.default_rng(31)
+        expected = batch._corr @ rng.standard_normal((batch.num_corr, 9))
+        expected += batch._mean[:, np.newaxis]
+        sigma = np.sqrt(np.maximum(batch._randvar, 0.0))
+        mask = sigma > 0.0
+        assert mask.all()
+        noise = rng.standard_normal((int(mask.sum()), 9))
+        expected[mask] += sigma[mask, np.newaxis] * noise
+        assert np.array_equal(got, expected)
+
     def test_sample_at_matches_object_evaluation(self):
         forms = _random_forms(23, 4)
         batch = CanonicalBatch.from_forms(forms)

@@ -21,6 +21,7 @@ from repro.montecarlo.flat import (
     AUTO_LEVELIZED_MIN_EDGES,
     MC_MAX_CHUNK,
     MC_MIN_CHUNK,
+    MC_SAMPLE_BLOCK,
     _longest_paths_multi_source,
     _longest_paths_object,
     _resolve_engine,
@@ -136,6 +137,20 @@ class TestAcceptanceCircuits:
         ref_io = simulate_io_delays(graph, 60, seed=9, engine="object")
         _assert_io_identical(lev_io, ref_io)
 
+    def test_prebuilt_arrays_reuse_is_bit_identical(self, parity_module):
+        graph = parity_module[0]
+        arrays = GraphArrays.from_graph(graph)
+        rebuilt = simulate_graph_delay(graph, 200, seed=9, engine="levelized")
+        reused = simulate_graph_delay(
+            graph, 200, seed=9, engine="levelized", arrays=arrays
+        )
+        assert np.array_equal(rebuilt.samples, reused.samples)
+        rebuilt_io = simulate_io_delays(graph, 60, seed=9, engine="levelized")
+        reused_io = simulate_io_delays(
+            graph, 60, seed=9, engine="levelized", arrays=arrays
+        )
+        _assert_io_identical(rebuilt_io, reused_io)
+
 
 class TestRegressions:
     def test_missing_io_raises(self):
@@ -207,13 +222,18 @@ class TestAutoChunkSize:
         assert auto_chunk_size(10, 10) == MC_MAX_CHUNK
         assert auto_chunk_size(10, 10, num_samples=100) == 100
         # A huge multi-source working set drops below the floor: the
-        # budget outranks MC_MIN_CHUNK, down to one sample per chunk.
-        assert auto_chunk_size(10 ** 6, 10 ** 6, num_sources=500) == 1
+        # budget outranks MC_MIN_CHUNK but never the sample block — the
+        # sampler materialises whole blocks regardless, so a smaller chunk
+        # only adds redundant draws.
+        assert auto_chunk_size(10 ** 6, 10 ** 6, num_sources=500) == (
+            MC_SAMPLE_BLOCK
+        )
 
     def test_budget_always_bounds_the_working_set(self):
         # At every extreme geometry the chosen chunk's working set honours
-        # the float budget (whenever any chunk > 1 can): the MC_MIN_CHUNK
-        # floor must never inflate past it at million-edge scale.
+        # the float budget whenever a whole-block chunk can (one sample
+        # block is the hard floor: the sampler's own working set), and the
+        # chunk covers whole sample blocks so no block is drawn twice.
         from repro.montecarlo.flat import mc_chunk_budget
 
         budget = mc_chunk_budget()
@@ -225,16 +245,27 @@ class TestAutoChunkSize:
         ]:
             chunk = auto_chunk_size(edges, vertices, num_sources=sources)
             per_sample = edges + (vertices + edges) * sources
-            assert chunk >= 1
-            if chunk > 1:
-                assert chunk * per_sample <= max(budget, per_sample)
+            assert chunk >= MC_SAMPLE_BLOCK
+            assert chunk % MC_SAMPLE_BLOCK == 0
+            assert chunk * per_sample <= max(
+                budget, MC_SAMPLE_BLOCK * per_sample
+            )
 
     def test_budget_env_override_shrinks_chunk(self, monkeypatch):
         monkeypatch.setenv("REPRO_MC_CHUNK_BUDGET", "100")
-        assert auto_chunk_size(10 ** 4, 10 ** 4) == 1
+        assert auto_chunk_size(10 ** 4, 10 ** 4) == MC_SAMPLE_BLOCK
         monkeypatch.setenv("REPRO_MC_CHUNK_BUDGET", "bogus")
         with pytest.raises(ValueError):
             auto_chunk_size(10, 10)
+
+    def test_million_edge_chunk_stays_block_aligned(self):
+        # Regression for the 10^6-edge throughput collapse: the budget
+        # used to drive the chunk to 1 here, so every chunk re-drew its
+        # whole 128-sample block for one column (~27x redundant sampling
+        # at the BENCH_scaling 10^6-edge shape).
+        assert auto_chunk_size(10 ** 6, 5 * 10 ** 5) == MC_SAMPLE_BLOCK
+        # num_samples still clips last: short runs keep one exact chunk.
+        assert auto_chunk_size(10 ** 6, 5 * 10 ** 5, num_samples=16) == 16
 
     def test_multi_source_axis_shrinks_the_chunk(self):
         single = auto_chunk_size(5000, 3000, num_sources=1)
