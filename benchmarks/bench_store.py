@@ -1,0 +1,171 @@
+"""Benchmarks of the columnar snapshot store: cold build vs warm start.
+
+Measures what the store actually buys at process startup on c7552:
+
+* **warm-started timer vs cold build** — the cold path regenerates the
+  netlist, places it, builds the statistical timing graph and runs the
+  first full propagation; the warm path memory-maps one store entry,
+  rebuilds the graph from its columns and answers ``circuit_delay`` from
+  the restored pass state.  The headline assertion of the persistence
+  layer lives here: the warm start must be at least 5x faster than the
+  cold build (``REPRO_STORE_SPEEDUP_MIN`` overrides the threshold; the CI
+  smoke job relaxes it), and the answers must be identical.
+* **warm-started Monte Carlo session vs cold resampling** — the warm load
+  restores the cached sample matrix instead of redrawing and
+  repropagating every sample (``REPRO_STORE_MC_SPEEDUP_MIN``, default
+  3x); samples must match bit for bit.
+
+Like the other benchmarks this file is run explicitly
+(``pytest benchmarks/bench_store.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import record_bench
+
+from repro.liberty.library import standard_library
+from repro.montecarlo.flat import MonteCarloSession
+from repro.netlist.iscas85 import iscas85_surrogate
+from repro.placement.placer import place_netlist
+from repro.store import (
+    load_incremental_timer,
+    load_montecarlo_session,
+    read_entry,
+    save_incremental_timer,
+    save_montecarlo_session,
+)
+from repro.timing.builder import build_timing_graph, default_variation_for
+from repro.timing.graph import TimingGraph
+from repro.timing.incremental import IncrementalTimer
+
+BENCH_FILE = "BENCH_store.json"
+
+
+def _iscas_graph(name: str) -> TimingGraph:
+    netlist = iscas85_surrogate(name)
+    library = standard_library()
+    placement = place_netlist(netlist, library)
+    variation = default_variation_for(netlist, placement)
+    return build_timing_graph(netlist, library, placement, variation)
+
+
+def _best_of(fn, repetitions: int = 5) -> float:
+    best = float("inf")
+    for _unused in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_warm_start_vs_cold_build_c7552(benchmark, tmp_path):
+    """Acceptance check: warm-starting a c7552 timer is >= 5x faster.
+
+    Cold = regenerate + place + build the graph + first full propagation;
+    warm = mmap the entry, rebuild the graph from columns, answer from the
+    restored state.  ``REPRO_STORE_SPEEDUP_MIN`` overrides the threshold
+    (the CI smoke job relaxes it for noisy shared runners).
+    """
+    threshold = float(os.environ.get("REPRO_STORE_SPEEDUP_MIN", "5.0"))
+    path = tmp_path / "c7552_timer.npz"
+
+    def cold_start():
+        timer = IncrementalTimer(_iscas_graph("c7552"))
+        return timer.circuit_delay()
+
+    cold_delay = cold_start()
+    saver = IncrementalTimer(_iscas_graph("c7552"))
+    saver.circuit_delay()
+    save_incremental_timer(saver, path)
+
+    def warm_start():
+        timer = load_incremental_timer(path)
+        return timer.circuit_delay()
+
+    # Parity first: a faster wrong answer is no answer.
+    assert warm_start() == cold_delay
+
+    cold_seconds = _best_of(cold_start, repetitions=3)
+    warm_seconds = _best_of(warm_start, repetitions=5)
+    speedup = cold_seconds / warm_seconds
+    entry_bytes = read_entry(path).nbytes_report()
+
+    benchmark.extra_info["cold_ms"] = round(1000 * cold_seconds, 2)
+    benchmark.extra_info["warm_ms"] = round(1000 * warm_seconds, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["entry_file_kb"] = entry_bytes["file_bytes"] // 1024
+    benchmark(warm_start)
+
+    record_bench(
+        BENCH_FILE,
+        "warm_start_timer_c7552",
+        {
+            "cold_ms": round(1000 * cold_seconds, 2),
+            "warm_ms": round(1000 * warm_seconds, 2),
+            "speedup": round(speedup, 1),
+            "entry_file_bytes": entry_bytes["file_bytes"],
+            "entry_column_bytes": entry_bytes["total"],
+        },
+    )
+
+    assert speedup >= threshold, (
+        "warm-starting the c7552 timer is only %.1fx faster than a cold "
+        "build (warm %.2f ms, cold %.2f ms, threshold %.1fx)"
+        % (speedup, 1000 * warm_seconds, 1000 * cold_seconds, threshold)
+    )
+
+
+def test_warm_monte_carlo_vs_cold_resampling_c7552(benchmark, tmp_path):
+    """Warm MC restore vs redrawing and repropagating every sample."""
+    threshold = float(os.environ.get("REPRO_STORE_MC_SPEEDUP_MIN", "3.0"))
+    num_samples, seed = 2000, 11
+    path = tmp_path / "c7552_mc.npz"
+
+    graph = _iscas_graph("c7552")
+    saver = MonteCarloSession(graph, num_samples=num_samples, seed=seed)
+    reference = saver.revalidate()
+    save_montecarlo_session(saver, path)
+
+    def cold_resample():
+        session = MonteCarloSession(
+            _iscas_graph("c7552"), num_samples=num_samples, seed=seed
+        )
+        return session.revalidate()
+
+    def warm_restore():
+        return load_montecarlo_session(path).revalidate()
+
+    assert np.array_equal(warm_restore().samples, reference.samples)
+    assert np.array_equal(cold_resample().samples, reference.samples)
+
+    cold_seconds = _best_of(cold_resample, repetitions=3)
+    warm_seconds = _best_of(warm_restore, repetitions=5)
+    speedup = cold_seconds / warm_seconds
+
+    benchmark.extra_info["num_samples"] = num_samples
+    benchmark.extra_info["cold_ms"] = round(1000 * cold_seconds, 2)
+    benchmark.extra_info["warm_ms"] = round(1000 * warm_seconds, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark(warm_restore)
+
+    record_bench(
+        BENCH_FILE,
+        "warm_start_montecarlo_c7552",
+        {
+            "num_samples": num_samples,
+            "cold_ms": round(1000 * cold_seconds, 2),
+            "warm_ms": round(1000 * warm_seconds, 2),
+            "speedup": round(speedup, 1),
+        },
+    )
+
+    assert speedup >= threshold, (
+        "warm-starting the c7552 Monte Carlo session is only %.1fx faster "
+        "than cold resampling (warm %.2f ms, cold %.2f ms, threshold %.1fx)"
+        % (speedup, 1000 * warm_seconds, 1000 * cold_seconds, threshold)
+    )

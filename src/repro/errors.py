@@ -11,6 +11,10 @@ __all__ = [
     "ModelExtractionError",
     "HierarchyError",
     "PlacementError",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreKeyError",
+    "StoreReplayError",
 ]
 
 
@@ -44,3 +48,19 @@ class HierarchyError(ReproError):
 
 class PlacementError(ReproError):
     """A placement request cannot be satisfied."""
+
+
+class StoreError(ReproError):
+    """Base class of snapshot-store failures."""
+
+
+class StoreCorruptError(StoreError):
+    """A store entry is unreadable (truncated npz, bad metadata, ...)."""
+
+
+class StoreKeyError(StoreError):
+    """An entry's revision key does not match what the caller expects."""
+
+
+class StoreReplayError(StoreError):
+    """Journal replay from a snapshot's revision is impossible."""

@@ -334,6 +334,35 @@ class DesignTimer:
         self._mc_design_revision = -1
 
     # ------------------------------------------------------------------
+    # Columnar snapshots (the repro.store persistence layer)
+    # ------------------------------------------------------------------
+    def save(self, path) -> "object":
+        """Persist the whole session as a warm-start bundle directory.
+
+        Convenience wrapper over :func:`repro.store.save_design_timer`:
+        the design graph and timer state, the attached Monte Carlo session
+        and every per-instance extraction session land as revision-keyed
+        store entries under ``path``.
+        """
+        from repro.store import save_design_timer
+
+        return save_design_timer(self, path)
+
+    @classmethod
+    def load(cls, path, design, library=None, on_overflow="error") -> "DesignTimer":
+        """Restore a bundle saved by :meth:`save` against ``design``.
+
+        Convenience wrapper over :func:`repro.store.load_design_timer`;
+        see there for the identity checks and the ``on_overflow``
+        semantics.
+        """
+        from repro.store import load_design_timer
+
+        return load_design_timer(
+            path, design, library=library, on_overflow=on_overflow
+        )
+
+    # ------------------------------------------------------------------
     @property
     def design(self) -> HierarchicalDesign:
         """The design this session analyses."""

@@ -135,6 +135,59 @@ class ExtractionSession:
             graph, self._allpairs.state, engine=engine
         )
         self._serial = self._allpairs.serial
+        # Why a warm start fell back to a cold rebuild (None for cold
+        # sessions and for genuinely warm loads); set by repro.store.
+        self.store_fallback_reason: Optional[str] = None
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        graph: TimingGraph,
+        variation: VariationModel,
+        allpairs: AllPairsSession,
+        criticalities: CriticalityResult,
+        serial: int,
+        name: Optional[str] = None,
+        engine: str = "auto",
+    ) -> "ExtractionSession":
+        """Reattach a session from restored state without recomputing.
+
+        ``allpairs`` must already be attached to ``graph`` (see
+        ``repro.store``); ``serial`` is the all-pairs serial the stored
+        criticality map was synchronised at, so the next :meth:`refresh`
+        knows whether an incremental criticality update is sound.
+        """
+        _validate_module(graph, variation)
+        session = cls.__new__(cls)
+        session._graph = graph
+        session._variation = variation
+        session._name = name
+        session._engine = engine
+        session._allpairs = allpairs
+        session._criticalities = criticalities
+        session._serial = int(serial)
+        session.store_fallback_reason = None
+        return session
+
+    def save(self, path):
+        """Persist this session as one columnar store entry; returns the path.
+
+        Convenience wrapper over :func:`repro.store.save_extraction_session`.
+        """
+        from repro.store import save_extraction_session
+
+        return save_extraction_session(self, path)
+
+    @classmethod
+    def load(cls, path, graph=None, on_overflow="error") -> "ExtractionSession":
+        """Warm-start a session from a store entry.
+
+        Convenience wrapper over :func:`repro.store.load_extraction_session`;
+        see there for the ``graph``/``on_overflow`` semantics.
+        """
+        from repro.store import load_extraction_session
+
+        return load_extraction_session(path, graph=graph, on_overflow=on_overflow)
 
     # ------------------------------------------------------------------
     @property

@@ -29,6 +29,8 @@ __all__ = [
     "timing_model_from_dict",
     "save_timing_model",
     "load_timing_model",
+    "variation_to_dict",
+    "variation_from_dict",
     "criticality_to_dict",
     "criticality_from_dict",
     "save_criticality",
@@ -51,18 +53,136 @@ def _canonical_to_list(form: CanonicalForm) -> List[float]:
 
 
 def _canonical_from_list(values: List[float]) -> CanonicalForm:
+    """Inverse of :func:`_canonical_to_list`.
+
+    A length-3 list is a *zero-local* form (nominal, global and random
+    coefficients only) — the intended encoding for models extracted with
+    ``num_locals=0``, not a truncation.  Anything shorter is rejected.
+    """
     if len(values) < 3:
         raise ModelExtractionError("canonical form needs at least three values")
     return CanonicalForm(values[0], values[1], values[3:], values[2])
 
 
-def timing_model_to_dict(model: TimingModel) -> Dict[str, Any]:
-    """Convert a timing model into a JSON-serializable dictionary."""
-    graph = model.graph
-    variation = model.variation
+def _require_payload(
+    payload: Any, format_name: str, format_version: int
+) -> Dict[str, Any]:
+    """Validate the format/version envelope of a model-exchange payload.
+
+    Every malformed envelope — a non-object payload, a missing or foreign
+    ``format`` tag, a missing, non-integer or unsupported ``version`` —
+    raises :class:`~repro.errors.ModelExtractionError` with a distinct
+    message instead of leaking a bare ``ValueError``/``TypeError`` or
+    silently mis-parsing the body.
+    """
+    if not isinstance(payload, dict):
+        raise ModelExtractionError(
+            "%s payload must be a JSON object, got %s"
+            % (format_name, type(payload).__name__)
+        )
+    if "format" not in payload:
+        raise ModelExtractionError(
+            "payload has no 'format' tag; expected %r" % format_name
+        )
+    if payload["format"] != format_name:
+        raise ModelExtractionError(
+            "not a %s payload (format=%r)" % (format_name, payload["format"])
+        )
+    if "version" not in payload:
+        raise ModelExtractionError(
+            "%s payload has no 'version' field (this build reads version %d)"
+            % (format_name, format_version)
+        )
+    version = payload["version"]
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ModelExtractionError(
+            "%s payload version must be an integer, got %r"
+            % (format_name, version)
+        )
+    if version != format_version:
+        raise ModelExtractionError(
+            "unsupported %s version %d (this build reads version %d)"
+            % (format_name, version, format_version)
+        )
+    return payload
+
+
+def variation_to_dict(variation: VariationModel) -> Dict[str, Any]:
+    """Convert a variation model into a JSON-serializable dictionary.
+
+    The grid geometry, spatial-correlation profile and sigma budget are
+    everything the design-level analysis needs: the PCA decomposition is
+    deterministic and recomputed on load.  Shared by the model-exchange
+    payloads here and the snapshot-store headers of :mod:`repro.store`.
+    """
     partition = variation.partition
     correlation = variation.correlation
     die = partition.die
+    return {
+        "sigma_fraction": variation.sigma_fraction,
+        "random_variance_share": variation.random_variance_share,
+        "correlation": {
+            "neighbor_correlation": correlation.neighbor_correlation,
+            "floor_correlation": correlation.floor_correlation,
+            "cutoff_distance": correlation.cutoff_distance,
+            "floor_tolerance": correlation.floor_tolerance,
+        },
+        "partition": {
+            "grid_size": partition.grid_size,
+            "die": {
+                "width": die.width,
+                "height": die.height,
+                "origin_x": die.origin_x,
+                "origin_y": die.origin_y,
+            },
+            "cells": [
+                {
+                    "index": cell.index,
+                    "xmin": cell.xmin,
+                    "ymin": cell.ymin,
+                    "xmax": cell.xmax,
+                    "ymax": cell.ymax,
+                    "tag": cell.tag,
+                }
+                for cell in partition.cells
+            ],
+        },
+    }
+
+
+def variation_from_dict(variation_data: Dict[str, Any]) -> VariationModel:
+    """Rebuild a variation model from :func:`variation_to_dict` output."""
+    correlation_data = variation_data["correlation"]
+    partition_data = variation_data["partition"]
+    die_data = partition_data["die"]
+
+    die = Die(
+        die_data["width"], die_data["height"], die_data["origin_x"], die_data["origin_y"]
+    )
+    cells = [
+        GridCell(
+            cell["index"], cell["xmin"], cell["ymin"], cell["xmax"], cell["ymax"], cell["tag"]
+        )
+        for cell in partition_data["cells"]
+    ]
+    partition = GridPartition(die, cells, partition_data["grid_size"])
+    correlation = SpatialCorrelation(
+        correlation_data["neighbor_correlation"],
+        correlation_data["floor_correlation"],
+        correlation_data["cutoff_distance"],
+        correlation_data["floor_tolerance"],
+    )
+    return VariationModel(
+        partition,
+        correlation,
+        variation_data["sigma_fraction"],
+        variation_data["random_variance_share"],
+    )
+
+
+def timing_model_to_dict(model: TimingModel) -> Dict[str, Any]:
+    """Convert a timing model into a JSON-serializable dictionary."""
+    graph = model.graph
 
     return {
         "format": FORMAT_NAME,
@@ -82,36 +202,7 @@ def timing_model_to_dict(model: TimingModel) -> Dict[str, Any]:
                 for edge in graph.edges
             ],
         },
-        "variation": {
-            "sigma_fraction": variation.sigma_fraction,
-            "random_variance_share": variation.random_variance_share,
-            "correlation": {
-                "neighbor_correlation": correlation.neighbor_correlation,
-                "floor_correlation": correlation.floor_correlation,
-                "cutoff_distance": correlation.cutoff_distance,
-                "floor_tolerance": correlation.floor_tolerance,
-            },
-            "partition": {
-                "grid_size": partition.grid_size,
-                "die": {
-                    "width": die.width,
-                    "height": die.height,
-                    "origin_x": die.origin_x,
-                    "origin_y": die.origin_y,
-                },
-                "cells": [
-                    {
-                        "index": cell.index,
-                        "xmin": cell.xmin,
-                        "ymin": cell.ymin,
-                        "xmax": cell.xmax,
-                        "ymax": cell.ymax,
-                        "tag": cell.tag,
-                    }
-                    for cell in partition.cells
-                ],
-            },
-        },
+        "variation": variation_to_dict(model.variation),
         # Wall-clock timings (extraction_seconds) are deliberately not
         # serialized: they are measurement noise, not model content, and
         # excluding them keeps saved payloads byte-stable across runs.
@@ -133,40 +224,9 @@ def timing_model_from_dict(payload: Dict[str, Any]) -> TimingModel:
     the stored geometry and correlation profile; it is deterministic, so the
     rebuilt model behaves identically in the hierarchical flow.
     """
-    if payload.get("format") != FORMAT_NAME:
-        raise ModelExtractionError("not a %s payload" % FORMAT_NAME)
-    if int(payload.get("version", -1)) != FORMAT_VERSION:
-        raise ModelExtractionError(
-            "unsupported %s version %r" % (FORMAT_NAME, payload.get("version"))
-        )
+    _require_payload(payload, FORMAT_NAME, FORMAT_VERSION)
 
-    variation_data = payload["variation"]
-    correlation_data = variation_data["correlation"]
-    partition_data = variation_data["partition"]
-    die_data = partition_data["die"]
-
-    die = Die(
-        die_data["width"], die_data["height"], die_data["origin_x"], die_data["origin_y"]
-    )
-    cells = [
-        GridCell(
-            cell["index"], cell["xmin"], cell["ymin"], cell["xmax"], cell["ymax"], cell["tag"]
-        )
-        for cell in partition_data["cells"]
-    ]
-    partition = GridPartition(die, cells, partition_data["grid_size"])
-    correlation = SpatialCorrelation(
-        correlation_data["neighbor_correlation"],
-        correlation_data["floor_correlation"],
-        correlation_data["cutoff_distance"],
-        correlation_data["floor_tolerance"],
-    )
-    variation = VariationModel(
-        partition,
-        correlation,
-        variation_data["sigma_fraction"],
-        variation_data["random_variance_share"],
-    )
+    variation = variation_from_dict(payload["variation"])
 
     graph_data = payload["graph"]
     graph = TimingGraph(payload["name"], int(graph_data["num_locals"]))
@@ -177,7 +237,19 @@ def timing_model_from_dict(payload: Dict[str, Any]) -> TimingModel:
     for vertex in graph_data["outputs"]:
         graph.mark_output(vertex)
     for edge in graph_data["edges"]:
-        graph.add_edge(edge["source"], edge["sink"], _canonical_from_list(edge["delay"]))
+        delay = _canonical_from_list(edge["delay"])
+        # Fewer locals than the graph declares is fine (the array view
+        # pads row by row; a length-3 list is the zero-local encoding),
+        # but an edge carrying *more* locals than the model's space has
+        # dimensions is a corrupt payload, not a padding case.
+        if len(delay.local_coeffs) > graph.num_locals:
+            raise ModelExtractionError(
+                "edge %s->%s carries %d local coefficients but the model "
+                "declares num_locals=%d"
+                % (edge["source"], edge["sink"],
+                   len(delay.local_coeffs), graph.num_locals)
+            )
+        graph.add_edge(edge["source"], edge["sink"], delay)
     graph.validate()
 
     stats_data = payload["stats"]
@@ -242,13 +314,7 @@ def criticality_from_dict(payload: Dict[str, Any]) -> CriticalityResult:
     existed: those load with ``argmax_pairs=None``, which simply makes the
     incremental updater fall back to a full recompute on first use.
     """
-    if payload.get("format") != CRITICALITY_FORMAT_NAME:
-        raise ModelExtractionError("not a %s payload" % CRITICALITY_FORMAT_NAME)
-    if int(payload.get("version", -1)) != CRITICALITY_FORMAT_VERSION:
-        raise ModelExtractionError(
-            "unsupported %s version %r"
-            % (CRITICALITY_FORMAT_NAME, payload.get("version"))
-        )
+    _require_payload(payload, CRITICALITY_FORMAT_NAME, CRITICALITY_FORMAT_VERSION)
     max_criticality = {
         int(edge_id): float(value)
         for edge_id, value in payload["max_criticality"].items()

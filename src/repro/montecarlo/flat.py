@@ -46,7 +46,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -934,6 +934,9 @@ class MonteCarloSession:
         self._result: Optional[MonteCarloResult] = None
         self._result_serial = -1
         self.last_refresh: Optional[MonteCarloRefresh] = None
+        #: Why the last :meth:`load` fell back to a cold rebuild (``None``
+        #: when the snapshot attached warm).
+        self.store_fallback_reason: Optional[str] = None
         self.refresh()
 
     # ------------------------------------------------------------------
@@ -992,6 +995,112 @@ class MonteCarloSession:
         }
         report["total"] = sum(report.values())
         return report
+
+    # ------------------------------------------------------------------
+    # Snapshots (see repro.store)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """The session's cached sample state as store columns plus metadata.
+
+        Synchronises with the journal first, so the snapshot is keyed at
+        the graph's current revision.  Captures everything warm: the
+        ``(E, S)`` delay matrix, the shared correlated draws, the pending
+        dirty cone, the optional arrival cache and the cached result —
+        a restored session answers :meth:`revalidate` without resampling.
+        """
+        self.refresh()
+        columns: Dict[str, np.ndarray] = {
+            "mc.delays": self._delays,
+            "mc.correlated_draws": self._correlated(),
+            "mc.dirty_sink_rows": np.fromiter(
+                self._dirty_sink_rows, np.int64, len(self._dirty_sink_rows)
+            ),
+        }
+        if self._arrivals is not None:
+            columns["mc.arrivals"] = self._arrivals
+        if self._result is not None:
+            columns["mc.result_samples"] = self._result.samples
+        meta: Dict[str, Any] = {
+            "num_samples": self._num_samples,
+            "seed": self._seed,
+            "chunk_size": None if self._chunk_size is None else int(self._chunk_size),
+            "cache_arrivals": self._cache_arrivals,
+            "needs_full_propagate": self._needs_full_propagate,
+            "matrix_serial": self._matrix_serial,
+            "has_arrivals": self._arrivals is not None,
+            "has_result": self._result is not None,
+            "result_serial": self._result_serial,
+            "result_elapsed": (
+                float(self._result.elapsed_seconds) if self._result is not None else 0.0
+            ),
+        }
+        return columns, meta
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        graph: TimingGraph,
+        arrays: GraphArrays,
+        columns: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+    ) -> "MonteCarloSession":
+        """Reattach a session from stored columns without resampling.
+
+        The delay and arrival matrices are copied (the session patches
+        them in place); the correlated draws and the cached result samples
+        are never mutated, so those keep the read-only (possibly memory-
+        mapped) views the store handed over.
+        """
+        session = cls.__new__(cls)
+        graph.enable_journal()
+        session._graph = graph
+        session._arrays = arrays
+        session._num_samples = int(meta["num_samples"])
+        session._seed = int(meta["seed"])
+        chunk_size = meta.get("chunk_size")
+        session._chunk_size = None if chunk_size is None else int(chunk_size)
+        session._cache_arrivals = bool(meta["cache_arrivals"])
+        session._correlated_draws = np.asarray(
+            columns["mc.correlated_draws"], dtype=float
+        )
+        session._delays = np.array(columns["mc.delays"], dtype=float)
+        session._arrivals = (
+            np.array(columns["mc.arrivals"], dtype=float)
+            if meta.get("has_arrivals")
+            else None
+        )
+        session._dirty_sink_rows = {
+            int(row): None for row in columns["mc.dirty_sink_rows"]
+        }
+        session._needs_full_propagate = bool(meta["needs_full_propagate"])
+        session._matrix_serial = int(meta["matrix_serial"])
+        if meta.get("has_result"):
+            session._result = MonteCarloResult(
+                samples=np.asarray(columns["mc.result_samples"], dtype=float),
+                elapsed_seconds=float(meta.get("result_elapsed", 0.0)),
+            )
+            session._result_serial = int(meta["result_serial"])
+        else:
+            session._result = None
+            session._result_serial = -1
+        session.last_refresh = None
+        session.store_fallback_reason = None
+        return session
+
+    def save(self, path) -> None:
+        """Persist the session as one revision-keyed store entry."""
+        from repro.store import save_montecarlo_session
+
+        save_montecarlo_session(self, path)
+
+    @classmethod
+    def load(
+        cls, path, graph: Optional[TimingGraph] = None, on_overflow: str = "error"
+    ) -> "MonteCarloSession":
+        """Restore a session saved by :meth:`save` (see ``repro.store``)."""
+        from repro.store import load_montecarlo_session
+
+        return load_montecarlo_session(path, graph=graph, on_overflow=on_overflow)
 
     # ------------------------------------------------------------------
     # Counter-based sampling

@@ -72,10 +72,20 @@ def resolve_workers(workers: Optional[int] = None) -> int:
                 "%s must be positive, got %d" % (WORKERS_ENV, workers)
             )
         return workers
-    workers = int(workers)
-    if workers <= 0:
-        raise ValueError("workers must be positive, got %d" % workers)
-    return workers
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(
+            "workers must be an integral count, got %r" % (workers,)
+        ) from None
+    if count != workers:
+        # int() would silently truncate 2.7 -> 2; demand an exact count.
+        raise ValueError(
+            "workers must be an integral count, got %r" % (workers,)
+        )
+    if count <= 0:
+        raise ValueError("workers must be positive, got %d" % count)
+    return count
 
 
 def _invoke(item: Tuple[str, object, object]):

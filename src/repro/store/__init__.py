@@ -1,0 +1,67 @@
+"""Columnar snapshot store: revision-keyed persistence + warm starts.
+
+The persistence layer of the incremental stack.  One :mod:`~repro.store.format`
+entry is an uncompressed ``.npz`` of named numpy columns keyed by
+``(graph_id, revision)``; :mod:`~repro.store.graphio` flattens the timing
+graph itself into columns; :mod:`~repro.store.snapshot` persists every
+session kind (:class:`IncrementalTimer`, :class:`AllPairsSession`,
+:class:`MonteCarloSession`, :class:`ExtractionSession`) with
+journal-replay warm starts; :mod:`~repro.store.design` bundles a whole
+:class:`DesignTimer`; :mod:`~repro.store.models` is the versioned
+model-exchange library.
+
+A warm-started process is bit-identical to one that never restarted: the
+loaders restore the exact arrays that were saved (memory-mapped where
+safe) and replay any journal window newer than the snapshot through the
+sessions' ordinary ``refresh()`` paths.  Every failure mode is typed —
+:class:`~repro.errors.StoreCorruptError` for unreadable entries,
+:class:`~repro.errors.StoreKeyError` for revision-key mismatches,
+:class:`~repro.errors.StoreReplayError` when a journal window can no
+longer replay (opt into a cold rebuild with ``on_overflow="rebuild"``,
+recorded in ``store_fallback_reason`` — never silent).
+"""
+
+from repro.store.design import load_design_timer, save_design_timer
+from repro.store.format import (
+    META_COLUMN,
+    STORE_FORMAT_NAME,
+    STORE_FORMAT_VERSION,
+    StoreEntry,
+    read_entry,
+    write_entry,
+)
+from repro.store.graphio import graph_columns, graph_from_columns, graph_meta
+from repro.store.models import ModelStore
+from repro.store.snapshot import (
+    load_allpairs_session,
+    load_extraction_session,
+    load_incremental_timer,
+    load_montecarlo_session,
+    save_allpairs_session,
+    save_extraction_session,
+    save_incremental_timer,
+    save_montecarlo_session,
+)
+
+__all__ = [
+    "META_COLUMN",
+    "STORE_FORMAT_NAME",
+    "STORE_FORMAT_VERSION",
+    "ModelStore",
+    "StoreEntry",
+    "graph_columns",
+    "graph_from_columns",
+    "graph_meta",
+    "load_allpairs_session",
+    "load_design_timer",
+    "load_extraction_session",
+    "load_incremental_timer",
+    "load_montecarlo_session",
+    "read_entry",
+    "save_allpairs_session",
+    "save_design_timer",
+    "save_extraction_session",
+    "save_incremental_timer",
+    "save_montecarlo_session",
+    "write_entry",
+]

@@ -1,0 +1,247 @@
+"""Columnar on-disk entry format of the snapshot store.
+
+One **entry** is one uncompressed ``.npz`` file holding one named numpy
+array per column — the same one-array-per-field layout the shared-memory
+publisher of :mod:`repro.parallel.shm` uses, persisted instead of mapped.
+Alongside the data columns every entry carries a ``__meta__`` column: the
+UTF-8 JSON header with the store format name/version, the entry ``kind``
+(``"timer"``, ``"allpairs"``, ``"montecarlo"``, ``"extraction"``,
+``"model"``, ...), the **revision key** ``(graph_id, revision)`` the
+snapshot was taken at, the codec metadata, and the authoritative column
+list (so a silently dropped member is detected instead of mis-parsed).
+
+Entries are written atomically (temp file + ``os.replace``) and read
+defensively: any unreadable file — truncated zip, garbage bytes, missing
+``__meta__``, undeclared or absent columns, bad JSON — raises
+:class:`~repro.errors.StoreCorruptError`; a kind mismatch raises
+:class:`~repro.errors.StoreKeyError`.
+
+Because ``np.savez`` stores members uncompressed (``ZIP_STORED``), each
+column is a plain ``.npy`` byte range at a fixed offset inside the file.
+``read_entry(..., mmap=True)`` exploits that for a true zero-copy load:
+the member's local zip header is parsed for the data offset and the array
+is returned as a read-only ``np.memmap`` view straight onto the file —
+``np.load(mmap_mode=...)`` silently ignores the request for npz archives,
+so the store does the offset arithmetic itself.  Columns that cannot be
+mapped safely (compressed, Fortran-ordered, zero-sized, object dtype)
+transparently fall back to a materialised read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import StoreCorruptError, StoreKeyError
+
+__all__ = [
+    "META_COLUMN",
+    "STORE_FORMAT_NAME",
+    "STORE_FORMAT_VERSION",
+    "StoreEntry",
+    "read_entry",
+    "write_entry",
+]
+
+STORE_FORMAT_NAME = "repro-store"
+STORE_FORMAT_VERSION = 1
+
+#: Reserved column holding the entry's UTF-8 JSON header.
+META_COLUMN = "__meta__"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One decoded store entry: revision key, codec metadata and columns."""
+
+    path: Path
+    kind: str
+    graph_id: str
+    revision: int
+    meta: Dict[str, Any]
+    columns: Dict[str, np.ndarray]
+
+    def nbytes_report(self) -> Dict[str, int]:
+        """Byte accounting of the loaded columns plus the on-disk size."""
+        report = {name: int(array.nbytes) for name, array in self.columns.items()}
+        report["total"] = sum(report.values())
+        report["file_bytes"] = int(self.path.stat().st_size) if self.path.exists() else 0
+        return report
+
+
+def write_entry(
+    path: Union[str, Path],
+    kind: str,
+    graph_id: str,
+    revision: int,
+    columns: Mapping[str, np.ndarray],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one revision-keyed columnar entry atomically; returns the path."""
+    path = Path(path)
+    if not kind or not kind.replace("_", "").isalnum():
+        raise ValueError("entry kind must be a non-empty identifier, got %r" % (kind,))
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in columns.items():
+        if name == META_COLUMN:
+            raise ValueError("column name %r is reserved for the header" % META_COLUMN)
+        array = np.asarray(value)
+        if array.dtype.hasobject:
+            raise ValueError(
+                "column %r has object dtype %r; the store holds plain "
+                "numeric/boolean/string columns only" % (name, array.dtype)
+            )
+        arrays[name] = array
+
+    header = {
+        "format": STORE_FORMAT_NAME,
+        "version": STORE_FORMAT_VERSION,
+        "kind": kind,
+        "graph_id": str(graph_id),
+        "revision": int(revision),
+        "meta": meta or {},
+        "columns": sorted(arrays),
+    }
+    encoded = np.frombuffer(
+        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **{META_COLUMN: encoded}, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def _read_header(path: Path, archive: zipfile.ZipFile) -> Dict[str, Any]:
+    members = set(archive.namelist())
+    member = META_COLUMN + ".npy"
+    if member not in members:
+        raise StoreCorruptError(
+            "store entry %s has no %r header column" % (path, META_COLUMN)
+        )
+    with archive.open(member) as handle:
+        encoded = np.lib.format.read_array(handle, allow_pickle=False)
+    header = json.loads(bytes(encoded.tobytes()).decode("utf-8"))
+    if not isinstance(header, dict):
+        raise StoreCorruptError("store entry %s header is not a JSON object" % path)
+    if header.get("format") != STORE_FORMAT_NAME:
+        raise StoreCorruptError(
+            "store entry %s is not a %s entry (format=%r)"
+            % (path, STORE_FORMAT_NAME, header.get("format"))
+        )
+    version = header.get("version")
+    if not isinstance(version, int) or version != STORE_FORMAT_VERSION:
+        raise StoreCorruptError(
+            "store entry %s has unsupported format version %r (this build "
+            "reads version %d)" % (path, version, STORE_FORMAT_VERSION)
+        )
+    for field, types in (
+        ("kind", str), ("graph_id", str), ("revision", int),
+        ("meta", dict), ("columns", list),
+    ):
+        if not isinstance(header.get(field), types):
+            raise StoreCorruptError(
+                "store entry %s header is missing a valid %r field" % (path, field)
+            )
+    return header
+
+
+def _mmap_column(
+    path: Path, archive: zipfile.ZipFile, name: str
+) -> Optional[np.ndarray]:
+    """Zero-copy read-only view of one stored member, or ``None`` if unsafe.
+
+    Parses the member's *local* zip header (its name/extra lengths can
+    differ from the central directory's) to find the raw ``.npy`` bytes,
+    then the npy magic/array header to find the data offset, and maps the
+    payload directly.  Anything unusual — compression, Fortran order, an
+    unknown npy version, an empty array — declines so the caller falls
+    back to a materialised read.
+    """
+    info = archive.getinfo(name + ".npy")
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise StoreCorruptError(
+                "store entry %s member %r has a corrupt local header" % (path, name)
+            )
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        try:
+            npy_version = np.lib.format.read_magic(handle)
+        except ValueError:
+            return None
+        if npy_version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif npy_version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            return None
+        if fortran or dtype.hasobject or int(np.prod(shape)) == 0:
+            return None
+        offset = handle.tell()
+    return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
+
+
+def read_entry(
+    path: Union[str, Path], kind: Optional[str] = None, mmap: bool = False
+) -> StoreEntry:
+    """Read one store entry back; raises typed errors instead of mis-parsing.
+
+    ``kind`` (when given) asserts what the caller expects to find —
+    a mismatch raises :class:`~repro.errors.StoreKeyError`.  With
+    ``mmap=True`` columns come back as read-only ``np.memmap`` views where
+    the member layout allows it (consumers copy the arrays they mutate).
+    """
+    path = Path(path)
+    try:
+        with zipfile.ZipFile(path) as archive:
+            header = _read_header(path, archive)
+            members = set(archive.namelist())
+            columns: Dict[str, np.ndarray] = {}
+            for name in header["columns"]:
+                member = name + ".npy"
+                if member not in members:
+                    raise StoreCorruptError(
+                        "store entry %s is missing declared column %r" % (path, name)
+                    )
+                array = _mmap_column(path, archive, name) if mmap else None
+                if array is None:
+                    with archive.open(member) as handle:
+                        array = np.lib.format.read_array(handle, allow_pickle=False)
+                columns[name] = array
+    except (StoreCorruptError, StoreKeyError):
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+        raise StoreCorruptError(
+            "unreadable store entry %s: %s" % (path, exc)
+        ) from exc
+    if kind is not None and header["kind"] != kind:
+        raise StoreKeyError(
+            "store entry %s holds a %r snapshot, expected %r"
+            % (path, header["kind"], kind)
+        )
+    return StoreEntry(
+        path=path,
+        kind=header["kind"],
+        graph_id=header["graph_id"],
+        revision=header["revision"],
+        meta=header["meta"],
+        columns=columns,
+    )

@@ -1,0 +1,168 @@
+"""Columnar persistence of :class:`~repro.timing.graph.TimingGraph`.
+
+A graph is flattened into plain numpy columns — vertex names, input/output
+designations as row indices, and per-edge delay coefficients in the
+``[nominal, global, random, locals...]`` order of
+:mod:`repro.model.serialization` — plus a small metadata dictionary with
+the revision counters.  The rebuild populates the graph's private fields
+directly (the :meth:`TimingGraph.copy` idiom): ``add_edge`` would assign
+fresh sequential edge ids and bump the revision, but a restored graph must
+carry **exactly** the edge ids and revision the persisted sessions were
+synchronised at, so their bookkeeping (criticality maps keyed on edge ids,
+array caches keyed on the revision) transfers unchanged.
+
+Per-edge local widths are preserved exactly: the coefficient matrix is
+padded to the widest edge, and a separate ``edge_num_locals`` column
+records each edge's true width, so a restored
+:class:`~repro.core.canonical.CanonicalForm` has the same ``num_locals``
+(and compares equal bit for bit) as the one that was saved — padding the
+forms themselves would silently widen ragged delays and break the
+delay-equality checks the warm Monte Carlo rebinding relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import StoreCorruptError
+from repro.timing.graph import TimingEdge, TimingGraph
+
+__all__ = ["graph_columns", "graph_from_columns", "graph_meta"]
+
+#: Prefix of the graph columns inside a store entry.
+GRAPH_PREFIX = "graph."
+
+
+def graph_meta(graph: TimingGraph) -> Dict[str, Any]:
+    """The graph's scalar bookkeeping as JSON-ready entry metadata."""
+    return {
+        "name": graph.name,
+        "num_locals": int(graph.num_locals),
+        "revision": int(graph.revision),
+        "structural_revision": int(graph.structural_revision),
+        "next_edge_id": int(graph._next_edge_id),
+        "journal_limit": int(graph._journal_limit),
+    }
+
+
+def graph_columns(
+    graph: TimingGraph, prefix: str = GRAPH_PREFIX
+) -> Dict[str, np.ndarray]:
+    """Flatten a timing graph into named store columns.
+
+    Vertices keep their insertion order (one unicode column); inputs and
+    outputs are row indices into it (designation order preserved); edges
+    keep their insertion order with their ids, endpoint rows, a padded
+    ``(E, 3 + max_locals)`` coefficient matrix and the per-edge true local
+    count.
+    """
+    vertices = list(graph.vertices)
+    index = {name: row for row, name in enumerate(vertices)}
+    edges = graph.edges
+    num_edges = len(edges)
+
+    max_locals = max((edge.delay.num_locals for edge in edges), default=0)
+    coeffs = np.zeros((num_edges, 3 + max_locals), dtype=float)
+    num_locals_col = np.zeros(num_edges, dtype=np.int64)
+    for row, edge in enumerate(edges):
+        delay = edge.delay
+        coeffs[row, 0] = delay.nominal
+        coeffs[row, 1] = delay.global_coeff
+        coeffs[row, 2] = delay.random_coeff
+        width = delay.num_locals
+        coeffs[row, 3 : 3 + width] = delay.local_coeffs
+        num_locals_col[row] = width
+
+    return {
+        prefix + "vertex_names": (
+            np.array(vertices, dtype=np.str_)
+            if vertices
+            else np.empty(0, dtype="<U1")
+        ),
+        prefix + "input_rows": np.asarray(
+            [index[name] for name in graph.inputs], dtype=np.int64
+        ),
+        prefix + "output_rows": np.asarray(
+            [index[name] for name in graph.outputs], dtype=np.int64
+        ),
+        prefix + "edge_ids": np.fromiter(
+            (edge.edge_id for edge in edges), np.int64, num_edges
+        ),
+        prefix + "edge_source": np.fromiter(
+            (index[edge.source] for edge in edges), np.int64, num_edges
+        ),
+        prefix + "edge_sink": np.fromiter(
+            (index[edge.sink] for edge in edges), np.int64, num_edges
+        ),
+        prefix + "edge_coeffs": coeffs,
+        prefix + "edge_num_locals": num_locals_col,
+    }
+
+
+def graph_from_columns(
+    columns: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any],
+    prefix: str = GRAPH_PREFIX,
+) -> TimingGraph:
+    """Rebuild a timing graph exactly as persisted by :func:`graph_columns`.
+
+    The returned graph sits at the stored revision with an empty journal
+    based there, exactly like :meth:`TimingGraph.copy`: a session snapshot
+    taken at that revision attaches warm, and post-load edits journal from
+    there on.
+    """
+    try:
+        vertex_names = [str(name) for name in columns[prefix + "vertex_names"]]
+        input_rows = columns[prefix + "input_rows"]
+        output_rows = columns[prefix + "output_rows"]
+        edge_ids = columns[prefix + "edge_ids"]
+        edge_source = columns[prefix + "edge_source"]
+        edge_sink = columns[prefix + "edge_sink"]
+        coeffs = np.asarray(columns[prefix + "edge_coeffs"], dtype=float)
+        edge_num_locals = columns[prefix + "edge_num_locals"]
+        revision = int(meta["revision"])
+        graph = TimingGraph(
+            str(meta["name"]),
+            int(meta["num_locals"]),
+            int(meta["journal_limit"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreCorruptError(
+            "stored graph columns are incomplete or malformed: %s" % exc
+        ) from exc
+
+    for name in vertex_names:
+        graph._vertices[name] = None
+    graph._inputs = [vertex_names[int(row)] for row in input_rows]
+    graph._outputs = [vertex_names[int(row)] for row in output_rows]
+
+    num_edges = int(edge_ids.shape[0])
+    for row in range(num_edges):
+        width = int(edge_num_locals[row])
+        # _from_owned skips re-validation: the slice copy is relinquished
+        # and the stored random coefficient is non-negative by
+        # construction (CanonicalForm stores its absolute value).
+        delay = CanonicalForm._from_owned(
+            float(coeffs[row, 0]),
+            float(coeffs[row, 1]),
+            np.array(coeffs[row, 3 : 3 + width], dtype=float),
+            float(coeffs[row, 2]),
+        )
+        edge = TimingEdge(
+            int(edge_ids[row]),
+            vertex_names[int(edge_source[row])],
+            vertex_names[int(edge_sink[row])],
+            delay,
+        )
+        graph._edges[edge.edge_id] = edge
+        graph._fanout.setdefault(edge.source, []).append(edge.edge_id)
+        graph._fanin.setdefault(edge.sink, []).append(edge.edge_id)
+
+    graph._next_edge_id = int(meta["next_edge_id"])
+    graph._revision = revision
+    graph._structural_revision = int(meta["structural_revision"])
+    graph._journal_base = revision
+    return graph

@@ -1,0 +1,174 @@
+"""Versioned model-exchange library on top of the columnar entry format.
+
+A :class:`ModelStore` is a directory of named, versioned extracted timing
+models — the IP-vendor hand-off artifact of Section III as a library
+instead of loose JSON files.  Each ``put`` writes one store entry of kind
+``"model"`` whose revision key is ``(model name, version)``: versions are
+assigned monotonically per name, existing versions are immutable, and
+``get`` returns the latest (or an explicitly pinned) version rebuilt
+through the validated :mod:`repro.model.serialization` path — ready to
+feed :meth:`DesignTimer.swap_instance_model` or
+:meth:`DesignTimer.attach_module_source` directly.
+
+The JSON payload rides inside the entry as one uint8 column, so the
+library shares the store's atomic writes, corruption detection and
+``nbytes_report`` accounting with the session snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import StoreCorruptError, StoreKeyError
+from repro.store.format import read_entry, write_entry
+
+__all__ = ["ModelStore"]
+
+_ENTRY_PATTERN = re.compile(r"^(?P<name>.+)@v(?P<version>\d+)\.npz$")
+
+
+def _entry_filename(name: str, version: int) -> str:
+    return "%s@v%d.npz" % (name, version)
+
+
+def _require_name(name: str) -> str:
+    if not name or "/" in name or "\\" in name or name != name.strip():
+        raise ValueError(
+            "model name must be a non-empty path-safe string, got %r" % (name,)
+        )
+    if "@v" in name:
+        raise ValueError(
+            "model name %r may not contain the version separator '@v'" % (name,)
+        )
+    return name
+
+
+class ModelStore:
+    """A directory of revision-keyed, versioned extracted timing models."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        """The directory the library lives in."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    def _scan(self) -> Dict[str, List[int]]:
+        """Name -> sorted version list, from the directory listing."""
+        catalog: Dict[str, List[int]] = {}
+        if not self._root.is_dir():
+            return catalog
+        for path in self._root.iterdir():
+            match = _ENTRY_PATTERN.match(path.name)
+            if match is None:
+                continue
+            catalog.setdefault(match.group("name"), []).append(
+                int(match.group("version"))
+            )
+        for versions in catalog.values():
+            versions.sort()
+        return catalog
+
+    def names(self) -> List[str]:
+        """All model names in the library, sorted."""
+        return sorted(self._scan())
+
+    def versions(self, name: str) -> List[int]:
+        """All stored versions of ``name``, ascending; raises if unknown."""
+        versions = self._scan().get(_require_name(name))
+        if not versions:
+            raise StoreKeyError(
+                "model store %s has no model named %r" % (self._root, name)
+            )
+        return versions
+
+    def latest_version(self, name: str) -> int:
+        """The newest stored version of ``name``."""
+        return self.versions(name)[-1]
+
+    # ------------------------------------------------------------------
+    def put(self, model, name: Optional[str] = None) -> int:
+        """Store ``model`` as the next version of ``name``; returns it.
+
+        ``name`` defaults to the model's own name.  Existing versions are
+        never overwritten — every ``put`` appends.
+        """
+        from repro.model.serialization import timing_model_to_dict
+
+        name = _require_name(model.name if name is None else name)
+        versions = self._scan().get(name, [])
+        version = (versions[-1] + 1) if versions else 1
+        payload = np.frombuffer(
+            json.dumps(timing_model_to_dict(model), sort_keys=True).encode("utf-8"),
+            dtype=np.uint8,
+        )
+        write_entry(
+            self._root / _entry_filename(name, version),
+            "model",
+            name,
+            version,
+            {"model.json": payload},
+            meta={"model_name": name},
+        )
+        return version
+
+    def get(self, name: str, version: Optional[int] = None):
+        """Load one model: the latest version, or a pinned one.
+
+        Raises :class:`~repro.errors.StoreKeyError` for an unknown name or
+        version and :class:`~repro.errors.StoreCorruptError` (or the
+        serialization layer's :class:`ModelExtractionError`) for a
+        damaged payload.
+        """
+        from repro.model.serialization import timing_model_from_dict
+
+        name = _require_name(name)
+        if version is None:
+            version = self.latest_version(name)
+        path = self._root / _entry_filename(name, int(version))
+        if not path.exists():
+            raise StoreKeyError(
+                "model store %s has no version %d of %r (have %r)"
+                % (self._root, version, name, self._scan().get(name, []))
+            )
+        entry = read_entry(path, kind="model")
+        if entry.graph_id != name or entry.revision != int(version):
+            raise StoreKeyError(
+                "model entry %s is keyed (%r, %d), expected (%r, %d)"
+                % (path, entry.graph_id, entry.revision, name, version)
+            )
+        try:
+            payload = json.loads(bytes(entry.columns["model.json"].tobytes()).decode("utf-8"))
+        except (KeyError, ValueError, UnicodeDecodeError) as exc:
+            raise StoreCorruptError(
+                "model entry %s has an unreadable payload: %s" % (path, exc)
+            ) from exc
+        return timing_model_from_dict(payload)
+
+    # ------------------------------------------------------------------
+    def nbytes_report(self) -> Dict[str, int]:
+        """On-disk accounting: bytes per stored ``name@vN`` plus a total."""
+        report: Dict[str, int] = {}
+        total = 0
+        for name, versions in sorted(self._scan().items()):
+            for version in versions:
+                size = int((self._root / _entry_filename(name, version)).stat().st_size)
+                report["%s@v%d" % (name, version)] = size
+                total += size
+        report["total"] = total
+        return report
+
+    def __repr__(self) -> str:
+        catalog = self._scan()
+        return "ModelStore(%r, models=%d, entries=%d)" % (
+            str(self._root),
+            len(catalog),
+            sum(len(versions) for versions in catalog.values()),
+        )

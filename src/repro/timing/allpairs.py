@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -578,6 +578,9 @@ class AllPairsSession:
         self._pending_touched: Dict[int, None] = {}
         self._pending_removed: Dict[int, None] = {}
         self.last_update: Optional[AllPairsUpdate] = None
+        # Why a warm start fell back to a cold rebuild (None for cold
+        # sessions and for genuinely warm loads); set by repro.store.
+        self.store_fallback_reason: Optional[str] = None
         self.refresh()
 
     # ------------------------------------------------------------------
@@ -662,6 +665,102 @@ class AllPairsSession:
         }
         report["total"] = sum(report.values())
         return report
+
+    # ------------------------------------------------------------------
+    # Columnar snapshots (the repro.store persistence layer)
+    # ------------------------------------------------------------------
+    _TENSOR_FIELDS = (
+        "arrival_mean", "arrival_corr", "arrival_randvar", "arrival_valid",
+        "to_output_mean", "to_output_corr", "to_output_randvar",
+        "to_output_valid",
+        "matrix_mean", "matrix_corr", "matrix_randvar", "matrix_valid",
+    )
+
+    def snapshot_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """The synchronised all-pairs tensors as store columns plus meta.
+
+        Runs :meth:`refresh` first, so the snapshot is keyed exactly to
+        the graph's current revision with empty dirty state.
+        """
+        self.refresh()
+        analysis = self._analysis
+        columns = {
+            "ap." + name: getattr(analysis, name) for name in self._TENSOR_FIELDS
+        }
+        meta = {
+            "serial": int(self._serial),
+            "inputs": list(analysis.inputs),
+            "outputs": list(analysis.outputs),
+            "engine": analysis.engine,
+        }
+        return columns, meta
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        graph: TimingGraph,
+        arrays: GraphArrays,
+        columns: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+    ) -> "AllPairsSession":
+        """Attach a warm session from stored columns — no propagation run.
+
+        ``arrays`` must reflect the snapshot's revision; a graph that has
+        moved ahead replays the journal window through the ordinary
+        dirty-cone ``refresh()`` at the first query.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        graph.enable_journal()
+        self._arrays = arrays
+        analysis = AllPairsTiming.__new__(AllPairsTiming)
+        analysis.arrays = arrays
+        analysis.inputs = tuple(meta["inputs"])
+        analysis.outputs = tuple(meta["outputs"])
+        analysis.engine = str(meta.get("engine", "dense"))
+        for name in cls._TENSOR_FIELDS:
+            # Private writable copies: the incremental sweeps patch the
+            # tensors in place, which must never write through to a
+            # memory-mapped store column.
+            setattr(analysis, name, np.array(columns["ap." + name]))
+        self._analysis = analysis
+        self._serial = int(meta["serial"])
+        self._dirty_fwd = None
+        self._dirty_bwd = None
+        self._changed_fwd = None
+        self._changed_bwd = None
+        self._pending_touched = {}
+        self._pending_removed = {}
+        self.last_update = None
+        self.store_fallback_reason = None
+        index = arrays.vertex_index
+        self._input_position = {
+            index[name]: position for position, name in enumerate(analysis.inputs)
+        }
+        self._output_position = {
+            index[name]: position for position, name in enumerate(analysis.outputs)
+        }
+        return self
+
+    def save(self, path):
+        """Persist this session as one columnar store entry; returns the path.
+
+        Convenience wrapper over :func:`repro.store.save_allpairs_session`.
+        """
+        from repro.store import save_allpairs_session
+
+        return save_allpairs_session(self, path)
+
+    @classmethod
+    def load(cls, path, graph=None, on_overflow="error") -> "AllPairsSession":
+        """Warm-start a session from a store entry.
+
+        Convenience wrapper over :func:`repro.store.load_allpairs_session`;
+        see there for the ``graph``/``on_overflow`` semantics.
+        """
+        from repro.store import load_allpairs_session
+
+        return load_allpairs_session(path, graph=graph, on_overflow=on_overflow)
 
     # ------------------------------------------------------------------
     # The refresh engine

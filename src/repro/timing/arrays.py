@@ -31,7 +31,7 @@ forces the blind full rebuild.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -320,6 +320,65 @@ class GraphArrays:
         self._out_adjacency = None
         self._in_adjacency = None
         return row_map
+
+    # ------------------------------------------------------------------
+    # Columnar snapshots (the repro.store persistence layer)
+    # ------------------------------------------------------------------
+    _SNAPSHOT_FIELDS = (
+        "edge_ids", "edge_source", "edge_sink",
+        "edge_mean", "edge_corr", "edge_randvar",
+    )
+
+    def snapshot_columns(self, prefix: str = "arrays.") -> Dict[str, np.ndarray]:
+        """The view as named store columns: six edge arrays + vertex names.
+
+        The vertex naming is captured in the snapshot itself (one unicode
+        column in row order) rather than re-derived from the graph on
+        load, so a restored view indexes exactly the vertex rows its state
+        arrays were computed against — even when the live graph has since
+        moved ahead of the snapshot revision.
+        """
+        columns = {
+            prefix + name: getattr(self, name) for name in self._SNAPSHOT_FIELDS
+        }
+        names = list(self.vertex_index)
+        columns[prefix + "vertex_names"] = (
+            np.array(names, dtype=np.str_) if names else np.empty(0, dtype="<U1")
+        )
+        return columns
+
+    @classmethod
+    def from_columns(
+        cls,
+        graph: TimingGraph,
+        columns: Mapping[str, np.ndarray],
+        revision: int,
+        prefix: str = "arrays.",
+    ) -> "GraphArrays":
+        """Rebuild a view from stored columns, skipping the O(E) graph walk.
+
+        The columns must come from :meth:`snapshot_columns` taken of (a
+        graph equal to) ``graph`` at ``revision``.  The edge arrays are
+        copied out of the (possibly memory-mapped) columns because
+        ``refresh()`` patches them in place — a later retime must never
+        write through to the store file.
+        """
+        edge_ids = np.array(columns[prefix + "edge_ids"], dtype=np.int64)
+        return cls(
+            graph=graph,
+            vertex_index={
+                str(name): row
+                for row, name in enumerate(columns[prefix + "vertex_names"])
+            },
+            edge_rows={int(edge_id): row for row, edge_id in enumerate(edge_ids)},
+            edge_ids=edge_ids,
+            edge_source=np.array(columns[prefix + "edge_source"], dtype=np.int64),
+            edge_sink=np.array(columns[prefix + "edge_sink"], dtype=np.int64),
+            edge_mean=np.array(columns[prefix + "edge_mean"], dtype=float),
+            edge_corr=np.array(columns[prefix + "edge_corr"], dtype=float),
+            edge_randvar=np.array(columns[prefix + "edge_randvar"], dtype=float),
+            revision=int(revision),
+        )
 
     # ------------------------------------------------------------------
     # Accessors

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -189,6 +189,23 @@ class _PassState:
         self.seed_valid[:] = False
 
 
+def _form_to_list(form: CanonicalForm) -> List[float]:
+    """Flatten a canonical form to ``[nominal, global, random, locals...]``.
+
+    The coefficient order of :mod:`repro.model.serialization`; JSON floats
+    round-trip exactly (shortest-repr), so snapshot metadata stays
+    bit-stable.
+    """
+    return (
+        [float(form.nominal), float(form.global_coeff), float(form.random_coeff)]
+        + [float(value) for value in form.local_coeffs]
+    )
+
+
+def _form_from_list(values: Sequence[float]) -> CanonicalForm:
+    return CanonicalForm(values[0], values[1], values[3:], values[2])
+
+
 def _require_finite(form: CanonicalForm, what: str) -> None:
     if not form.is_finite:
         raise ValueError(
@@ -267,6 +284,9 @@ class IncrementalTimer:
         # observability for benchmarks and the engine-switch tests.
         self.scalar_level_folds = 0
         self.batched_level_folds = 0
+        # Why a warm start fell back to a cold rebuild (None for cold
+        # sessions and for genuinely warm loads); set by repro.store.
+        self.store_fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Session accessors
@@ -308,6 +328,107 @@ class IncrementalTimer:
         self._drain(backward=False)
         self._pending_bwd = None
         self._recompute_backward_full()
+
+    # ------------------------------------------------------------------
+    # Columnar snapshots (the repro.store persistence layer)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """The session's per-vertex state as store columns plus codec meta.
+
+        Runs :meth:`update` first, so the snapshot is taken exactly at the
+        graph's current revision with both dirty cones drained — the
+        invariant the warm-start loader relies on (it restores with empty
+        pending sets).
+        """
+        self.update()
+        columns: Dict[str, np.ndarray] = {}
+        for tag, state in (("fwd", self._fwd), ("bwd", self._bwd)):
+            for name in _PassState.__slots__:
+                columns["%s.%s" % (tag, name)] = getattr(state, name)
+        meta = {
+            "width": int(self._width),
+            "tolerance": float(self._tolerance),
+            "required_time": _form_to_list(self._required_time),
+            "input_arrivals": {
+                name: _form_to_list(form)
+                for name, form in self._input_arrivals.items()
+            },
+        }
+        return columns, meta
+
+    @staticmethod
+    def _restore_pass_state(
+        columns: Mapping[str, np.ndarray], tag: str, num_vertices: int
+    ) -> _PassState:
+        state = _PassState.__new__(_PassState)
+        for name in _PassState.__slots__:
+            array = np.array(columns["%s.%s" % (tag, name)])
+            if array.shape[0] != num_vertices:
+                raise ValueError(
+                    "snapshot column %s.%s covers %d vertices, expected %d"
+                    % (tag, name, array.shape[0], num_vertices)
+                )
+            setattr(state, name, array)
+        return state
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        graph: TimingGraph,
+        arrays: GraphArrays,
+        columns: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+    ) -> "IncrementalTimer":
+        """Attach a warm session from stored columns — no propagation run.
+
+        ``arrays`` must reflect the snapshot's revision; ``graph`` may be
+        *ahead* of it — the journal window in between replays through the
+        ordinary ``refresh()``/dirty-cone paths at the first query, so a
+        warm-started session is bit-identical to one that never restarted.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._input_arrivals = {
+            name: _form_from_list(values)
+            for name, values in meta["input_arrivals"].items()
+        }
+        self._required_time = _form_from_list(meta["required_time"])
+        self._tolerance = float(meta["tolerance"])
+        graph.enable_journal()
+        self._arrays = arrays
+        self._width = int(meta["width"])
+        self._edge_corr_w = pad_corr(arrays.edge_corr, self._width)
+        num_vertices = len(arrays.vertex_index)
+        self._fwd = self._restore_pass_state(columns, "fwd", num_vertices)
+        self._bwd = self._restore_pass_state(columns, "bwd", num_vertices)
+        self._pending_fwd = None
+        self._pending_bwd = None
+        self._delay_cache = None
+        self.last_update = None
+        self.scalar_level_folds = 0
+        self.batched_level_folds = 0
+        self.store_fallback_reason = None
+        return self
+
+    def save(self, path):
+        """Persist this session as one columnar store entry; returns the path.
+
+        Convenience wrapper over :func:`repro.store.save_incremental_timer`.
+        """
+        from repro.store import save_incremental_timer
+
+        return save_incremental_timer(self, path)
+
+    @classmethod
+    def load(cls, path, graph=None, on_overflow="error") -> "IncrementalTimer":
+        """Warm-start a session from a store entry.
+
+        Convenience wrapper over :func:`repro.store.load_incremental_timer`;
+        see there for the ``graph``/``on_overflow`` semantics.
+        """
+        from repro.store import load_incremental_timer
+
+        return load_incremental_timer(path, graph=graph, on_overflow=on_overflow)
 
     # ------------------------------------------------------------------
     # The update engine

@@ -92,11 +92,68 @@ class TestValidation:
         with pytest.raises(ModelExtractionError):
             timing_model_from_dict(payload)
 
+    def test_missing_format_rejected(self, model):
+        payload = timing_model_to_dict(model)
+        del payload["format"]
+        with pytest.raises(ModelExtractionError, match="format"):
+            timing_model_from_dict(payload)
+
+    def test_missing_version_rejected(self, model):
+        payload = timing_model_to_dict(model)
+        del payload["version"]
+        with pytest.raises(ModelExtractionError, match="version"):
+            timing_model_from_dict(payload)
+
+    @pytest.mark.parametrize("version", ["2", 2.0, True, None])
+    def test_non_integer_version_rejected(self, model, version):
+        payload = timing_model_to_dict(model)
+        payload["version"] = version
+        with pytest.raises(ModelExtractionError, match="integer"):
+            timing_model_from_dict(payload)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ModelExtractionError, match="object"):
+            timing_model_from_dict(["not", "a", "model"])
+
     def test_truncated_canonical_form_rejected(self, model):
         payload = timing_model_to_dict(model)
         payload["graph"]["edges"][0]["delay"] = [1.0]
         with pytest.raises(ModelExtractionError):
             timing_model_from_dict(payload)
+
+    def test_oversized_local_vector_rejected(self, model):
+        # More locals than the model's declared space is corruption, not
+        # the padding case shorter vectors fall under.
+        payload = timing_model_to_dict(model)
+        edge = payload["graph"]["edges"][0]
+        edge["delay"] = list(edge["delay"]) + [0.5]
+        with pytest.raises(ModelExtractionError, match="num_locals"):
+            timing_model_from_dict(payload)
+
+
+class TestZeroLocalEncoding:
+    """A length-3 delay list is the zero-local form, not a truncation."""
+
+    def test_length3_delay_loads_as_zero_local(self, model):
+        payload = timing_model_to_dict(model)
+        payload["graph"]["edges"][0]["delay"] = payload["graph"]["edges"][0][
+            "delay"
+        ][:3]
+        rebuilt = timing_model_from_dict(payload)
+        assert rebuilt.graph.edges[0].delay.num_locals == 0
+
+    def test_zero_local_model_round_trips(self, model):
+        payload = timing_model_to_dict(model)
+        payload["graph"]["num_locals"] = 0
+        for edge in payload["graph"]["edges"]:
+            edge["delay"] = edge["delay"][:3]
+        first = timing_model_from_dict(payload)
+        assert first.graph.num_locals == 0
+        again = timing_model_from_dict(timing_model_to_dict(first))
+        assert again.graph.num_locals == 0
+        for a, b in zip(first.graph.edges, again.graph.edges):
+            assert b.delay == a.delay
+            assert b.delay.num_locals == 0
 
 
 class TestTimingStatsExcluded:

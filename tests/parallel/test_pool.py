@@ -61,6 +61,17 @@ def test_non_positive_explicit_workers_raise(workers):
         ShardedExecutor(workers=workers)
 
 
+@pytest.mark.parametrize("workers", [2.7, 1.5, "3"])
+def test_non_integral_explicit_workers_raise(workers):
+    # int() would silently truncate 2.7 -> 2 and shard less than asked.
+    with pytest.raises(ValueError, match="integral"):
+        resolve_workers(workers)
+
+
+def test_integral_float_workers_accepted():
+    assert resolve_workers(2.0) == 2
+
+
 @pytest.mark.parametrize("raw", ["lots", "0", "-8"])
 def test_chunk_budget_env_validation(monkeypatch, raw):
     monkeypatch.setenv(MC_CHUNK_BUDGET_ENV, raw)

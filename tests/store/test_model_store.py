@@ -1,0 +1,125 @@
+"""Tests of the versioned model-exchange library (:class:`ModelStore`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreCorruptError, StoreKeyError
+from repro.model.extraction import extract_timing_model
+from repro.store import ModelStore, write_entry
+
+
+@pytest.fixture
+def models(random_graph_and_variation):
+    graph, variation = random_graph_and_variation
+    loose = extract_timing_model(graph, variation, threshold=0.05, name="rand60")
+    tight = extract_timing_model(graph, variation, threshold=0.2, name="rand60")
+    return loose, tight
+
+
+class TestVersioning:
+    def test_put_assigns_monotonic_versions(self, tmp_path, models):
+        store = ModelStore(tmp_path / "lib")
+        loose, tight = models
+        assert store.put(loose) == 1
+        assert store.put(tight) == 2
+        assert store.versions("rand60") == [1, 2]
+        assert store.latest_version("rand60") == 2
+        assert store.names() == ["rand60"]
+
+    def test_get_defaults_to_latest_and_pins_explicitly(self, tmp_path, models):
+        store = ModelStore(tmp_path / "lib")
+        loose, tight = models
+        store.put(loose)
+        store.put(tight)
+        assert store.get("rand60").graph.num_edges == tight.graph.num_edges
+        pinned = store.get("rand60", version=1)
+        assert pinned.graph.num_edges == loose.graph.num_edges
+        for original, copy in zip(loose.graph.edges, pinned.graph.edges):
+            assert copy.delay.is_close(original.delay)
+
+    def test_existing_versions_are_immutable(self, tmp_path, models):
+        store = ModelStore(tmp_path / "lib")
+        loose, tight = models
+        store.put(loose)
+        store.put(tight, name="rand60")  # appends v2, never overwrites v1
+        assert store.get("rand60", version=1).graph.num_edges == (
+            loose.graph.num_edges
+        )
+
+    def test_explicit_name_overrides_the_models_own(self, tmp_path, models):
+        store = ModelStore(tmp_path / "lib")
+        store.put(models[0], name="vendor_block")
+        assert store.names() == ["vendor_block"]
+        assert store.get("vendor_block").name == "rand60"
+
+
+class TestKeyErrors:
+    def test_unknown_name(self, tmp_path, models):
+        store = ModelStore(tmp_path / "lib")
+        store.put(models[0])
+        with pytest.raises(StoreKeyError, match="no model named"):
+            store.versions("missing")
+        with pytest.raises(StoreKeyError, match="no model named"):
+            store.get("missing")
+
+    def test_unknown_version(self, tmp_path, models):
+        store = ModelStore(tmp_path / "lib")
+        store.put(models[0])
+        with pytest.raises(StoreKeyError, match="no version 7"):
+            store.get("rand60", version=7)
+
+    def test_empty_library(self, tmp_path):
+        store = ModelStore(tmp_path / "nothing_here")
+        assert store.names() == []
+        assert store.nbytes_report() == {"total": 0}
+
+    @pytest.mark.parametrize("name", ["", "a/b", "a\\b", " padded ", "x@v1"])
+    def test_unsafe_names_rejected(self, tmp_path, models, name):
+        store = ModelStore(tmp_path / "lib")
+        with pytest.raises(ValueError, match="name"):
+            store.put(models[0], name=name)
+
+
+class TestCorruption:
+    def test_garbage_payload_is_corruption(self, tmp_path):
+        store = ModelStore(tmp_path / "lib")
+        # A well-formed entry whose JSON column is garbage bytes.
+        write_entry(
+            store.root / "bad@v1.npz", "model", "bad", 1,
+            {"model.json": np.frombuffer(b"\xff\xfe not json", dtype=np.uint8)},
+        )
+        with pytest.raises(StoreCorruptError, match="payload"):
+            store.get("bad")
+
+    def test_mis_keyed_entry_is_a_key_error(self, tmp_path):
+        store = ModelStore(tmp_path / "lib")
+        # The filename promises (other, 1); the entry is keyed (bad, 2).
+        write_entry(
+            store.root / "other@v1.npz", "model", "bad", 2,
+            {"model.json": np.frombuffer(b"{}", dtype=np.uint8)},
+        )
+        with pytest.raises(StoreKeyError, match="keyed"):
+            store.get("other")
+
+    def test_foreign_kind_is_a_key_error(self, tmp_path):
+        store = ModelStore(tmp_path / "lib")
+        write_entry(store.root / "x@v1.npz", "timer", "x", 1, {})
+        with pytest.raises(StoreKeyError, match="'timer'"):
+            store.get("x")
+
+
+class TestAccounting:
+    def test_nbytes_report_lists_every_entry(self, tmp_path, models):
+        store = ModelStore(tmp_path / "lib")
+        loose, tight = models
+        store.put(loose)
+        store.put(tight)
+        store.put(tight, name="alt")
+        report = store.nbytes_report()
+        assert set(report) == {"rand60@v1", "rand60@v2", "alt@v1", "total"}
+        assert report["total"] == sum(
+            size for key, size in report.items() if key != "total"
+        )
+        assert all(size > 0 for size in report.values())
