@@ -1,0 +1,131 @@
+"""Benchmark of the fault-tolerant execution layer: recovery overhead.
+
+Runs the sharded c7552 Monte Carlo sweep twice through fresh 2-worker
+pools — once clean, once with a fused ``worker-crash`` plan armed — and
+records both wall clocks in ``BENCH_faults.json``.  Both runs pay the
+pool spawn, so the difference is exactly the recovery machinery: crash
+detection, the respawn-and-resubmit cycle, and the re-executed shard.
+
+The headline assertion is the acceptance bound of the robustness work: a
+degraded run finishes within ``REPRO_FAULTS_OVERHEAD_MAX`` (default 2x)
+of the clean run, while staying bit-identical to the undisturbed serial
+sweep.  Hosts where the process engine is unavailable record the
+fallback reason and skip.
+
+Like the other benchmarks this file is run explicitly
+(``pytest benchmarks/bench_faults.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_bench
+from repro.faults import FAULT_PLAN_ENV, reset_fault_state
+from repro.liberty.library import standard_library
+from repro.montecarlo.flat import simulate_graph_delay
+from repro.netlist.iscas85 import iscas85_surrogate
+from repro.parallel.pool import TASK_TIMEOUT_ENV, ShardedExecutor
+from repro.placement.placer import place_netlist
+from repro.timing.builder import build_timing_graph, default_variation_for
+
+MC_SAMPLES = 2048  # 16 counter blocks: an 8-block shard per worker
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def c7552_graph():
+    netlist = iscas85_surrogate("c7552")
+    library = standard_library()
+    placement = place_netlist(netlist, library)
+    variation = default_variation_for(netlist, placement)
+    return build_timing_graph(netlist, library, placement, variation)
+
+
+def _timed_sharded_run(graph):
+    """One cold sharded MC sweep: fresh pool, spawn cost included."""
+    executor = ShardedExecutor(workers=WORKERS, engine="auto")
+    if executor.engine != "process":
+        reason = executor.fallback_reason
+        executor.close()
+        return None, None, reason
+    try:
+        start = time.perf_counter()
+        result = simulate_graph_delay(
+            graph, num_samples=MC_SAMPLES, executor=executor
+        )
+        return time.perf_counter() - start, result, None
+    finally:
+        executor.close(timeout=30)
+
+
+def test_degraded_run_overhead_on_c7552(
+    benchmark, c7552_graph, monkeypatch, tmp_path
+):
+    """A worker-crash recovery costs at most ``REPRO_FAULTS_OVERHEAD_MAX``x."""
+    max_overhead = float(os.environ.get("REPRO_FAULTS_OVERHEAD_MAX", "2.0"))
+    graph = c7552_graph
+    reference = simulate_graph_delay(graph, num_samples=MC_SAMPLES)
+
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    monkeypatch.setenv(TASK_TIMEOUT_ENV, "30")
+    reset_fault_state()
+
+    clean_seconds, clean, reason = _timed_sharded_run(graph)
+    if reason is not None:
+        record_bench(
+            "BENCH_faults.json",
+            "degraded_mc_c7552",
+            {"fallback_reason": reason},
+            workers=WORKERS,
+        )
+        pytest.skip("process engine unavailable: %s" % reason)
+    assert np.array_equal(clean.samples, reference.samples)
+    assert clean.map_report.clean
+
+    fuse = tmp_path / "bench.fuse"
+    fuse.write_text("armed")
+    monkeypatch.setenv(FAULT_PLAN_ENV, "worker-crash@1:fuse=%s" % fuse)
+    degraded_seconds, degraded, reason = _timed_sharded_run(graph)
+    assert reason is None, reason
+    assert np.array_equal(degraded.samples, reference.samples)
+    report = degraded.map_report
+    assert not fuse.exists(), "the crash plan never fired"
+    assert not report.clean
+    assert report.respawns >= 1 or report.degraded >= 1
+
+    overhead = degraded_seconds / clean_seconds
+    benchmark.extra_info["clean_s"] = round(clean_seconds, 3)
+    benchmark.extra_info["degraded_s"] = round(degraded_seconds, 3)
+    benchmark.extra_info["overhead"] = round(overhead, 2)
+    record_bench(
+        "BENCH_faults.json",
+        "degraded_mc_c7552",
+        {
+            "samples": MC_SAMPLES,
+            "edges": graph.num_edges,
+            "clean_seconds": round(clean_seconds, 4),
+            "degraded_seconds": round(degraded_seconds, 4),
+            "overhead": round(overhead, 2),
+            "threshold": max_overhead,
+            "bit_identical": True,
+            "respawns": report.respawns,
+            "timeouts": report.timeouts,
+            "attempts": report.attempts,
+        },
+        workers=WORKERS,
+    )
+
+    monkeypatch.delenv(FAULT_PLAN_ENV)
+    reset_fault_state()
+    benchmark(lambda: simulate_graph_delay(graph, num_samples=256))
+
+    assert overhead <= max_overhead, (
+        "crash recovery cost %.2fx the clean run on c7552 "
+        "(clean %.2f s, degraded %.2f s, threshold %.1fx)"
+        % (overhead, clean_seconds, degraded_seconds, max_overhead)
+    )

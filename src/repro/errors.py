@@ -15,6 +15,7 @@ __all__ = [
     "StoreCorruptError",
     "StoreKeyError",
     "StoreReplayError",
+    "FaultInjectedError",
 ]
 
 
@@ -55,7 +56,16 @@ class StoreError(ReproError):
 
 
 class StoreCorruptError(StoreError):
-    """A store entry is unreadable (truncated npz, bad metadata, ...)."""
+    """A store entry is unreadable (truncated npz, bad metadata, ...).
+
+    ``quarantine_path`` records where the unreadable file was moved when
+    the read ran with quarantine enabled; ``None`` when the file was left
+    in place.
+    """
+
+    def __init__(self, *args, quarantine_path=None) -> None:
+        super().__init__(*args)
+        self.quarantine_path = quarantine_path
 
 
 class StoreKeyError(StoreError):
@@ -64,3 +74,11 @@ class StoreKeyError(StoreError):
 
 class StoreReplayError(StoreError):
     """Journal replay from a snapshot's revision is impossible."""
+
+
+class FaultInjectedError(ReproError):
+    """An error injected on purpose by an armed :mod:`repro.faults` plan.
+
+    Raised by the ``task-raise`` fault kind inside pool workers so the
+    chaos suite can tell a provoked failure from a genuine one.
+    """

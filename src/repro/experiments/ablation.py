@@ -205,7 +205,9 @@ def run_correlation_sweep(
 
     ``workers`` (default: ``config.workers``, then ``REPRO_WORKERS``)
     shards the sweep points across the process pool — each point rebuilds
-    its own design, so results are identical to a serial sweep.
+    its own design, so results are identical to a serial sweep even when
+    the pool had to retry, respawn or degrade (recovery details land on
+    ``executor.last_report``).
     """
     from repro.parallel.pool import maybe_executor
 

@@ -270,8 +270,9 @@ def run_table1(
     ``workers`` (default: ``config.workers``, then ``REPRO_WORKERS``)
     shards the per-circuit rows across the process pool — each row is an
     independent characterize/extract/validate pipeline.  Row values are
-    identical to a serial run; only the per-row ``T`` timings reflect the
-    worker the row ran on.
+    identical to a serial run (even a run the pool had to retry, respawn
+    or degrade to finish; see ``executor.last_report``); only the per-row
+    ``T`` timings reflect the worker the row ran on.
     """
     from repro.parallel.pool import maybe_executor
 

@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the execution and persistence layers.
+
+Failure behavior is a specified, tested contract in this repo — not an
+accident of ``multiprocessing`` defaults.  This package provides the
+seeded, env-selectable fault plans (``REPRO_FAULT_PLAN``) that the chaos
+suite (``tests/faults/``) runs the *real* engines under: pool workers
+crash, hang, or raise on their N-th task; store entries are torn on
+write.  See :mod:`repro.faults.inject` for the plan grammar and the two
+production seams.
+"""
+
+from repro.faults.inject import (
+    CRASH_EXIT_CODE,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    activate,
+    active_plan,
+    parse_plan,
+    plan_from_env,
+    pool_fault_point,
+    reset_fault_state,
+    store_fault_point,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "activate",
+    "active_plan",
+    "parse_plan",
+    "plan_from_env",
+    "pool_fault_point",
+    "reset_fault_state",
+    "store_fault_point",
+]

@@ -1,0 +1,306 @@
+"""Deterministic fault injection at the narrow seams of the execution layer.
+
+A **fault plan** describes one failure to provoke — a pool worker crashing
+mid-task, a worker hanging past its deadline, a task raising, a store
+entry torn on write — as a small string::
+
+    kind@n[:key=value[,key=value...]]
+
+``kind`` selects the fault, ``n`` (1-based) the matching event that fires
+it, and the options tune it:
+
+===================  =====================================================
+``worker-crash@n``   the worker executing its ``n``-th pool task dies hard
+                     (``os._exit``), exactly like an OOM kill or segfault
+``worker-hang@n``    the worker executing its ``n``-th pool task sleeps
+                     ``seconds=`` (default 60) — a deadlock stand-in
+``task-raise@n``     the ``n``-th pool task raises
+                     :class:`~repro.errors.FaultInjectedError`
+``store-truncate@n`` the ``n``-th store entry written is truncated to
+                     ``keep=`` (default 0.5) of its bytes after the
+                     atomic rename — a torn write / partial disk flush
+``store-bitflip@n``  one seeded bit of the ``n``-th written entry's
+                     leading local-header magic is flipped (``seed=``
+                     picks the byte/bit) — silent media corruption
+===================  =====================================================
+
+The plan activates either **programmatically** (:func:`activate`, a
+context manager — same-process seams such as store writes) or through the
+``REPRO_FAULT_PLAN`` environment variable, which spawned pool workers
+inherit and parse on their side — so the production code paths are
+exercised end to end, never mocked.  Counting is per process and per
+seam, which makes injection deterministic for a fixed plan and task
+order.
+
+Because recovery re-executes work (a respawned pool replays the lost
+tasks), an unconditional plan would re-fire forever.  A ``fuse=PATH``
+option makes a fault **exactly-once across processes**: the fault fires
+only while the fuse file exists and firing consumes it atomically
+(``os.unlink``), so the first process to reach the trigger wins and every
+retry after it runs clean.  A consumed fuse doubles as the test suite's
+proof that the fault was actually injected — no vacuous chaos passes.
+
+The seams themselves are two one-line calls in production code:
+:func:`pool_fault_point` at the top of the worker task trampoline
+(``repro.parallel.pool._invoke``) and :func:`store_fault_point` right
+after the atomic rename of ``repro.store.format.write_entry``.  With no
+plan active both are a cached ``None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.errors import FaultInjectedError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "activate",
+    "active_plan",
+    "parse_plan",
+    "plan_from_env",
+    "pool_fault_point",
+    "reset_fault_state",
+    "store_fault_point",
+]
+
+#: Environment variable selecting a fault plan (workers inherit it).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit status of a ``worker-crash`` fault (distinguishable from signals).
+CRASH_EXIT_CODE = 87
+
+_POOL_KINDS = ("worker-crash", "worker-hang", "task-raise")
+_STORE_KINDS = ("store-truncate", "store-bitflip")
+_KINDS = _POOL_KINDS + _STORE_KINDS
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One parsed fault plan (see the module docstring for the grammar)."""
+
+    kind: str
+    nth: int
+    seconds: float = 60.0
+    keep: float = 0.5
+    seed: int = 0
+    fuse: Optional[str] = None
+
+    @property
+    def seam(self) -> str:
+        """The seam this plan arms: ``"pool"`` or ``"store"``."""
+        return "pool" if self.kind in _POOL_KINDS else "store"
+
+    def __str__(self) -> str:
+        options = []
+        if self.seconds != 60.0:
+            options.append("seconds=%g" % self.seconds)
+        if self.keep != 0.5:
+            options.append("keep=%g" % self.keep)
+        if self.seed != 0:
+            options.append("seed=%d" % self.seed)
+        if self.fuse is not None:
+            options.append("fuse=%s" % self.fuse)
+        text = "%s@%d" % (self.kind, self.nth)
+        return text + (":" + ",".join(options) if options else "")
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse ``kind@n[:key=value,...]``; raises ``ValueError`` on bad plans."""
+    body, _sep, option_text = text.strip().partition(":")
+    kind, sep, raw_nth = body.partition("@")
+    if not sep:
+        raise ValueError(
+            "fault plan %r has no '@n' trigger (expected kind@n[:options])" % text
+        )
+    kind = kind.strip()
+    if kind not in _KINDS:
+        raise ValueError(
+            "unknown fault kind %r; expected one of %s" % (kind, ", ".join(_KINDS))
+        )
+    try:
+        nth = int(raw_nth)
+    except ValueError:
+        raise ValueError(
+            "fault plan %r trigger %r is not an integer" % (text, raw_nth)
+        ) from None
+    if nth <= 0:
+        raise ValueError("fault plan %r trigger must be positive" % text)
+
+    options: Dict[str, str] = {}
+    if option_text:
+        for item in option_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    "fault plan option %r is not key=value" % item
+                )
+            options[key.strip()] = value.strip()
+    known = {"seconds", "keep", "seed", "fuse"}
+    unknown = set(options) - known
+    if unknown:
+        raise ValueError(
+            "fault plan %r has unknown option(s) %s"
+            % (text, ", ".join(sorted(unknown)))
+        )
+    try:
+        seconds = float(options.get("seconds", 60.0))
+        keep = float(options.get("keep", 0.5))
+        seed = int(options.get("seed", 0))
+    except ValueError:
+        raise ValueError("fault plan %r has a non-numeric option value" % text) from None
+    if seconds < 0 or not (0.0 <= keep < 1.0):
+        raise ValueError(
+            "fault plan %r options out of range (seconds >= 0, 0 <= keep < 1)" % text
+        )
+    return FaultPlan(
+        kind=kind,
+        nth=nth,
+        seconds=seconds,
+        keep=keep,
+        seed=seed,
+        fuse=options.get("fuse"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan activation and per-process state
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+_COUNTERS: Dict[str, int] = {}
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULT_PLAN``, or ``None``; validated."""
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return parse_plan(raw)
+    except ValueError as exc:
+        raise ValueError("%s: %s" % (FAULT_PLAN_ENV, exc)) from None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan currently armed: programmatic first, then the environment."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    return plan_from_env()
+
+
+class _Activation:
+    """Context manager arming one plan in this process (tests, tooling)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._plan
+        return self._plan
+
+    def __exit__(self, *_exc) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+def activate(plan: Union[FaultPlan, str]) -> _Activation:
+    """Arm ``plan`` in this process for the duration of a ``with`` block.
+
+    Programmatic activation covers the same-process seams (store writes,
+    the serial engine's trampoline is never armed); pool workers are
+    separate processes and read ``REPRO_FAULT_PLAN`` instead.
+    """
+    if isinstance(plan, str):
+        plan = parse_plan(plan)
+    return _Activation(plan)
+
+
+def reset_fault_state() -> None:
+    """Clear the per-process trigger counters (test isolation)."""
+    _COUNTERS.clear()
+
+
+def _bump(seam: str) -> int:
+    count = _COUNTERS.get(seam, 0) + 1
+    _COUNTERS[seam] = count
+    return count
+
+
+def _blow_fuse(plan: FaultPlan) -> bool:
+    """Consume the plan's fuse; ``True`` when this process may fire.
+
+    A plan without a fuse always fires at its trigger.  With a fuse, the
+    atomic unlink arbitrates: exactly one process across the whole run
+    observes the file and removes it.
+    """
+    if plan.fuse is None:
+        return True
+    try:
+        os.unlink(plan.fuse)
+    except OSError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Seams
+# ----------------------------------------------------------------------
+def pool_fault_point(task_name: str) -> None:
+    """Fault seam of the pool worker trampoline (one call per task).
+
+    Counts the tasks this process has been handed; at the armed plan's
+    trigger it crashes the process, hangs it, or raises
+    :class:`~repro.errors.FaultInjectedError` — whichever the plan names.
+    """
+    plan = active_plan()
+    if plan is None or plan.seam != "pool":
+        return
+    if _bump("pool") != plan.nth or not _blow_fuse(plan):
+        return
+    if plan.kind == "worker-crash":
+        os._exit(CRASH_EXIT_CODE)
+    if plan.kind == "worker-hang":
+        time.sleep(plan.seconds)
+        return
+    raise FaultInjectedError(
+        "injected task failure at pool task %d (%r)" % (plan.nth, task_name)
+    )
+
+
+def store_fault_point(path) -> None:
+    """Fault seam of the store writer (one call per completed entry write).
+
+    Tears the just-written file in place: ``store-truncate`` keeps only
+    the leading ``keep`` fraction of its bytes (``keep=0`` leaves a
+    zero-byte file); ``store-bitflip`` flips one seeded bit inside the
+    entry's first local zip header, the deterministic stand-in for silent
+    media corruption (any torn byte there is caught by the defensive
+    reader as :class:`~repro.errors.StoreCorruptError`).
+    """
+    plan = active_plan()
+    if plan is None or plan.seam != "store":
+        return
+    if _bump("store") != plan.nth or not _blow_fuse(plan):
+        return
+    size = os.path.getsize(path)
+    if plan.kind == "store-truncate":
+        with open(path, "r+b") as handle:
+            handle.truncate(int(size * plan.keep))
+        return
+    rng = random.Random(plan.seed)
+    offset = rng.randrange(min(size, 4))
+    bit = 1 << rng.randrange(8)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ bit]))

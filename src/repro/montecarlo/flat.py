@@ -198,13 +198,20 @@ def _resolve_engine(engine: str, num_edges: int) -> str:
 
 @dataclass
 class MonteCarloResult:
-    """Samples of a circuit delay distribution plus summary statistics."""
+    """Samples of a circuit delay distribution plus summary statistics.
+
+    ``map_report`` is the sharded run's
+    :class:`~repro.parallel.pool.MapReport` (``None`` on the serial path):
+    the samples are bit-identical either way, but the report says whether
+    the pool had to retry, respawn or degrade to finish.
+    """
 
     samples: np.ndarray
     elapsed_seconds: float
     _sorted_samples: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False
     )
+    map_report: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def num_samples(self) -> int:
@@ -265,6 +272,8 @@ class IoDelayStatistics:
     _output_index: Optional[Dict[str, int]] = field(
         default=None, repr=False, compare=False
     )
+    #: MapReport of the sharded run (None on the serial path).
+    map_report: Optional[object] = field(default=None, repr=False, compare=False)
 
     def _pair(self, input_name: str, output_name: str) -> Tuple[int, int]:
         if self._input_index is None:
@@ -665,6 +674,7 @@ def simulate_graph_delay(
     executor = maybe_executor(workers, executor)
     if executor is not None and executor.engine != "process":
         executor = None  # graceful serial fallback (bit-identical)
+    map_report = None
     if executor is not None:
         _check_shardable_engine(engine)
         from repro.parallel.shard import partition_samples
@@ -673,7 +683,10 @@ def simulate_graph_delay(
         payloads = [
             (seed, num_samples, lo, hi, chunk_size) for lo, hi in ranges
         ]
-        samples = np.concatenate(executor.run("mc_delay_range", payloads, arrays))
+        parts, map_report = executor.run_with_report(
+            "mc_delay_range", payloads, arrays
+        )
+        samples = np.concatenate(parts)
     else:
         levelized = _resolve_engine(engine, graph.num_edges) == "levelized"
         samples = _simulate_delay_range(
@@ -681,7 +694,9 @@ def simulate_graph_delay(
             backend,
         )
     elapsed = time.perf_counter() - start
-    return MonteCarloResult(samples=samples, elapsed_seconds=elapsed)
+    return MonteCarloResult(
+        samples=samples, elapsed_seconds=elapsed, map_report=map_report
+    )
 
 
 def _io_block_moments(
@@ -804,6 +819,7 @@ def simulate_io_delays(
     # from the input, independently of any sampled delay values.
     reachable = np.ascontiguousarray(_reachable_from(arrays, input_rows)[output_rows].T)
 
+    map_report = None
     if executor is not None:
         _check_shardable_engine(engine)
         from repro.parallel.shard import partition_samples
@@ -812,7 +828,9 @@ def simulate_io_delays(
         payloads = [
             (seed, num_samples, lo, hi, chunk_size) for lo, hi in ranges
         ]
-        parts = executor.run("mc_io_blocks", payloads, arrays)
+        parts, map_report = executor.run_with_report(
+            "mc_io_blocks", payloads, arrays
+        )
         stacks = [part[0] for part in parts], [part[1] for part in parts]
         sums_stack = np.concatenate(stacks[0])
         square_stack = np.concatenate(stacks[1])
@@ -847,6 +865,7 @@ def simulate_io_delays(
         valid=reachable,
         num_samples=num_samples,
         elapsed_seconds=elapsed,
+        map_report=map_report,
     )
 
 

@@ -9,13 +9,17 @@ experiment sweeps across worker processes:
 * :mod:`repro.parallel.pool` is the persistent spawn-safe
   :class:`~repro.parallel.pool.ShardedExecutor` behind the uniform
   ``engine="auto"|"serial"|"process"`` selection pattern, with graceful
-  serial fallback;
+  serial fallback — and a **fault-tolerant** submission loop: per-task
+  deadlines (``REPRO_TASK_TIMEOUT``), bounded deterministic retries, one
+  respawn-and-resubmit cycle for dead pools and final serial degradation,
+  all accounted in a :class:`~repro.parallel.pool.MapReport`;
 * :mod:`repro.parallel.shard` holds the work partitioners and the task
   registry.
 
 All sharded analyses are **deterministic by construction**: Monte Carlo
 draws are counter-based per sample block, so any partitioning of the work
-reproduces the serial results bit for bit.
+reproduces the serial results bit for bit — including runs that needed
+recovery (tasks are pure, so re-execution is idempotent).
 """
 
 from repro.parallel.shm import (
@@ -25,14 +29,19 @@ from repro.parallel.shm import (
     shared_memory_available,
 )
 from repro.parallel.pool import (
+    MapReport,
     ShardedExecutor,
     maybe_executor,
     resolve_workers,
+    retry_backoff,
     shared_executor,
+    task_retries,
+    task_timeout,
 )
 from repro.parallel.shard import TASKS, partition_samples, task
 
 __all__ = [
+    "MapReport",
     "SharedArraysHandle",
     "SharedGraphArrays",
     "ShardedExecutor",
@@ -41,7 +50,10 @@ __all__ = [
     "maybe_executor",
     "partition_samples",
     "resolve_workers",
+    "retry_backoff",
     "shared_executor",
     "shared_memory_available",
     "task",
+    "task_retries",
+    "task_timeout",
 ]

@@ -19,32 +19,98 @@ pattern — ``engine="auto"|"serial"|"process"`` — and degrades gracefully:
   first use and cache the attachment (see
   :func:`repro.parallel.shm.attach_cached`).
 
+Failure behavior is a **specified contract**, not an accident of
+``multiprocessing`` defaults.  The process engine submits every task
+individually (``apply_async``) and harvests with a per-task deadline
+(``REPRO_TASK_TIMEOUT``; unset means no deadline, but dead workers are
+still detected by watching the pool's worker PIDs), so one crashed or
+hung worker can no longer wedge an entire sharded sweep:
+
+* a task that **raises** is retried up to ``REPRO_TASK_RETRIES`` times
+  (default 2) on a deterministic exponential backoff schedule
+  (``REPRO_RETRY_BACKOFF`` base seconds, no jitter), then falls back to
+  an in-process serial execution of just that task;
+* a **timeout or worker death** triggers one respawn-and-resubmit cycle:
+  the pool is terminated, published shared-memory snapshots are dropped
+  and re-published fresh, and the unfinished tasks are resubmitted; a
+  second strike degrades the survivors to the serial engine;
+* every run is summarised in a :class:`MapReport` (attempts, retries,
+  timeouts, respawns, degraded count, fallback reason) available from
+  :meth:`ShardedExecutor.run_with_report` or
+  :attr:`ShardedExecutor.last_report`, so callers — and the chaos suite
+  under :mod:`repro.faults` plans — can assert the recovery actually
+  happened.
+
+Re-execution is always safe: tasks are pure functions of
+``(handle, payload)`` and Monte Carlo sampling is counter-based per
+block, so a retried, respawned or serially degraded run stays
+**bit-identical** to an undisturbed serial run.
+
 Worker counts resolve from the explicit argument, else the
 ``REPRO_WORKERS`` environment variable, else 1; both are validated with a
 clear ``ValueError``.  The pool uses the ``spawn`` start method so workers
 never inherit interpreter state (fork-unsafe extensions, open segments).
 :func:`shared_executor` keeps one process-wide executor per worker count so
 repeated analyses amortise the pool start-up; all shared executors are
-closed at interpreter exit.
+closed at interpreter exit with a bounded escalation (close, then
+terminate) so a wedged worker cannot hang interpreter shutdown.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import time
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.parallel.shm import SharedGraphArrays, shared_memory_available
 
 __all__ = [
+    "MapReport",
+    "RETRY_BACKOFF_ENV",
     "ShardedExecutor",
+    "TASK_RETRIES_ENV",
+    "TASK_TIMEOUT_ENV",
     "maybe_executor",
     "resolve_workers",
+    "retry_backoff",
     "shared_executor",
+    "task_retries",
+    "task_timeout",
 ]
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Per-task harvest deadline in seconds (unset: no deadline, liveness only).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+#: Bounded retries of a task that raised (default 2).
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+
+#: Base of the deterministic exponential backoff schedule (default 0.05 s).
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+_DEFAULT_TASK_RETRIES = 2
+_DEFAULT_RETRY_BACKOFF = 0.05
+
+#: Harvest poll interval; dead workers surface within a few polls even
+#: when no explicit deadline is configured.
+_POLL_INTERVAL = 0.25
+
+#: Polls a pending result survives after a worker death was observed
+#: before the task is declared lost (its result can never arrive if the
+#: dead worker owned it; a task on a surviving worker is just recomputed).
+_LOST_GRACE_POLLS = 2
+
+#: Dead-pool respawn-and-resubmit cycles per run.
+_MAX_RESPAWNS = 1
+
+#: Seconds the atexit hook waits for a clean pool shutdown before
+#: escalating to ``terminate()``.
+_ATEXIT_CLOSE_TIMEOUT = 10.0
 
 #: Published snapshots an executor keeps alive at once (per source graph
 #: the newest revision is kept; this bounds distinct graphs).
@@ -88,9 +154,111 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return count
 
 
+def task_timeout() -> Optional[float]:
+    """The per-task harvest deadline in seconds, or ``None`` when unset.
+
+    Reads ``REPRO_TASK_TIMEOUT`` on every call (the chaos suite and batch
+    jobs retune it per run) and validates it like the other numeric knobs:
+    a non-numeric, non-positive or non-finite value raises ``ValueError``
+    naming the variable.
+    """
+    raw = os.environ.get(TASK_TIMEOUT_ENV)
+    if raw is None:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be a number of seconds, got %r" % (TASK_TIMEOUT_ENV, raw)
+        ) from None
+    if not timeout > 0 or timeout != timeout or timeout == float("inf"):
+        raise ValueError(
+            "%s must be a positive finite number of seconds, got %r"
+            % (TASK_TIMEOUT_ENV, raw)
+        )
+    return timeout
+
+
+def task_retries() -> int:
+    """Bounded retry count of a task that raised (default 2, may be 0)."""
+    raw = os.environ.get(TASK_RETRIES_ENV)
+    if raw is None:
+        return _DEFAULT_TASK_RETRIES
+    try:
+        retries = int(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be an integer, got %r" % (TASK_RETRIES_ENV, raw)
+        ) from None
+    if retries < 0:
+        raise ValueError(
+            "%s must be non-negative, got %d" % (TASK_RETRIES_ENV, retries)
+        )
+    return retries
+
+
+def retry_backoff() -> float:
+    """Base seconds of the deterministic backoff schedule (default 0.05).
+
+    Retry ``k`` (1-based) of a task sleeps ``base * 2**(k-1)`` seconds —
+    exponential, jitter-free, so recovery timing is reproducible.
+    """
+    raw = os.environ.get(RETRY_BACKOFF_ENV)
+    if raw is None:
+        return _DEFAULT_RETRY_BACKOFF
+    try:
+        backoff = float(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be a number of seconds, got %r" % (RETRY_BACKOFF_ENV, raw)
+        ) from None
+    if backoff < 0 or backoff != backoff:
+        raise ValueError(
+            "%s must be non-negative, got %r" % (RETRY_BACKOFF_ENV, raw)
+        )
+    return backoff
+
+
+@dataclass
+class MapReport:
+    """What one :meth:`ShardedExecutor.run` actually did to finish.
+
+    A clean process-engine run has ``attempts == tasks`` and zeros
+    everywhere else; any recovery leaves fingerprints the chaos suite (and
+    production monitoring) can assert on.  ``degraded`` counts the tasks
+    that ultimately ran on the in-process serial engine, and
+    ``fallback_reason`` records why the first of them had to.
+    """
+
+    task: str
+    engine: str
+    tasks: int
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    respawns: int = 0
+    degraded: int = 0
+    fallback_reason: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run finished without any recovery action."""
+        return (
+            self.retries == 0
+            and self.timeouts == 0
+            and self.failures == 0
+            and self.respawns == 0
+            and self.degraded == 0
+        )
+
+
 def _invoke(item: Tuple[str, object, object]):
     """Worker-side task trampoline (module-level: must be picklable)."""
     task_name, handle, payload = item
+    from repro.faults import pool_fault_point
+
+    pool_fault_point(task_name)
     from repro.parallel import shard
 
     arrays = None
@@ -109,6 +277,8 @@ class ShardedExecutor:
             raise ValueError("unknown executor engine %r" % engine)
         self._workers = resolve_workers(workers)
         self.fallback_reason: Optional[str] = None
+        #: Report of the most recent :meth:`run` (``None`` before any run).
+        self.last_report: Optional[MapReport] = None
         if engine == "auto":
             if self._workers <= 1:
                 engine = "serial"
@@ -155,6 +325,20 @@ class ShardedExecutor:
             self._pool = context.Pool(processes=self._workers)
         return self._pool
 
+    def _worker_pids(self) -> Optional[frozenset]:
+        """The live worker PID set, or ``None`` when not introspectable.
+
+        ``Pool`` replaces dead workers in place, so a changed PID set is a
+        reliable death signal (``maxtasksperchild`` is never used here).
+        """
+        processes = getattr(self._pool, "_pool", None)
+        if processes is None:
+            return None
+        try:
+            return frozenset(p.pid for p in processes if p.pid is not None)
+        except Exception:
+            return None
+
     def _publish(self, arrays) -> SharedGraphArrays:
         """The current snapshot of ``arrays``, re-published on revision change."""
         key = id(arrays)
@@ -173,6 +357,25 @@ class ShardedExecutor:
             stale.close()
         return shared
 
+    def _respawn(self, report: MapReport) -> None:
+        """Terminate the (dead or wedged) pool and re-publish every snapshot.
+
+        The fresh pool starts from nothing: published segments are dropped
+        so the next :meth:`_publish` lays out new ones (their names were
+        shipped to workers that may have died mid-attach), and the spawned
+        workers rebuild their attachment caches lazily as usual.
+        """
+        report.respawns += 1
+        if self._pool is not None:
+            pool = self._pool
+            self._pool = None
+            pool.terminate()
+            pool.join()
+        for _source, shared in self._published.values():
+            shared.close()
+        self._published = {}
+
+    # ------------------------------------------------------------------
     def run(
         self, task_name: str, payloads: Sequence[object], arrays=None
     ) -> List[object]:
@@ -180,32 +383,213 @@ class ShardedExecutor:
 
         ``arrays`` (optional) is the :class:`GraphArrays` the task operates
         on: the serial engine hands it to the task directly, the process
-        engine ships its shared-memory snapshot's handle instead.
+        engine ships its shared-memory snapshot's handle instead.  The
+        run's :class:`MapReport` is recorded on :attr:`last_report`
+        (:meth:`run_with_report` returns it alongside the results).
+        """
+        return self.run_with_report(task_name, payloads, arrays)[0]
+
+    def run_with_report(
+        self, task_name: str, payloads: Sequence[object], arrays=None
+    ) -> Tuple[List[object], MapReport]:
+        """:meth:`run`, returning ``(results, report)``.
+
+        The results are bit-identical to a serial run no matter which
+        recovery actions the report records — tasks are pure and their
+        random streams counter-based, so re-execution is idempotent.
         """
         if self._closed:
             raise ValueError("executor is closed")
         payloads = list(payloads)
+        report = MapReport(
+            task=task_name,
+            engine=self._engine,
+            tasks=len(payloads),
+            fallback_reason=self.fallback_reason,
+        )
+        self.last_report = report
         if not payloads:
-            return []
+            return [], report
         from repro.parallel import shard
 
         task = shard.TASKS[task_name]  # unknown task: fail before forking work
         if self._engine == "serial":
-            return [task(arrays, payload) for payload in payloads]
-        handle = self._publish(arrays).handle if arrays is not None else None
-        items = [(task_name, handle, payload) for payload in payloads]
-        return self._ensure_pool().map(_invoke, items, chunksize=1)
+            results = [task(arrays, payload) for payload in payloads]
+            report.attempts = len(payloads)
+            return results, report
+        return self._run_process(task, task_name, payloads, arrays, report), report
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut the pool down and release every published snapshot (idempotent)."""
+    def _harvest(self, async_result, timeout: Optional[float]):
+        """Collect one task result: ``(status, value)``.
+
+        ``status`` is ``"ok"`` (value holds the result), ``"error"``
+        (value holds the raised exception), ``"timeout"`` (deadline
+        expired) or ``"lost"`` (a worker died and the result never
+        arrived).  Polling keeps dead workers detectable even with no
+        deadline configured — the PID set of a pool that repopulated a
+        crashed worker changes, and a result that stays pending for
+        :data:`_LOST_GRACE_POLLS` polls after that is declared lost.
+        """
+        import multiprocessing
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        baseline = self._worker_pids()
+        deaths_seen = 0
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return "timeout", None
+            wait = (
+                _POLL_INTERVAL
+                if remaining is None
+                else min(_POLL_INTERVAL, max(remaining, 0.001))
+            )
+            try:
+                return "ok", async_result.get(wait)
+            except multiprocessing.TimeoutError:
+                pass
+            except Exception as exc:
+                return "error", exc
+            pids = self._worker_pids()
+            if pids is not None and baseline is not None and pids != baseline:
+                deaths_seen += 1
+                if deaths_seen >= _LOST_GRACE_POLLS:
+                    return "lost", None
+
+    def _run_process(
+        self, task, task_name: str, payloads: List[object], arrays, report: MapReport
+    ) -> List[object]:
+        """The resilient submission loop of the process engine."""
+        timeout = task_timeout()
+        max_retries = task_retries()
+        backoff = retry_backoff()
+
+        count = len(payloads)
+        results: List[object] = [None] * count
+        finished = [False] * count
+        error_attempts = [0] * count
+        pending = list(range(count))
+        degraded: List[int] = []
+        respawns_left = _MAX_RESPAWNS
+
+        while pending:
+            pool = self._ensure_pool()
+            handle = self._publish(arrays).handle if arrays is not None else None
+            batch = []
+            submit_error: Optional[BaseException] = None
+            for index in pending:
+                try:
+                    batch.append(
+                        (
+                            index,
+                            pool.apply_async(
+                                _invoke, ((task_name, handle, payloads[index]),)
+                            ),
+                        )
+                    )
+                except Exception as exc:  # dead pool surfaces at submission
+                    submit_error = exc
+                    break
+            if submit_error is not None:
+                if respawns_left > 0:
+                    respawns_left -= 1
+                    self._respawn(report)
+                    continue
+                report.fallback_reason = (
+                    "pool submission failed after respawn: %s" % submit_error
+                )
+                degraded.extend(index for index in pending if not finished[index])
+                break
+
+            retry_next: List[int] = []
+            respawn_needed = False
+            for index, async_result in batch:
+                if respawn_needed:
+                    # The pool is about to be torn down: harvest only what
+                    # already finished, requeue the rest for resubmission.
+                    if not async_result.ready():
+                        retry_next.append(index)
+                        continue
+                status, value = self._harvest(async_result, timeout)
+                report.attempts += 1
+                if status == "ok":
+                    results[index] = value
+                    finished[index] = True
+                elif status in ("timeout", "lost"):
+                    report.timeouts += 1
+                    respawn_needed = True
+                    retry_next.append(index)
+                else:  # the task raised
+                    report.failures += 1
+                    error_attempts[index] += 1
+                    if error_attempts[index] <= max_retries:
+                        report.retries += 1
+                        time.sleep(backoff * (2 ** (error_attempts[index] - 1)))
+                        retry_next.append(index)
+                    else:
+                        if report.fallback_reason is None:
+                            report.fallback_reason = (
+                                "task %r payload %d failed %d times (last: %s)"
+                                % (task_name, index, error_attempts[index], value)
+                            )
+                        degraded.append(index)
+
+            if respawn_needed:
+                if respawns_left > 0:
+                    respawns_left -= 1
+                    self._respawn(report)
+                else:
+                    if report.fallback_reason is None:
+                        report.fallback_reason = (
+                            "task %r timed out or lost its worker after the "
+                            "respawn budget was spent" % task_name
+                        )
+                    degraded.extend(retry_next)
+                    retry_next = []
+            pending = retry_next
+
+        # Graceful degradation: the survivors run on the in-process serial
+        # engine with the caller's live arrays — bit-identical because the
+        # tasks are pure; a genuine task bug still raises here, visibly.
+        for index in degraded:
+            if finished[index]:
+                continue
+            results[index] = task(arrays, payloads[index])
+            finished[index] = True
+            report.degraded += 1
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Shut the pool down and release every published snapshot (idempotent).
+
+        With ``timeout`` (seconds) the shutdown is bounded: workers get
+        that long to exit after ``Pool.close()``; any that remain — e.g. a
+        worker wedged in a hung task — are ``terminate()``d so close
+        returns instead of blocking forever.  ``timeout=None`` preserves
+        the patient join (interpreter-exit paths pass a bound).
+        """
         if self._closed:
             return
         self._closed = True
         if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
+            pool = self._pool
             self._pool = None
+            pool.close()
+            if timeout is None:
+                pool.join()
+            else:
+                deadline = time.monotonic() + max(timeout, 0.0)
+                processes = list(getattr(pool, "_pool", None) or [])
+                for process in processes:
+                    process.join(max(deadline - time.monotonic(), 0.0))
+                if not processes or any(p.is_alive() for p in processes):
+                    # Workers unknown or still alive past the deadline:
+                    # escalate.  terminate() after close() is legal and
+                    # makes the final join return promptly.
+                    pool.terminate()
+                pool.join()
         for _source, shared in self._published.values():
             shared.close()
         self._published = {}
@@ -273,9 +657,17 @@ def maybe_executor(
 
 @atexit.register
 def _close_shared_executors() -> None:  # pragma: no cover - exit hook
+    shutdown_errors = []
     for executor in list(_SHARED.values()):
         try:
-            executor.close()
-        except Exception:
-            pass
+            executor.close(timeout=_ATEXIT_CLOSE_TIMEOUT)
+        except (OSError, RuntimeError, ValueError) as exc:
+            shutdown_errors.append(exc)
     _SHARED.clear()
+    if shutdown_errors:
+        warnings.warn(
+            "failed to close %d shared executor(s) at interpreter exit "
+            "(first error: %s)" % (len(shutdown_errors), shutdown_errors[0]),
+            RuntimeWarning,
+            stacklevel=2,
+        )

@@ -133,3 +133,37 @@ def _correlation_point_task(_arrays, payload):
     from repro.experiments.ablation import _correlation_point
 
     return _correlation_point(payload)
+
+
+# ----------------------------------------------------------------------
+# Introspection
+# ----------------------------------------------------------------------
+@task("worker_probe")
+def _worker_probe(_arrays, payload):
+    """Report how the executor machinery resolves *inside* a pool worker.
+
+    Payload: ``{"env": {...}}`` — variables set in the worker before
+    probing (spawned workers snapshot the parent environment at pool
+    creation, so tests cannot monkeypatch it afterwards; shipping the
+    variables in the payload sidesteps that).  Returns the worker's pid,
+    its daemon flag and what :func:`repro.parallel.pool.maybe_executor`
+    resolved to, proving the nested-pool guard degrades sharded inner
+    analyses to the serial path instead of spawning grandchildren.
+    """
+    import multiprocessing
+    import os
+
+    from repro.parallel.pool import maybe_executor
+
+    for key, value in (payload or {}).get("env", {}).items():
+        os.environ[key] = value
+    try:
+        executor = maybe_executor()
+        return {
+            "pid": os.getpid(),
+            "daemon": multiprocessing.current_process().daemon,
+            "maybe_executor": None if executor is None else executor.engine,
+        }
+    finally:
+        for key in (payload or {}).get("env", {}):
+            os.environ.pop(key, None)

@@ -363,10 +363,18 @@ class SharedGraphArrays:
     # Lifecycle
     # ------------------------------------------------------------------
     def unlink(self) -> None:
-        """Remove the segment name (owner only; exactly once; idempotent)."""
+        """Remove the segment name (owner only; exactly once; idempotent).
+
+        Tolerates a name that is already gone — after a pool respawn the
+        executor drops every published segment defensively, and a crashed
+        host cleanup may have beaten it to the unlink.
+        """
         if self._owner and not self._unlinked:
             self._unlinked = True
-            self._shm.unlink()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
 
     def close(self) -> None:
         """Unmap the segment; the owner also unlinks it (exactly once).

@@ -19,6 +19,12 @@ sessions' ordinary ``refresh()`` paths.  Every failure mode is typed —
 :class:`~repro.errors.StoreReplayError` when a journal window can no
 longer replay (opt into a cold rebuild with ``on_overflow="rebuild"``,
 recorded in ``store_fallback_reason`` — never silent).
+
+Corruption is first-class: unreadable entries raise with quarantine
+support (``read_entry(..., quarantine=True)`` moves the evidence to
+``<name>.corrupt``), the loaders mirror the overflow contract with
+``on_corrupt="rebuild"``, and :mod:`~repro.store.health` sweeps a whole
+store directory into a per-entry :class:`StoreHealth` report.
 """
 
 from repro.store.design import load_design_timer, save_design_timer
@@ -27,10 +33,12 @@ from repro.store.format import (
     STORE_FORMAT_NAME,
     STORE_FORMAT_VERSION,
     StoreEntry,
+    quarantine_entry,
     read_entry,
     write_entry,
 )
 from repro.store.graphio import graph_columns, graph_from_columns, graph_meta
+from repro.store.health import EntryHealth, Store, StoreHealth, verify_store
 from repro.store.models import ModelStore
 from repro.store.snapshot import (
     load_allpairs_session,
@@ -47,8 +55,11 @@ __all__ = [
     "META_COLUMN",
     "STORE_FORMAT_NAME",
     "STORE_FORMAT_VERSION",
+    "EntryHealth",
     "ModelStore",
+    "Store",
     "StoreEntry",
+    "StoreHealth",
     "graph_columns",
     "graph_from_columns",
     "graph_meta",
@@ -57,11 +68,13 @@ __all__ = [
     "load_extraction_session",
     "load_incremental_timer",
     "load_montecarlo_session",
+    "quarantine_entry",
     "read_entry",
     "save_allpairs_session",
     "save_design_timer",
     "save_extraction_session",
     "save_incremental_timer",
     "save_montecarlo_session",
+    "verify_store",
     "write_entry",
 ]

@@ -45,6 +45,7 @@ __all__ = [
     "STORE_FORMAT_NAME",
     "STORE_FORMAT_VERSION",
     "StoreEntry",
+    "quarantine_entry",
     "read_entry",
     "write_entry",
 ]
@@ -121,7 +122,33 @@ def write_entry(
     finally:
         if tmp.exists():
             tmp.unlink()
+    # Chaos seam: an armed store plan (repro.faults) tears the entry we
+    # just renamed into place — the deterministic stand-in for a torn
+    # write or silent media corruption that the atomic rename cannot
+    # guard against.  A no-op unless a plan is active.
+    from repro.faults import store_fault_point
+
+    store_fault_point(path)
     return path
+
+
+def quarantine_entry(path: Union[str, Path]) -> Path:
+    """Move an unreadable entry aside as ``<name>.corrupt``; returns the new path.
+
+    The rename keeps the evidence for post-mortems while freeing the
+    entry's name so the next save can write a healthy replacement.  An
+    occupied quarantine name falls through to ``.corrupt.1``,
+    ``.corrupt.2``, ... — repeated corruption never overwrites earlier
+    evidence.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    serial = 0
+    while target.exists():
+        serial += 1
+        target = path.with_name("%s.corrupt.%d" % (path.name, serial))
+    os.replace(path, target)
+    return target
 
 
 def _read_header(path: Path, archive: zipfile.ZipFile) -> Dict[str, Any]:
@@ -199,8 +226,23 @@ def _mmap_column(
     return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
 
 
+def _quarantined(
+    path: Path, quarantine: bool, error: StoreCorruptError
+) -> StoreCorruptError:
+    """Optionally quarantine ``path`` and fold the evidence into ``error``."""
+    if not quarantine or not path.exists():
+        return error
+    target = quarantine_entry(path)
+    return StoreCorruptError(
+        "%s (quarantined to %s)" % (error, target), quarantine_path=target
+    )
+
+
 def read_entry(
-    path: Union[str, Path], kind: Optional[str] = None, mmap: bool = False
+    path: Union[str, Path],
+    kind: Optional[str] = None,
+    mmap: bool = False,
+    quarantine: bool = False,
 ) -> StoreEntry:
     """Read one store entry back; raises typed errors instead of mis-parsing.
 
@@ -208,6 +250,11 @@ def read_entry(
     a mismatch raises :class:`~repro.errors.StoreKeyError`.  With
     ``mmap=True`` columns come back as read-only ``np.memmap`` views where
     the member layout allows it (consumers copy the arrays they mutate).
+    With ``quarantine=True`` an unreadable file is additionally moved
+    aside via :func:`quarantine_entry` before the
+    :class:`~repro.errors.StoreCorruptError` propagates — the raised error
+    carries the evidence location as ``quarantine_path`` and its message
+    names both files.
     """
     path = Path(path)
     try:
@@ -226,12 +273,20 @@ def read_entry(
                     with archive.open(member) as handle:
                         array = np.lib.format.read_array(handle, allow_pickle=False)
                 columns[name] = array
-    except (StoreCorruptError, StoreKeyError):
+    except StoreKeyError:
         raise
-    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
-        raise StoreCorruptError(
-            "unreadable store entry %s: %s" % (path, exc)
-        ) from exc
+    except StoreCorruptError as exc:
+        raise _quarantined(path, quarantine, exc) from exc
+    except (
+        zipfile.BadZipFile,
+        OSError,
+        ValueError,
+        EOFError,
+        KeyError,
+        NotImplementedError,
+    ) as exc:
+        corrupt = StoreCorruptError("unreadable store entry %s: %s" % (path, exc))
+        raise _quarantined(path, quarantine, corrupt) from exc
     if kind is not None and header["kind"] != kind:
         raise StoreKeyError(
             "store entry %s holds a %r snapshot, expected %r"

@@ -1,0 +1,158 @@
+"""Directory-level store health: sweep, report, quarantine.
+
+A snapshot **store directory** is just a directory of ``*.npz`` entries
+(plus whatever ``*.corrupt`` evidence earlier read-repairs left behind).
+:class:`Store` wraps one such directory; :meth:`Store.verify` sweeps every
+entry through the defensive reader and reports per-entry health as
+:class:`EntryHealth` records rolled up into one :class:`StoreHealth` —
+the disk-side analogue of :class:`~repro.parallel.pool.MapReport`.
+
+Verification never deletes anything.  With ``repair=True`` unreadable
+entries are moved aside (``<name>.corrupt``) via
+:func:`~repro.store.format.quarantine_entry`, freeing the entry name for
+a fresh save while keeping the bytes for post-mortems; with the default
+``repair=False`` the sweep is strictly read-only.  Either way the report
+says exactly which files are healthy, which are corrupt, why, and where
+the quarantined evidence went — a corrupt store is a *diagnosed* store,
+never a silently shrinking one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import StoreCorruptError
+from repro.store.format import quarantine_entry, read_entry
+
+__all__ = ["EntryHealth", "Store", "StoreHealth", "verify_store"]
+
+
+@dataclass(frozen=True)
+class EntryHealth:
+    """Health of one swept entry.
+
+    ``ok`` entries carry their decoded revision key; corrupt ones carry
+    the reader's message and (under ``repair=True``) where the file was
+    quarantined.
+    """
+
+    path: Path
+    ok: bool
+    kind: Optional[str] = None
+    graph_id: Optional[str] = None
+    revision: Optional[int] = None
+    error: Optional[str] = None
+    quarantine_path: Optional[Path] = None
+
+
+@dataclass(frozen=True)
+class StoreHealth:
+    """One :meth:`Store.verify` sweep: per-entry records plus totals."""
+
+    root: Path
+    entries: Tuple[EntryHealth, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every swept entry read back healthy."""
+        return all(entry.ok for entry in self.entries)
+
+    @property
+    def healthy(self) -> Tuple[EntryHealth, ...]:
+        return tuple(entry for entry in self.entries if entry.ok)
+
+    @property
+    def corrupt(self) -> Tuple[EntryHealth, ...]:
+        return tuple(entry for entry in self.entries if not entry.ok)
+
+    def __str__(self) -> str:
+        return "store %s: %d healthy, %d corrupt of %d entries" % (
+            self.root,
+            len(self.healthy),
+            len(self.corrupt),
+            len(self.entries),
+        )
+
+
+def verify_store(
+    root: Union[str, Path], pattern: str = "*.npz", repair: bool = False
+) -> StoreHealth:
+    """Sweep every entry under ``root`` and report its health.
+
+    Each file matching ``pattern`` (non-recursive, sorted for a stable
+    report order) is pushed through the full defensive reader — columns
+    decoded, header validated — so a truncated tail or flipped header bit
+    anywhere in the file surfaces here rather than at the next warm start.
+    ``repair=True`` also quarantines each unreadable file.
+    """
+    root = Path(root)
+    records: List[EntryHealth] = []
+    for path in sorted(root.glob(pattern)):
+        if not path.is_file():
+            continue
+        try:
+            entry = read_entry(path)
+        except StoreCorruptError as exc:
+            quarantined = quarantine_entry(path) if repair else None
+            records.append(
+                EntryHealth(
+                    path=path,
+                    ok=False,
+                    error=str(exc),
+                    quarantine_path=quarantined,
+                )
+            )
+        else:
+            records.append(
+                EntryHealth(
+                    path=path,
+                    ok=True,
+                    kind=entry.kind,
+                    graph_id=entry.graph_id,
+                    revision=entry.revision,
+                )
+            )
+    return StoreHealth(root=root, entries=tuple(records))
+
+
+class Store:
+    """One snapshot-store directory, addressable by entry name.
+
+    Thin and deliberately mechanism-free: sessions still persist through
+    the ``save_*``/``load_*`` functions of :mod:`repro.store.snapshot` —
+    the store only resolves names to paths (creating the directory on
+    first use) and runs health sweeps over what accumulated.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path(self, name: str) -> Path:
+        """The on-disk path of entry ``name`` (``.npz`` appended if absent)."""
+        if not name or name != Path(name).name:
+            raise ValueError(
+                "entry name must be a bare file name, got %r" % (name,)
+            )
+        if not name.endswith(".npz"):
+            name += ".npz"
+        self._root.mkdir(parents=True, exist_ok=True)
+        return self._root / name
+
+    def entries(self, pattern: str = "*.npz") -> Tuple[Path, ...]:
+        """The entry files currently in the store, sorted by name."""
+        if not self._root.is_dir():
+            return ()
+        return tuple(sorted(p for p in self._root.glob(pattern) if p.is_file()))
+
+    def verify(self, pattern: str = "*.npz", repair: bool = False) -> StoreHealth:
+        """Sweep the directory (see :func:`verify_store`)."""
+        return verify_store(self._root, pattern=pattern, repair=repair)
+
+    def __repr__(self) -> str:
+        return "Store(%r)" % str(self._root)

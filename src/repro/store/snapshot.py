@@ -65,6 +65,7 @@ __all__ = [
 ]
 
 _OVERFLOW_MODES = ("error", "rebuild")
+_CORRUPT_MODES = ("error", "rebuild")
 
 
 def _entry_columns(graph: TimingGraph, arrays: GraphArrays) -> Dict[str, np.ndarray]:
@@ -162,24 +163,55 @@ def _load_session(
     on_overflow: str,
     warm: Callable[[TimingGraph, GraphArrays, StoreEntry], Any],
     cold: Callable[[TimingGraph, Dict[str, Any]], Any],
+    on_corrupt: str = "error",
+    default_cold: Optional[Callable[[TimingGraph], Any]] = None,
 ):
-    """The shared loader: read, key-check, attach warm or fall back cold."""
-    entry = read_entry(path, kind=kind, mmap=True)
-    target, fallback_reason = _attach_graph(entry, graph, on_overflow)
-    _graph_data, session_data = _session_meta(entry)
-    if fallback_reason is None:
-        arrays = GraphArrays.from_columns(target, entry.columns, entry.revision)
-        try:
-            session = warm(target, arrays, entry)
-        except (KeyError, ValueError, TypeError) as exc:
-            raise StoreCorruptError(
-                "store entry %s has inconsistent session state: %s" % (path, exc)
-            ) from exc
-        session.store_fallback_reason = None
+    """The shared loader: read, key-check, attach warm or fall back cold.
+
+    ``on_corrupt`` mirrors ``on_overflow`` for *unreadable* entries: the
+    default ``"error"`` propagates the typed
+    :class:`~repro.errors.StoreCorruptError`; ``"rebuild"`` quarantines
+    the broken file (``<name>.corrupt``, see
+    :func:`~repro.store.format.quarantine_entry`), builds a cold session
+    via ``default_cold`` from the caller's **live graph** (a corrupt entry
+    cannot supply one, so ``graph=None`` still raises) and records the
+    whole story — corruption, quarantine location, rebuild — in the
+    session's ``store_fallback_reason``.  Never a silent cold fallback.
+    """
+    if on_corrupt not in _CORRUPT_MODES:
+        raise ValueError(
+            "on_corrupt must be one of %r, got %r" % (_CORRUPT_MODES, on_corrupt)
+        )
+    try:
+        entry = read_entry(path, kind=kind, mmap=True, quarantine=on_corrupt == "rebuild")
+        target, fallback_reason = _attach_graph(entry, graph, on_overflow)
+        _graph_data, session_data = _session_meta(entry)
+        if fallback_reason is None:
+            arrays = GraphArrays.from_columns(target, entry.columns, entry.revision)
+            try:
+                session = warm(target, arrays, entry)
+            except (KeyError, ValueError, TypeError) as exc:
+                raise StoreCorruptError(
+                    "store entry %s has inconsistent session state: %s" % (path, exc)
+                ) from exc
+            session.store_fallback_reason = None
+            return session
+        session = cold(target, session_data)
+        session.store_fallback_reason = fallback_reason
         return session
-    session = cold(target, session_data)
-    session.store_fallback_reason = fallback_reason
-    return session
+    except StoreCorruptError as exc:
+        if on_corrupt == "error":
+            raise
+        if graph is None or default_cold is None:
+            raise StoreCorruptError(
+                "%s; on_corrupt='rebuild' needs a live graph (and for "
+                "'extraction' a variation model) to build a cold %r session"
+                % (exc, kind),
+                quarantine_path=exc.quarantine_path,
+            ) from exc
+        session = default_cold(graph)
+        session.store_fallback_reason = str(exc)
+        return session
 
 
 # ----------------------------------------------------------------------
@@ -194,13 +226,16 @@ def load_incremental_timer(
     path: Union[str, Path],
     graph: Optional[TimingGraph] = None,
     on_overflow: str = "error",
+    on_corrupt: str = "error",
 ):
     """Warm-start an :class:`IncrementalTimer` from a ``"timer"`` entry.
 
     With ``graph=None`` the design graph is rebuilt from the stored
     columns; with a live graph the journal window since the snapshot
     replays at the first query (see the module docstring for the
-    key-mismatch and overflow semantics).
+    key-mismatch and overflow semantics).  ``on_corrupt="rebuild"``
+    quarantines an unreadable entry and rebuilds a default cold timer on
+    the live graph instead of raising.
     """
     from repro.timing.incremental import IncrementalTimer, _form_from_list
 
@@ -221,7 +256,10 @@ def load_incremental_timer(
             convergence_tolerance=float(session_data["tolerance"]),
         )
 
-    return _load_session(path, "timer", graph, on_overflow, warm, cold)
+    return _load_session(
+        path, "timer", graph, on_overflow, warm, cold,
+        on_corrupt=on_corrupt, default_cold=IncrementalTimer,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -236,6 +274,7 @@ def load_allpairs_session(
     path: Union[str, Path],
     graph: Optional[TimingGraph] = None,
     on_overflow: str = "error",
+    on_corrupt: str = "error",
 ):
     """Warm-start an :class:`AllPairsSession` from an ``"allpairs"`` entry."""
     from repro.timing.allpairs import AllPairsSession
@@ -249,7 +288,10 @@ def load_allpairs_session(
     def cold(target, _session_data):
         return AllPairsSession(target)
 
-    return _load_session(path, "allpairs", graph, on_overflow, warm, cold)
+    return _load_session(
+        path, "allpairs", graph, on_overflow, warm, cold,
+        on_corrupt=on_corrupt, default_cold=AllPairsSession,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +306,7 @@ def load_montecarlo_session(
     path: Union[str, Path],
     graph: Optional[TimingGraph] = None,
     on_overflow: str = "error",
+    on_corrupt: str = "error",
 ):
     """Warm-start a :class:`MonteCarloSession` from a ``"montecarlo"`` entry.
 
@@ -289,7 +332,10 @@ def load_montecarlo_session(
             cache_arrivals=bool(session_data["cache_arrivals"]),
         )
 
-    return _load_session(path, "montecarlo", graph, on_overflow, warm, cold)
+    return _load_session(
+        path, "montecarlo", graph, on_overflow, warm, cold,
+        on_corrupt=on_corrupt, default_cold=MonteCarloSession,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -349,8 +395,15 @@ def load_extraction_session(
     path: Union[str, Path],
     graph: Optional[TimingGraph] = None,
     on_overflow: str = "error",
+    on_corrupt: str = "error",
+    variation=None,
 ):
-    """Warm-start an :class:`ExtractionSession` from an ``"extraction"`` entry."""
+    """Warm-start an :class:`ExtractionSession` from an ``"extraction"`` entry.
+
+    ``variation`` is only consulted by ``on_corrupt="rebuild"``: a corrupt
+    entry cannot supply the stored variation model, so rebuilding a cold
+    session needs the caller to pass the live one alongside ``graph``.
+    """
     from repro.model.criticality import CriticalityResult
     from repro.model.extraction import ExtractionSession
     from repro.model.serialization import variation_from_dict
@@ -395,4 +448,11 @@ def load_extraction_session(
             engine=str(session_data.get("engine", "auto")),
         )
 
-    return _load_session(path, "extraction", graph, on_overflow, warm, cold)
+    def default_cold(target):
+        return ExtractionSession(target, variation)
+
+    return _load_session(
+        path, "extraction", graph, on_overflow, warm, cold,
+        on_corrupt=on_corrupt,
+        default_cold=default_cold if variation is not None else None,
+    )

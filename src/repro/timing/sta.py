@@ -145,7 +145,8 @@ def corner_sweep(
     explicit ``executor``) shards the corners one-per-task across the
     process pool over a shared-memory snapshot; each corner is a single
     deterministic evaluation, so the sharded sweep is bit-identical to the
-    serial one.
+    serial one.  A sharded run's recovery record (retries, respawns,
+    degradations) is available afterwards on ``executor.last_report``.
     """
     from repro.parallel.pool import maybe_executor
 

@@ -1,0 +1,193 @@
+"""The fault-plan grammar, activation rules, fuses and the store seam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectedError, StoreCorruptError
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    activate,
+    active_plan,
+    parse_plan,
+    plan_from_env,
+    pool_fault_point,
+    reset_fault_state,
+    store_fault_point,
+)
+from repro.store import read_entry, write_entry
+
+
+# ----------------------------------------------------------------------
+# Grammar
+# ----------------------------------------------------------------------
+def test_parse_minimal_plan():
+    plan = parse_plan("worker-crash@3")
+    assert plan.kind == "worker-crash"
+    assert plan.nth == 3
+    assert plan.seam == "pool"
+    assert plan.fuse is None
+
+
+def test_parse_full_option_set(tmp_path):
+    fuse = tmp_path / "f"
+    plan = parse_plan(
+        "store-bitflip@2:seed=7,keep=0.25,seconds=1.5,fuse=%s" % fuse
+    )
+    assert plan.seam == "store"
+    assert (plan.nth, plan.seed, plan.keep, plan.seconds) == (2, 7, 0.25, 1.5)
+    assert plan.fuse == str(fuse)
+
+
+def test_plan_round_trips_through_str():
+    text = "worker-hang@4:seconds=2.5"
+    assert str(parse_plan(text)) == text
+    assert parse_plan(str(parse_plan(text))) == parse_plan(text)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "worker-crash",          # no trigger
+        "meteor-strike@1",       # unknown kind
+        "worker-crash@zero",     # non-integer trigger
+        "worker-crash@0",        # non-positive trigger
+        "worker-crash@1:boom=1", # unknown option
+        "worker-hang@1:seconds=soon",  # non-numeric option
+        "store-truncate@1:keep=1.5",   # keep out of range
+        "worker-hang@1:seconds=-1",    # negative sleep
+        "worker-crash@1:fuse",         # option without '='
+    ],
+)
+def test_bad_plans_are_rejected(text):
+    with pytest.raises(ValueError):
+        parse_plan(text)
+
+
+def test_env_plan_errors_name_the_variable(monkeypatch):
+    monkeypatch.setenv(FAULT_PLAN_ENV, "nonsense")
+    with pytest.raises(ValueError, match=FAULT_PLAN_ENV):
+        plan_from_env()
+
+
+def test_env_plan_empty_means_no_plan(monkeypatch):
+    monkeypatch.setenv(FAULT_PLAN_ENV, "  ")
+    assert plan_from_env() is None
+    assert active_plan() is None
+
+
+# ----------------------------------------------------------------------
+# Activation precedence and counters
+# ----------------------------------------------------------------------
+def test_programmatic_activation_beats_the_environment(monkeypatch):
+    monkeypatch.setenv(FAULT_PLAN_ENV, "worker-crash@9")
+    with activate("task-raise@5") as plan:
+        assert active_plan() == plan
+    assert active_plan() == parse_plan("worker-crash@9")
+
+
+def test_activation_nests_and_restores():
+    with activate("task-raise@1"):
+        with activate("task-raise@2"):
+            assert active_plan().nth == 2
+        assert active_plan().nth == 1
+    assert active_plan() is None
+
+
+def test_pool_fault_fires_exactly_at_the_trigger():
+    reset_fault_state()
+    with activate("task-raise@3"):
+        pool_fault_point("t")  # 1
+        pool_fault_point("t")  # 2
+        with pytest.raises(FaultInjectedError, match="task 3"):
+            pool_fault_point("t")
+        pool_fault_point("t")  # 4: past the trigger, never again
+
+
+def test_pool_and_store_seams_count_independently(tmp_path):
+    reset_fault_state()
+    with activate("task-raise@1"):
+        # Store events must not advance the pool counter.
+        store_fault_point(tmp_path / "ignored")
+        with pytest.raises(FaultInjectedError):
+            pool_fault_point("t")
+
+
+def test_fuse_makes_the_fault_exactly_once(tmp_path):
+    fuse = tmp_path / "f"
+    fuse.write_text("armed")
+    reset_fault_state()
+    with activate(FaultPlan(kind="task-raise", nth=1, fuse=str(fuse))):
+        with pytest.raises(FaultInjectedError):
+            pool_fault_point("t")
+        assert not fuse.exists()
+    # Re-armed at the same trigger with the fuse gone: nothing fires.
+    reset_fault_state()
+    with activate(FaultPlan(kind="task-raise", nth=1, fuse=str(fuse))):
+        pool_fault_point("t")
+
+
+# ----------------------------------------------------------------------
+# Store seam: real entries, torn in place
+# ----------------------------------------------------------------------
+def _write_probe_entry(path):
+    return write_entry(
+        path, "model", "probe", 1, {"x": np.arange(64, dtype=np.int64)}
+    )
+
+
+def test_truncate_plan_tears_the_written_entry(tmp_path):
+    path = tmp_path / "e.npz"
+    reset_fault_state()
+    with activate("store-truncate@1:keep=0.5"):
+        _write_probe_entry(path)
+    healthy = tmp_path / "h.npz"
+    _write_probe_entry(healthy)
+    assert path.stat().st_size == healthy.stat().st_size // 2
+    with pytest.raises(StoreCorruptError, match=str(path)):
+        read_entry(path)
+
+
+def test_zero_keep_leaves_an_empty_file(tmp_path):
+    path = tmp_path / "e.npz"
+    reset_fault_state()
+    with activate("store-truncate@1:keep=0"):
+        _write_probe_entry(path)
+    assert path.stat().st_size == 0
+    with pytest.raises(StoreCorruptError):
+        read_entry(path)
+
+
+def test_bitflip_plan_corrupts_detectably(tmp_path):
+    path = tmp_path / "e.npz"
+    reset_fault_state()
+    with activate("store-bitflip@1:seed=3"):
+        _write_probe_entry(path)
+    healthy = tmp_path / "h.npz"
+    _write_probe_entry(healthy)
+    # Same length, different bytes: silent corruption, caught on read.
+    assert path.stat().st_size == healthy.stat().st_size
+    assert path.read_bytes() != healthy.read_bytes()
+    with pytest.raises(StoreCorruptError):
+        read_entry(path)
+
+
+def test_store_fault_counts_writes_not_reads(tmp_path):
+    reset_fault_state()
+    with activate("store-truncate@2"):
+        first = _write_probe_entry(tmp_path / "a.npz")
+        read_entry(first)  # reads never advance the counter
+        second = _write_probe_entry(tmp_path / "b.npz")
+    read_entry(first)
+    with pytest.raises(StoreCorruptError):
+        read_entry(second)
+
+
+def test_no_plan_means_no_interference(tmp_path):
+    reset_fault_state()
+    entry = _write_probe_entry(tmp_path / "e.npz")
+    loaded = read_entry(entry)
+    assert np.array_equal(loaded.columns["x"], np.arange(64, dtype=np.int64))
+    pool_fault_point("t")  # no-op without a plan

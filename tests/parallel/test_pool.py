@@ -6,16 +6,23 @@ import os
 import subprocess
 import sys
 import textwrap
+import time
 
 import numpy as np
 import pytest
 
 from repro.montecarlo.flat import MC_CHUNK_BUDGET_ENV, mc_chunk_budget
 from repro.parallel.pool import (
+    RETRY_BACKOFF_ENV,
+    TASK_RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
     WORKERS_ENV,
     ShardedExecutor,
     maybe_executor,
     resolve_workers,
+    retry_backoff,
+    task_retries,
+    task_timeout,
 )
 from repro.parallel.shm import shared_memory_available
 from repro.timing.arrays import GraphArrays
@@ -82,6 +89,48 @@ def test_chunk_budget_env_validation(monkeypatch, raw):
 def test_chunk_budget_env_override(monkeypatch):
     monkeypatch.setenv(MC_CHUNK_BUDGET_ENV, "1048576")
     assert mc_chunk_budget() == 1048576
+
+
+@pytest.mark.parametrize("raw", ["soon", "", "0", "-2", "nan", "inf"])
+def test_task_timeout_env_validation(monkeypatch, raw):
+    monkeypatch.setenv(TASK_TIMEOUT_ENV, raw)
+    with pytest.raises(ValueError, match=TASK_TIMEOUT_ENV):
+        task_timeout()
+
+
+def test_task_timeout_env_resolution(monkeypatch):
+    monkeypatch.delenv(TASK_TIMEOUT_ENV, raising=False)
+    assert task_timeout() is None
+    monkeypatch.setenv(TASK_TIMEOUT_ENV, "12.5")
+    assert task_timeout() == 12.5
+
+
+@pytest.mark.parametrize("raw", ["many", "1.5", "-1"])
+def test_task_retries_env_validation(monkeypatch, raw):
+    monkeypatch.setenv(TASK_RETRIES_ENV, raw)
+    with pytest.raises(ValueError, match=TASK_RETRIES_ENV):
+        task_retries()
+
+
+def test_task_retries_env_resolution(monkeypatch):
+    monkeypatch.delenv(TASK_RETRIES_ENV, raising=False)
+    assert task_retries() == 2
+    monkeypatch.setenv(TASK_RETRIES_ENV, "0")
+    assert task_retries() == 0
+
+
+@pytest.mark.parametrize("raw", ["slow", "-0.1", "nan"])
+def test_retry_backoff_env_validation(monkeypatch, raw):
+    monkeypatch.setenv(RETRY_BACKOFF_ENV, raw)
+    with pytest.raises(ValueError, match=RETRY_BACKOFF_ENV):
+        retry_backoff()
+
+
+def test_retry_backoff_env_resolution(monkeypatch):
+    monkeypatch.delenv(RETRY_BACKOFF_ENV, raising=False)
+    assert retry_backoff() == 0.05
+    monkeypatch.setenv(RETRY_BACKOFF_ENV, "0")
+    assert retry_backoff() == 0.0
 
 
 # ----------------------------------------------------------------------
@@ -230,3 +279,71 @@ def test_pool_shutdown_leaves_no_resource_tracker_noise(tmp_path):
     assert completed.returncode == 0, completed.stderr
     assert "resource_tracker" not in completed.stderr, completed.stderr
     assert "Traceback" not in completed.stderr, completed.stderr
+
+
+# ----------------------------------------------------------------------
+# Bounded shutdown and nested-pool fallback
+# ----------------------------------------------------------------------
+def test_close_timeout_escalates_past_a_hung_worker(monkeypatch, tmp_path):
+    """``close(timeout=)`` must return even with a worker wedged mid-task.
+
+    A worker-hang plan (armed before pool creation, so the spawned workers
+    inherit it) wedges the first task in a five-minute sleep; a patient
+    ``Pool.join()`` would block on it.  The bounded close escalates to
+    ``terminate()`` after the deadline and returns in seconds.
+    """
+    monkeypatch.setenv(
+        "REPRO_FAULT_PLAN", "worker-hang@1:seconds=300"
+    )
+    executor = ShardedExecutor(workers=2, engine="auto")
+    if executor.engine != "process":
+        executor.close()
+        pytest.skip("process engine unavailable: %s" % executor.fallback_reason)
+    pool = executor._ensure_pool()
+    # Fire-and-forget: the worker hangs inside the fault seam before the
+    # task body runs, exactly like a stuck task in production.
+    from repro.parallel.pool import _invoke
+
+    pool.apply_async(_invoke, (("corner_delay", None, 0.0),))
+    time.sleep(1.0)  # let the worker reach the sleep
+
+    start = time.monotonic()
+    executor.close(timeout=2.0)
+    elapsed = time.monotonic() - start
+    assert elapsed < 30.0, "close blocked on the hung worker (%.1fs)" % elapsed
+    assert executor.closed
+
+
+def test_worker_probe_reports_daemon_serial_fallback(process_executor):
+    """Inside a real pool worker ``maybe_executor`` must resolve to ``None``.
+
+    Pool workers are daemonic and may not spawn children; even with
+    ``REPRO_WORKERS`` exported in the worker's environment the nested-pool
+    guard has to choose the serial path — this exercises the guard in an
+    actual daemon process rather than a monkeypatched stand-in.
+    """
+    (probe,) = process_executor.run(
+        "worker_probe", [{"env": {WORKERS_ENV: "4"}}]
+    )
+    assert probe["pid"] != os.getpid()
+    assert probe["daemon"] is True
+    assert probe["maybe_executor"] is None
+
+
+def test_atexit_close_warns_instead_of_passing_silently(monkeypatch):
+    """The exit hook must surface shutdown failures as one warning."""
+    import warnings
+
+    from repro.parallel import pool as pool_module
+
+    class _Unclosable:
+        def close(self, timeout=None):
+            raise OSError("semaphore already gone")
+
+    monkeypatch.setattr(pool_module, "_SHARED", {99: _Unclosable()})
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        pool_module._close_shared_executors()
+    assert pool_module._SHARED == {}
+    (warning,) = [w for w in caught if w.category is RuntimeWarning]
+    assert "semaphore already gone" in str(warning.message)

@@ -1,0 +1,193 @@
+"""Defensive reads of damaged store entries, across every session kind.
+
+A store file can be damaged in ways the writer never sees — a crash
+between ``open`` and the atomic rename leaves a zero-byte file, a torn
+copy leaves a mid-write truncation.  Every loader must answer with the
+*typed* :class:`~repro.errors.StoreCorruptError` naming the offending
+file, and ``on_corrupt="rebuild"`` must quarantine the evidence and
+rebuild a cold session from the live graph — never a silent fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import CanonicalForm
+from repro.errors import StoreCorruptError
+from repro.model.extraction import ExtractionSession
+from repro.montecarlo.flat import MonteCarloSession
+from repro.store import (
+    load_allpairs_session,
+    load_extraction_session,
+    load_incremental_timer,
+    load_montecarlo_session,
+    read_entry,
+    save_allpairs_session,
+    save_extraction_session,
+    save_incremental_timer,
+    save_montecarlo_session,
+)
+from repro.timing.allpairs import AllPairsSession
+from repro.timing.graph import TimingGraph
+from repro.timing.incremental import IncrementalTimer
+
+KINDS = ("timer", "allpairs", "montecarlo", "extraction")
+
+#: ``kind -> (session factory, saver, loader)``; the factory takes
+#: ``(graph, variation)`` and the loader forwards ``**kwargs`` so tests
+#: can pass ``on_corrupt=``/``variation=`` uniformly.
+_SESSIONS = {
+    "timer": (
+        lambda graph, variation: IncrementalTimer(graph),
+        save_incremental_timer,
+        load_incremental_timer,
+    ),
+    "allpairs": (
+        lambda graph, variation: AllPairsSession(graph),
+        save_allpairs_session,
+        load_allpairs_session,
+    ),
+    "montecarlo": (
+        lambda graph, variation: MonteCarloSession(graph, num_samples=64),
+        save_montecarlo_session,
+        load_montecarlo_session,
+    ),
+    "extraction": (
+        lambda graph, variation: ExtractionSession(graph, variation),
+        save_extraction_session,
+        load_extraction_session,
+    ),
+}
+
+
+def _diamond_graph(name="diamond"):
+    graph = TimingGraph(name, 2)
+    graph.mark_input("a")
+    graph.mark_input("b")
+    graph.mark_output("z")
+    graph.add_edge("a", "m", CanonicalForm(10.0, 0.5, np.array([0.2, 0.1]), 0.3))
+    graph.add_edge("b", "m", CanonicalForm(8.0, 0.3, np.array([0.1, 0.2]), 0.2))
+    graph.add_edge("m", "z", CanonicalForm(4.0, 0.1, np.array([0.05, 0.05]), 0.1))
+    graph.add_edge("a", "z", CanonicalForm(12.0, 0.2, np.array([0.1, 0.0]), 0.15))
+    return graph
+
+
+@pytest.fixture
+def saved_entry(request, tmp_path, random_graph_and_variation):
+    """``(kind, path, graph, variation)`` of one healthy saved session."""
+    kind = request.param
+    if kind == "extraction":
+        graph, variation = random_graph_and_variation
+    else:
+        graph, variation = _diamond_graph(), None
+    factory, save, _load = _SESSIONS[kind]
+    path = tmp_path / ("%s.npz" % kind)
+    save(factory(graph, variation), path)
+    return kind, path, graph, variation
+
+
+def _zero_byte(path):
+    path.write_bytes(b"")
+
+
+def _truncate_mid_write(path):
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
+@pytest.mark.parametrize("saved_entry", KINDS, indirect=True)
+@pytest.mark.parametrize(
+    "damage", (_zero_byte, _truncate_mid_write), ids=("zero-byte", "mid-write")
+)
+def test_damaged_entry_raises_typed_error_naming_the_file(saved_entry, damage):
+    kind, path, graph, variation = saved_entry
+    _factory, _save, load = _SESSIONS[kind]
+    damage(path)
+
+    # The raw reader and the session loader agree, and both name the file.
+    with pytest.raises(StoreCorruptError, match=path.name):
+        read_entry(path, kind=kind)
+    with pytest.raises(StoreCorruptError, match=path.name):
+        load(path, graph=graph)
+    assert path.exists()  # on_corrupt="error" leaves the evidence in place
+
+
+@pytest.mark.parametrize("saved_entry", KINDS, indirect=True)
+@pytest.mark.parametrize(
+    "damage", (_zero_byte, _truncate_mid_write), ids=("zero-byte", "mid-write")
+)
+def test_rebuild_quarantines_and_returns_a_cold_session(saved_entry, damage):
+    kind, path, graph, variation = saved_entry
+    _factory, _save, load = _SESSIONS[kind]
+    damage(path)
+
+    kwargs = {"variation": variation} if kind == "extraction" else {}
+    session = load(path, graph=graph, on_corrupt="rebuild", **kwargs)
+    assert session.graph is graph
+    assert not path.exists()
+    quarantined = path.with_name(path.name + ".corrupt")
+    assert quarantined.exists()
+    reason = session.store_fallback_reason
+    assert reason is not None and "quarantined" in reason
+    assert path.name in reason
+
+
+@pytest.mark.parametrize("saved_entry", KINDS, indirect=True)
+def test_rebuild_without_live_graph_raises(saved_entry):
+    kind, path, _graph, _variation = saved_entry
+    _factory, _save, load = _SESSIONS[kind]
+    _zero_byte(path)
+    with pytest.raises(StoreCorruptError, match="live graph"):
+        load(path, on_corrupt="rebuild")
+
+
+def test_extraction_rebuild_needs_the_variation_model(
+    tmp_path, random_graph_and_variation
+):
+    """A corrupt entry cannot supply the stored variation model, so the
+    extraction rebuild refuses unless the caller passes the live one."""
+    graph, variation = random_graph_and_variation
+    path = tmp_path / "x.npz"
+    save_extraction_session(ExtractionSession(graph, variation), path)
+    _zero_byte(path)
+    with pytest.raises(StoreCorruptError, match="variation"):
+        load_extraction_session(path, graph=graph, on_corrupt="rebuild")
+    # With the model, the rebuild quarantines and succeeds.
+    session = load_extraction_session(
+        path, graph=graph, on_corrupt="rebuild", variation=variation
+    )
+    assert session.store_fallback_reason is not None
+
+
+def test_quarantine_never_overwrites_earlier_evidence(tmp_path):
+    """Repeated corruption of the same name stacks ``.corrupt.N`` files."""
+    graph = _diamond_graph()
+    path = tmp_path / "t.npz"
+    for expected in ("t.npz.corrupt", "t.npz.corrupt.1"):
+        save_incremental_timer(IncrementalTimer(graph), path)
+        _truncate_mid_write(path)
+        load_incremental_timer(path, graph=graph, on_corrupt="rebuild")
+        assert (tmp_path / expected).exists()
+    assert (tmp_path / "t.npz.corrupt").read_bytes() != b""
+
+
+@pytest.mark.parametrize("mode", ("maybe", "never"))
+def test_invalid_on_corrupt_mode_is_rejected(tmp_path, mode):
+    graph = _diamond_graph()
+    path = tmp_path / "t.npz"
+    save_incremental_timer(IncrementalTimer(graph), path)
+    with pytest.raises(ValueError, match="on_corrupt"):
+        load_incremental_timer(path, graph=graph, on_corrupt=mode)
+
+
+def test_rebuilt_montecarlo_session_answers_like_a_cold_one(tmp_path):
+    """The rebuilt session is a *real* session: its resample equals a
+    freshly constructed one draw for draw."""
+    graph = _diamond_graph()
+    path = tmp_path / "mc.npz"
+    save_montecarlo_session(MonteCarloSession(graph, num_samples=64), path)
+    _truncate_mid_write(path)
+    rebuilt = load_montecarlo_session(path, graph=graph, on_corrupt="rebuild")
+    cold = MonteCarloSession(graph)
+    assert np.array_equal(rebuilt.revalidate().samples, cold.revalidate().samples)
